@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``test_bench_e*.py`` file regenerates one experiment from DESIGN.md's
+experiment index (the paper has no tables/figures of its own — see
+EXPERIMENTS.md).  The benchmark measures the wall-clock cost of regenerating
+the experiment's rows and prints the resulting table so the numbers can be
+compared against EXPERIMENTS.md directly from the benchmark output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+# Benchmarks use the quick grid with a single trial so the whole suite stays
+# in the tens-of-seconds range; EXPERIMENTS.md records fuller runs.
+BENCH_CONFIG = ExperimentConfig(quick=True, num_trials=1, ilp_time_limit=5.0)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration used by every benchmark."""
+    return BENCH_CONFIG
+
+
+def run_and_report(benchmark, experiment_id: str, config: ExperimentConfig):
+    """Benchmark one experiment and print its table."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, config), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.table())
+    for key, value in result.metadata.items():
+        if isinstance(value, str):
+            print(value)
+    return result

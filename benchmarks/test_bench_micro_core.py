@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are not experiments from the paper; they track the implementation's own
+performance (per the repository's hpc notes in DESIGN.md): the weight
+mechanism's per-arrival cost, the bicriteria augmentation cost, the reduction
+solver's per-element cost, and the offline solvers.
+"""
+
+from __future__ import annotations
+
+from repro.core.bicriteria import BicriteriaOnlineSetCover
+from repro.core.fractional import FractionalAdmissionControl
+from repro.core.protocols import run_admission, run_setcover
+from repro.core.randomized import RandomizedAdmissionControl
+from repro.core.setcover_reduction import OnlineSetCoverViaAdmissionControl
+from repro.offline import solve_admission_ilp, solve_admission_lp, solve_set_multicover_ilp
+from repro.workloads import overloaded_edge_adversary, random_setcover_instance, single_edge_workload
+
+ADMISSION_INSTANCE = single_edge_workload(64, 512, capacity=4, concentration=1.3, random_state=0)
+ADVERSARIAL_INSTANCE = overloaded_edge_adversary(64, 4, num_hot_edges=8, random_state=0)
+SETCOVER_INSTANCE = random_setcover_instance(80, 32, 160, random_state=0)
+
+
+def test_bench_fractional_weight_mechanism(benchmark):
+    """Per-sequence cost of the Section-2 fractional weight mechanism."""
+
+    def run():
+        algo = FractionalAdmissionControl.for_instance(ADMISSION_INSTANCE)
+        algo.process_sequence(ADMISSION_INSTANCE.requests)
+        return algo.fractional_cost()
+
+    cost = benchmark(run)
+    assert cost >= 0.0
+
+
+def test_bench_randomized_admission(benchmark):
+    """Per-sequence cost of the Section-3 randomized algorithm."""
+
+    def run():
+        algo = RandomizedAdmissionControl.for_instance(ADVERSARIAL_INSTANCE, random_state=0)
+        return run_admission(algo, ADVERSARIAL_INSTANCE).rejection_cost
+
+    cost = benchmark(run)
+    assert cost >= 0.0
+
+
+def test_bench_bicriteria_setcover(benchmark):
+    """Per-sequence cost of the Section-5 bicriteria algorithm (derandomised selection)."""
+
+    def run():
+        algo = BicriteriaOnlineSetCover(SETCOVER_INSTANCE.system, eps=0.2, track_potentials=False)
+        return run_setcover(algo, SETCOVER_INSTANCE).cost
+
+    cost = benchmark(run)
+    assert cost > 0.0
+
+
+def test_bench_reduction_setcover(benchmark):
+    """Per-sequence cost of the Section-4 reduction solver."""
+
+    def run():
+        algo = OnlineSetCoverViaAdmissionControl(SETCOVER_INSTANCE.system, random_state=0)
+        return run_setcover(algo, SETCOVER_INSTANCE).cost
+
+    cost = benchmark(run)
+    assert cost > 0.0
+
+
+def test_bench_offline_admission_lp(benchmark):
+    """HiGHS LP solve of the fractional admission optimum."""
+    result = benchmark(solve_admission_lp, ADMISSION_INSTANCE)
+    assert result.cost >= 0.0
+
+
+def test_bench_offline_admission_ilp(benchmark):
+    """HiGHS MILP solve of the exact admission optimum."""
+    result = benchmark(lambda: solve_admission_ilp(ADVERSARIAL_INSTANCE, time_limit=20.0))
+    assert result.cost >= 0.0
+
+
+def test_bench_offline_set_multicover_ilp(benchmark):
+    """HiGHS MILP solve of the exact set multi-cover optimum."""
+    result = benchmark(
+        lambda: solve_set_multicover_ilp(
+            SETCOVER_INSTANCE.system, SETCOVER_INSTANCE.demands(), time_limit=20.0
+        )
+    )
+    assert result.cost >= 0.0

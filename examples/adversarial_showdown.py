@@ -1,0 +1,62 @@
+"""Adversarial showdown: where naive admission policies fall over.
+
+Runs the library's adversarial workload suite (the constructions behind
+experiment E8) against the paper's algorithm and every baseline, printing one
+table per workload.  This is the quickest way to *see* why preemption and the
+primal–dual weighting matter:
+
+* ``cheap-then-expensive`` punishes algorithms that cannot preempt,
+* ``long-vs-short`` punishes algorithms that refuse to sacrifice one long
+  request for many short ones,
+* ``benefit-trap`` shows a throughput-maximising policy rejecting far more
+  cost than necessary.
+
+Run with:  python examples/adversarial_showdown.py
+"""
+
+from __future__ import annotations
+
+from repro import DoublingAdmissionControl, run_admission
+from repro.analysis import evaluate_admission_run, format_records
+from repro.baselines import (
+    ExponentialBenefitAdmission,
+    GreedySwap,
+    KeepExpensive,
+    RejectWhenFull,
+    ThresholdPreemption,
+)
+from repro.workloads import (
+    benefit_objective_trap,
+    cheap_then_expensive_adversary,
+    long_vs_short_adversary,
+)
+
+
+def main() -> None:
+    workloads = {
+        "cheap-then-expensive": cheap_then_expensive_adversary(num_edges=10, capacity=2, expensive_cost=50.0),
+        "long-vs-short": long_vs_short_adversary(num_edges=16, capacity=1),
+        "benefit-trap": benefit_objective_trap(num_groups=8, group_size=5),
+    }
+    factories = {
+        "Paper (doubling randomized)": lambda inst: DoublingAdmissionControl.for_instance(inst, random_state=2),
+        "RejectWhenFull": RejectWhenFull.for_instance,
+        "KeepExpensive": KeepExpensive.for_instance,
+        "GreedySwap": GreedySwap.for_instance,
+        "ThresholdPreemption": ThresholdPreemption.for_instance,
+        "Throughput (AAP-style)": ExponentialBenefitAdmission.for_instance,
+    }
+
+    for name, instance in workloads.items():
+        records = []
+        for label, factory in factories.items():
+            algorithm = factory(instance)
+            record = evaluate_admission_run(instance, run_admission(algorithm, instance))
+            record.algorithm = label
+            records.append(record)
+        print(format_records(records, title=f"Workload: {name} ({instance.describe()})"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — a reproduction of Alon, Azar & Gutner (SPAA 2005).
+
+*Admission Control to Minimize Rejections and Online Set Cover with
+Repetitions.*
+
+The package implements the paper's online algorithms (fractional, randomized,
+guess-and-double, the set-cover reduction and the deterministic bicriteria
+algorithm), the substrates they run on (capacitated networks, set systems,
+workload generators, offline optimum solvers) and an experiment harness that
+measures competitive ratios against the paper's theoretical bounds.
+
+Quick start
+-----------
+>>> from repro import RandomizedAdmissionControl, run_admission
+>>> from repro.instances.canonical import star_congestion
+>>> instance = star_congestion(leaves=6, capacity=2)
+>>> algo = RandomizedAdmissionControl.for_instance(instance, random_state=0)
+>>> result = run_admission(algo, instance)
+>>> result.feasible
+True
+"""
+
+from repro.core import (
+    AdmissionResult,
+    BicriteriaOnlineSetCover,
+    DoublingAdmissionControl,
+    DoublingFractionalAdmissionControl,
+    FractionalAdmissionControl,
+    InfeasibleArrivalError,
+    OnlineAdmissionAlgorithm,
+    OnlineSetCoverAlgorithm,
+    OnlineSetCoverViaAdmissionControl,
+    RandomizedAdmissionControl,
+    SetCoverResult,
+    run_admission,
+    run_setcover,
+)
+from repro.instances import (
+    AdmissionInstance,
+    Decision,
+    DecisionKind,
+    Request,
+    RequestSequence,
+    SetCoverInstance,
+    SetSystem,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionResult",
+    "BicriteriaOnlineSetCover",
+    "DoublingAdmissionControl",
+    "DoublingFractionalAdmissionControl",
+    "FractionalAdmissionControl",
+    "InfeasibleArrivalError",
+    "OnlineAdmissionAlgorithm",
+    "OnlineSetCoverAlgorithm",
+    "OnlineSetCoverViaAdmissionControl",
+    "RandomizedAdmissionControl",
+    "SetCoverResult",
+    "run_admission",
+    "run_setcover",
+    "AdmissionInstance",
+    "Decision",
+    "DecisionKind",
+    "Request",
+    "RequestSequence",
+    "SetCoverInstance",
+    "SetSystem",
+    "__version__",
+]

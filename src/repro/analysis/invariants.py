@@ -1,0 +1,130 @@
+"""Invariant checkers turning the paper's proofs into runtime assertions.
+
+The experiments (and the property-based tests) do not just measure costs; they
+verify that the structural claims made inside the proofs actually hold on every
+run:
+
+* admission control — the online accepted set is always feasible, the
+  fractional covering constraints hold, weights are monotone and bounded, the
+  number of augmentations respects Lemma 1;
+* bicriteria set cover — the coverage target ``(1 - eps) k`` holds after every
+  arrival, the potential never exceeds ``n^2``, no augmentation increases it,
+  at most ``2 ln n`` sets are added per augmentation (Lemma 6), and the number
+  of augmentations respects Lemma 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.bicriteria import BicriteriaOnlineSetCover
+from repro.core.bounds import lemma1_augmentation_bound, lemma5_augmentation_bound
+from repro.core.fractional import FractionalAdmissionControl
+from repro.core.protocols import AdmissionResult
+from repro.instances.admission import AdmissionInstance
+
+__all__ = ["InvariantReport", "check_admission_result", "check_fractional_state", "check_bicriteria_state"]
+
+
+@dataclass
+class InvariantReport:
+    """A list of violations (empty = all invariants hold)."""
+
+    violations: List[str] = field(default_factory=list)
+
+    def add(self, message: str) -> None:
+        """Record one violation."""
+        self.violations.append(message)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was recorded."""
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "all invariants hold"
+        return "; ".join(self.violations)
+
+
+def check_admission_result(instance: AdmissionInstance, result: AdmissionResult) -> InvariantReport:
+    """Check the structural invariants of a finished admission run."""
+    report = InvariantReport()
+    feasibility = instance.check_feasible(result.accepted_ids)
+    if not feasibility.feasible:
+        report.add(f"accepted set violates capacities: {feasibility.violations[:3]}")
+    overlap = result.accepted_ids & (result.rejected_ids | result.preempted_ids)
+    if overlap:
+        report.add(f"requests both accepted and rejected: {sorted(overlap)[:5]}")
+    all_ids = result.accepted_ids | result.rejected_ids | result.preempted_ids
+    expected = frozenset(instance.requests.ids())
+    if all_ids != expected:
+        report.add(
+            f"decision partition mismatch: {len(all_ids)} decided vs {len(expected)} requests"
+        )
+    recomputed = instance.rejection_cost(result.rejected_ids | result.preempted_ids)
+    if abs(recomputed - result.rejection_cost) > 1e-6 * max(1.0, recomputed):
+        report.add(
+            f"reported rejection cost {result.rejection_cost} != recomputed {recomputed}"
+        )
+    return report
+
+
+def check_fractional_state(
+    algorithm: FractionalAdmissionControl,
+    *,
+    optimal_cost: Optional[float] = None,
+) -> InvariantReport:
+    """Check the weight-mechanism invariants and (optionally) Lemma 1's bound."""
+    report = InvariantReport()
+    for problem in algorithm.check_invariants():
+        report.add(problem)
+    if optimal_cost is not None and optimal_cost > 0:
+        bound = lemma1_augmentation_bound(optimal_cost, algorithm.g, algorithm.c)
+        if algorithm.num_augmentations > bound + 1e-9:
+            report.add(
+                f"Lemma 1 violated: {algorithm.num_augmentations} augmentations "
+                f"> bound {bound:.2f} (alpha={optimal_cost}, g={algorithm.g}, c={algorithm.c})"
+            )
+    return report
+
+
+def check_bicriteria_state(
+    algorithm: BicriteriaOnlineSetCover,
+    *,
+    optimal_cost: Optional[float] = None,
+) -> InvariantReport:
+    """Check Lemma 5/6 invariants on a finished bicriteria run."""
+    report = InvariantReport()
+    if not algorithm.bicriteria_satisfied():
+        report.add("bicriteria coverage target (1-eps)k violated for some element")
+    n2 = max(algorithm.n, 2) ** 2
+    if algorithm.max_potential_seen > n2 + 1e-6 * n2:
+        report.add(
+            f"potential exceeded n^2: {algorithm.max_potential_seen:.3f} > {n2:.3f}"
+        )
+    for trace in algorithm.traces:
+        if trace.potential_after > trace.potential_before * (1 + 1e-9) + 1e-9:
+            report.add(
+                f"augmentation on element {trace.element!r} increased the potential "
+                f"({trace.potential_before:.4f} -> {trace.potential_after:.4f})"
+            )
+            break
+        if len(trace.sets_from_selection) > algorithm.selection_rounds:
+            report.add(
+                f"augmentation added {len(trace.sets_from_selection)} sets in step 2c "
+                f"> 2 ln n = {algorithm.selection_rounds}"
+            )
+            break
+    if optimal_cost is not None and optimal_cost > 0:
+        bound = lemma5_augmentation_bound(optimal_cost, algorithm.m, algorithm.eps)
+        if algorithm.num_augmentations > bound + 1e-9:
+            report.add(
+                f"Lemma 5 violated: {algorithm.num_augmentations} augmentations "
+                f"> bound {bound:.2f} (alpha={optimal_cost}, m={algorithm.m}, eps={algorithm.eps})"
+            )
+    return report

@@ -1,0 +1,56 @@
+"""Summary statistics for multi-seed trials."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / spread summary of a sample of measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    ci95_low: float
+    ci95_high: float
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.3f} ±{(self.ci95_high - self.ci95_low) / 2:.3f} "
+            f"(min={self.minimum:.3f}, median={self.median:.3f}, max={self.maximum:.3f}, n={self.count})"
+        )
+
+
+def summarize(values: Sequence[float] | Iterable[float]) -> SummaryStats:
+    """Summarise a sample: mean, std, min/median/max and a normal-approx 95% CI.
+
+    Infinite values (e.g. ratios against a zero optimum) are dropped before
+    summarising; an empty (or all-infinite) sample yields NaNs.
+    """
+    data = np.asarray([v for v in values if math.isfinite(v)], dtype=float)
+    if data.size == 0:
+        nan = float("nan")
+        return SummaryStats(0, nan, nan, nan, nan, nan, nan, nan)
+    mean = float(np.mean(data))
+    std = float(np.std(data, ddof=1)) if data.size > 1 else 0.0
+    half_width = 1.96 * std / math.sqrt(data.size) if data.size > 1 else 0.0
+    return SummaryStats(
+        count=int(data.size),
+        mean=mean,
+        std=std,
+        minimum=float(np.min(data)),
+        maximum=float(np.max(data)),
+        median=float(np.median(data)),
+        ci95_low=mean - half_width,
+        ci95_high=mean + half_width,
+    )

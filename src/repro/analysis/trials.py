@@ -1,0 +1,150 @@
+"""Multi-seed trial runner.
+
+Randomized algorithms (and randomized workloads) need several independent runs
+before a competitive ratio means anything.  :func:`run_admission_trials` /
+:func:`run_setcover_trials` run ``(workload seed, algorithm seed)`` pairs and
+aggregate the resulting :class:`~repro.analysis.competitive.CompetitiveRecord`
+objects into a :class:`TrialSummary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.competitive import (
+    CompetitiveRecord,
+    evaluate_admission_run,
+    evaluate_setcover_run,
+)
+from repro.analysis.stats import SummaryStats, summarize
+from repro.core.protocols import run_admission, run_setcover
+from repro.instances.admission import AdmissionInstance
+from repro.instances.setcover import SetCoverInstance
+from repro.utils.rng import spawn_generators
+
+__all__ = ["TrialSummary", "run_admission_trials", "run_setcover_trials"]
+
+
+@dataclass
+class TrialSummary:
+    """Aggregate of several :class:`CompetitiveRecord` objects for one configuration."""
+
+    label: str
+    records: List[CompetitiveRecord] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        """Number of runs aggregated."""
+        return len(self.records)
+
+    def ratios(self) -> List[float]:
+        """Measured competitive ratios, one per trial."""
+        return [r.ratio for r in self.records]
+
+    def ratio_stats(self) -> SummaryStats:
+        """Summary statistics of the measured ratios."""
+        return summarize(self.ratios())
+
+    def normalized_stats(self) -> SummaryStats:
+        """Summary statistics of ratio / theoretical bound."""
+        return summarize(r.normalized_ratio for r in self.records if r.normalized_ratio is not None)
+
+    def online_cost_stats(self) -> SummaryStats:
+        """Summary statistics of the online costs."""
+        return summarize(r.online_cost for r in self.records)
+
+    def offline_cost_stats(self) -> SummaryStats:
+        """Summary statistics of the offline comparator costs."""
+        return summarize(r.offline_cost for r in self.records)
+
+    def all_feasible(self) -> bool:
+        """True if every trial produced a feasible online solution."""
+        return all(r.feasible for r in self.records)
+
+    def max_ratio(self) -> float:
+        """Worst measured ratio across trials."""
+        ratios = self.ratios()
+        return max(ratios) if ratios else float("nan")
+
+    def row(self) -> Dict[str, Any]:
+        """Flat dict for report tables."""
+        ratio = self.ratio_stats()
+        normalized = self.normalized_stats()
+        return {
+            "label": self.label,
+            "trials": self.num_trials,
+            "ratio_mean": ratio.mean,
+            "ratio_max": ratio.maximum,
+            "ratio/bound_mean": normalized.mean,
+            "online_mean": self.online_cost_stats().mean,
+            "offline_mean": self.offline_cost_stats().mean,
+            "feasible": self.all_feasible(),
+        }
+
+
+def run_admission_trials(
+    instance_factory: Callable[[np.random.Generator], AdmissionInstance],
+    algorithm_factory: Callable[[AdmissionInstance, np.random.Generator], Any],
+    *,
+    num_trials: int = 5,
+    random_state: Any = 0,
+    label: str = "trial",
+    offline: str = "ilp",
+    randomized_bound: bool = True,
+    ilp_time_limit: Optional[float] = 30.0,
+) -> TrialSummary:
+    """Run several independent admission-control trials.
+
+    ``instance_factory(rng)`` builds a (possibly random) instance; the
+    ``algorithm_factory(instance, rng)`` builds the online algorithm, seeded
+    independently of the instance.
+    """
+    summary = TrialSummary(label=label)
+    generators = spawn_generators(random_state, 2 * num_trials)
+    for t in range(num_trials):
+        instance_rng, algo_rng = generators[2 * t], generators[2 * t + 1]
+        instance = instance_factory(instance_rng)
+        algorithm = algorithm_factory(instance, algo_rng)
+        result = run_admission(algorithm, instance)
+        record = evaluate_admission_run(
+            instance,
+            result,
+            offline=offline,
+            randomized_bound=randomized_bound,
+            ilp_time_limit=ilp_time_limit,
+        )
+        summary.records.append(record)
+    return summary
+
+
+def run_setcover_trials(
+    instance_factory: Callable[[np.random.Generator], SetCoverInstance],
+    algorithm_factory: Callable[[SetCoverInstance, np.random.Generator], Any],
+    *,
+    num_trials: int = 5,
+    random_state: Any = 0,
+    label: str = "trial",
+    offline: str = "ilp",
+    bicriteria_bound: bool = False,
+    ilp_time_limit: Optional[float] = 30.0,
+) -> TrialSummary:
+    """Run several independent set-cover trials (same structure as admission)."""
+    summary = TrialSummary(label=label)
+    generators = spawn_generators(random_state, 2 * num_trials)
+    for t in range(num_trials):
+        instance_rng, algo_rng = generators[2 * t], generators[2 * t + 1]
+        instance = instance_factory(instance_rng)
+        algorithm = algorithm_factory(instance, algo_rng)
+        result = run_setcover(algorithm, instance)
+        record = evaluate_setcover_run(
+            instance,
+            result,
+            offline=offline,
+            bicriteria_bound=bicriteria_bound,
+            ilp_time_limit=ilp_time_limit,
+        )
+        summary.records.append(record)
+    return summary

@@ -1,0 +1,18 @@
+"""Online baselines the paper's algorithms are compared against (experiment E8)."""
+
+from repro.baselines.exponential_benefit import ExponentialBenefitAdmission
+from repro.baselines.greedy_preemptive import GreedySwap, KeepExpensive
+from repro.baselines.nonpreemptive import RejectWhenFull
+from repro.baselines.setcover_online import CheapestSetOnline, GreedyDensityOnline, RandomSetOnline
+from repro.baselines.threshold import ThresholdPreemption
+
+__all__ = [
+    "ExponentialBenefitAdmission",
+    "GreedySwap",
+    "KeepExpensive",
+    "RejectWhenFull",
+    "CheapestSetOnline",
+    "GreedyDensityOnline",
+    "RandomSetOnline",
+    "ThresholdPreemption",
+]

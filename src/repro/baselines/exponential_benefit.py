@@ -1,0 +1,83 @@
+"""Throughput-maximising baseline (Awerbuch–Azar–Plotkin style exponential costs).
+
+Section 1 of the paper motivates the rejection objective by pointing out that
+an algorithm with an optimal competitive ratio *for the benefit objective*
+(maximise accepted requests) may nevertheless reject almost everything when
+minimising rejections is what actually matters.  To reproduce that comparison
+the library carries a benefit-style baseline: the classic exponential-cost
+admission rule of Awerbuch, Azar and Plotkin (FOCS 1993), adapted to the
+"path given with the request" model.
+
+The rule: maintain for every edge a congestion-dependent price
+``c_e(lambda) = u_e (mu^{lambda_e / u_e} - 1)`` where ``lambda_e`` is the edge's
+current relative load and ``u_e`` its capacity; accept an arriving request iff
+the total price of its path is at most its benefit (its cost ``p_i`` here).
+It never preempts.  It is throughput-competitive, but on the
+``benefit_objective_trap`` workload it rejects far more than the optimum —
+exactly the phenomenon the paper's introduction describes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.protocols import OnlineAdmissionAlgorithm
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import Decision, EdgeId, Request
+
+__all__ = ["ExponentialBenefitAdmission"]
+
+
+class ExponentialBenefitAdmission(OnlineAdmissionAlgorithm):
+    """Accept a request iff the exponential congestion price of its path is low.
+
+    Parameters
+    ----------
+    capacities:
+        Edge-capacity mapping.
+    mu:
+        Base of the exponential price.  The classical analysis uses
+        ``mu = Theta(n)`` (number of vertices / requests); any value > 1 works
+        for the baseline role the class plays here.
+    scale:
+        Benefit scale: a request's benefit is ``scale * cost``.
+    """
+
+    def __init__(
+        self,
+        capacities: Mapping[EdgeId, int],
+        mu: float = 64.0,
+        scale: float = 1.0,
+        name: Optional[str] = None,
+    ):
+        super().__init__(capacities, name=name or "ExponentialBenefit")
+        if mu <= 1.0:
+            raise ValueError("mu must be > 1")
+        if scale <= 0.0:
+            raise ValueError("scale must be > 0")
+        self.mu = float(mu)
+        self.scale = float(scale)
+
+    def _edge_price(self, edge: EdgeId) -> float:
+        """Current exponential price of one more unit of load on ``edge``."""
+        capacity = self._capacities[edge]
+        utilisation = self._load[edge] / capacity
+        return capacity * (self.mu**utilisation - 1.0)
+
+    def path_price(self, request: Request) -> float:
+        """Total price of the request's path at the current congestion."""
+        return sum(self._edge_price(e) for e in request.edges)
+
+    def process(self, request: Request) -> Decision:
+        """Accept iff the path price is at most the request's (scaled) benefit."""
+        self._register_arrival(request)
+        if not self.can_accept(request):
+            return self._reject(request)
+        if self.path_price(request) <= self.scale * request.cost:
+            return self._accept(request)
+        return self._reject(request)
+
+    @classmethod
+    def for_instance(cls, instance: AdmissionInstance, **kwargs) -> "ExponentialBenefitAdmission":
+        """Construct the baseline for a concrete instance."""
+        return cls(instance.capacities, **kwargs)

@@ -1,0 +1,41 @@
+"""Non-preemptive baseline: accept while it fits, reject otherwise.
+
+This is the simplest conceivable online policy and the paper's implicit
+strawman: without preemption, no algorithm can be better than trivially
+competitive for the rejection objective (the cheap-then-expensive adversary in
+:mod:`repro.workloads.admission_adversarial` makes it pay a factor equal to
+the cost spread).  It serves as the lower anchor in the baseline comparison
+experiment (E8).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.protocols import OnlineAdmissionAlgorithm
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import Decision, EdgeId, Request
+
+__all__ = ["RejectWhenFull"]
+
+
+class RejectWhenFull(OnlineAdmissionAlgorithm):
+    """Accept every request that fits; reject every request that does not.
+
+    Never preempts.  Feasible by construction.
+    """
+
+    def __init__(self, capacities: Mapping[EdgeId, int], name: Optional[str] = None):
+        super().__init__(capacities, name=name or "RejectWhenFull")
+
+    def process(self, request: Request) -> Decision:
+        """Accept iff every edge on the path has residual capacity."""
+        self._register_arrival(request)
+        if self.can_accept(request):
+            return self._accept(request)
+        return self._reject(request)
+
+    @classmethod
+    def for_instance(cls, instance: AdmissionInstance, **kwargs) -> "RejectWhenFull":
+        """Construct the baseline for a concrete instance."""
+        return cls(instance.capacities, **kwargs)

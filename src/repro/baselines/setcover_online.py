@@ -1,0 +1,104 @@
+"""Online set-cover baselines (with repetitions support).
+
+Natural policies a practitioner would try before reaching for the paper's
+machinery.  They share the :class:`~repro.core.protocols.OnlineSetCoverAlgorithm`
+interface, cover demands exactly (not bicriteria), and are the comparison
+points of experiments E5, E6 and E8.
+
+* :class:`CheapestSetOnline` — when an arrival is under-covered, buy the
+  cheapest unbought set containing the element.
+* :class:`GreedyDensityOnline` — buy the unbought set with the best
+  (current uncovered demand it would satisfy) / cost ratio; the online
+  analogue of the classical greedy.
+* :class:`RandomSetOnline` — buy a uniformly random unbought set containing
+  the element; the natural randomized strawman.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.core.protocols import InfeasibleArrivalError, OnlineSetCoverAlgorithm
+from repro.instances.setcover import ElementId, SetCoverInstance, SetId, SetSystem
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["CheapestSetOnline", "GreedyDensityOnline", "RandomSetOnline"]
+
+
+class _BuyUntilCovered(OnlineSetCoverAlgorithm):
+    """Shared skeleton: buy sets (chosen by :meth:`_pick`) until the demand is met."""
+
+    def process_element(self, element: ElementId) -> FrozenSet[SetId]:
+        """Buy sets containing ``element`` until its coverage matches its demand."""
+        demand = self._register_arrival(element)
+        if demand > self.system.degree(element):
+            raise InfeasibleArrivalError(
+                f"element {element!r} requested {demand} times but only "
+                f"{self.system.degree(element)} sets contain it"
+            )
+        purchased = set()
+        while self.coverage(element) < demand:
+            candidates = [
+                sid for sid in self.system.sets_containing(element) if sid not in self._chosen
+            ]
+            if not candidates:
+                break  # cannot happen after the feasibility check above
+            choice = self._pick(element, candidates)
+            self._purchase(choice)
+            purchased.add(choice)
+        return frozenset(purchased)
+
+    def _pick(self, element: ElementId, candidates) -> SetId:
+        raise NotImplementedError
+
+    @classmethod
+    def for_instance(cls, instance: SetCoverInstance, **kwargs):
+        """Construct the baseline for a concrete instance's set system."""
+        return cls(instance.system, **kwargs)
+
+
+class CheapestSetOnline(_BuyUntilCovered):
+    """Buy the cheapest unbought set containing the under-covered element."""
+
+    def __init__(self, system: SetSystem, name: Optional[str] = None):
+        super().__init__(system, name=name or "CheapestSetOnline")
+
+    def _pick(self, element: ElementId, candidates) -> SetId:
+        return min(candidates, key=lambda sid: (self.system.cost(sid), repr(sid)))
+
+
+class GreedyDensityOnline(_BuyUntilCovered):
+    """Buy the unbought set with the best uncovered-demand-per-cost ratio.
+
+    "Uncovered demand" counts every element whose current coverage is below its
+    current demand and which the candidate set contains — the online analogue
+    of Chvátal's greedy, recomputed at each purchase.
+    """
+
+    def __init__(self, system: SetSystem, name: Optional[str] = None):
+        super().__init__(system, name=name or "GreedyDensityOnline")
+
+    def _pick(self, element: ElementId, candidates) -> SetId:
+        def density(sid: SetId) -> float:
+            useful = sum(
+                1
+                for member in self.system.members(sid)
+                if self.coverage(member) < self.demand(member)
+            )
+            return useful / max(self.system.cost(sid), 1e-12)
+
+        return max(candidates, key=lambda sid: (density(sid), repr(sid)))
+
+
+class RandomSetOnline(_BuyUntilCovered):
+    """Buy a uniformly random unbought set containing the element."""
+
+    def __init__(
+        self, system: SetSystem, random_state: RandomState = None, name: Optional[str] = None
+    ):
+        super().__init__(system, name=name or "RandomSetOnline")
+        self.rng = as_generator(random_state)
+
+    def _pick(self, element: ElementId, candidates) -> SetId:
+        ordered = sorted(candidates, key=repr)
+        return ordered[int(self.rng.integers(0, len(ordered)))]

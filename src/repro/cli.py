@@ -1,0 +1,136 @@
+"""Command-line interface for the reproduction.
+
+Exposes the experiment harness and a couple of quick demos without writing any
+Python::
+
+    python -m repro list                      # list the E1..E10 experiments
+    python -m repro run E4 --quick            # regenerate one experiment table
+    python -m repro run all --quick           # regenerate every experiment
+    python -m repro demo admission            # small end-to-end admission demo
+    python -m repro demo setcover             # small end-to-end set-cover demo
+
+The CLI prints exactly the tables recorded in EXPERIMENTS.md (on the chosen
+grid) so results can be regenerated and diffed from a shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import evaluate_admission_run, evaluate_setcover_run, format_records
+from repro.baselines import KeepExpensive, RejectWhenFull
+from repro.core import (
+    BicriteriaOnlineSetCover,
+    DoublingAdmissionControl,
+    OnlineSetCoverViaAdmissionControl,
+    run_admission,
+    run_setcover,
+)
+from repro.experiments import ExperimentConfig, all_experiments, run_experiment
+from repro.workloads import overloaded_edge_adversary, random_setcover_instance
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Alon, Azar & Gutner (SPAA 2005): admission control "
+        "to minimize rejections and online set cover with repetitions.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments (E1..E10)")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all') and print its table")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
+    run_parser.add_argument("--quick", action="store_true", help="use the reduced parameter grid")
+    run_parser.add_argument("--trials", type=int, default=3, help="trials per configuration point")
+    run_parser.add_argument("--seed", type=int, default=20050718, help="master seed")
+    run_parser.add_argument(
+        "--ilp-time-limit", type=float, default=20.0, help="time limit (s) for exact offline solves"
+    )
+
+    demo_parser = subparsers.add_parser("demo", help="run a small end-to-end demo")
+    demo_parser.add_argument("problem", choices=["admission", "setcover"], help="which demo to run")
+    demo_parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+    return parser
+
+
+def _cmd_list(out) -> int:
+    experiments = all_experiments()
+    for experiment_id in sorted(experiments, key=lambda e: int(e[1:])):
+        module = sys.modules[experiments[experiment_id].__module__]
+        title = getattr(module, "TITLE", "")
+        validates = getattr(module, "VALIDATES", "")
+        print(f"{experiment_id:<4} {title} — {validates}", file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    config = ExperimentConfig(
+        quick=args.quick,
+        seed=args.seed,
+        num_trials=args.trials,
+        ilp_time_limit=args.ilp_time_limit,
+    )
+    if args.experiment.lower() == "all":
+        ids = sorted(all_experiments(), key=lambda e: int(e[1:]))
+    else:
+        ids = [args.experiment.upper()]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, config)
+        print(result.table(), file=out)
+        for value in result.metadata.values():
+            if isinstance(value, str):
+                print(value, file=out)
+        print(file=out)
+    return 0
+
+
+def _cmd_demo(args, out) -> int:
+    if args.problem == "admission":
+        instance = overloaded_edge_adversary(16, 2, num_hot_edges=3, random_state=args.seed)
+        print(instance.describe(), file=out)
+        records = []
+        paper = DoublingAdmissionControl.for_instance(instance, random_state=args.seed)
+        records.append(evaluate_admission_run(instance, run_admission(paper, instance)))
+        for baseline in (RejectWhenFull, KeepExpensive):
+            algo = baseline.for_instance(instance)
+            records.append(evaluate_admission_run(instance, run_admission(algo, instance)))
+        print(format_records(records, title="Admission control vs offline optimum"), file=out)
+    else:
+        instance = random_setcover_instance(30, 14, 55, random_state=args.seed)
+        print(instance.describe(), file=out)
+        records = []
+        reduction = OnlineSetCoverViaAdmissionControl(instance.system, random_state=args.seed)
+        records.append(evaluate_setcover_run(instance, run_setcover(reduction, instance)))
+        bicriteria = BicriteriaOnlineSetCover(instance.system, eps=0.2)
+        records.append(
+            evaluate_setcover_run(instance, run_setcover(bicriteria, instance), bicriteria_bound=True)
+        )
+        print(format_records(records, title="Online set cover with repetitions vs offline optimum"), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "demo":
+        return _cmd_demo(args, out)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,273 @@
+"""Guess-and-double estimation of the optimal cost ``alpha`` (paper, Section 2).
+
+The fractional and randomized algorithms are parameterised by a guess
+``alpha`` of the optimal rejection cost, used only for the ``R_big`` /
+``R_small`` cost classing and the cost normalisation.  Section 2 removes the
+assumption that ``alpha`` is known with the classic doubling trick:
+
+* until some edge is requested beyond its capacity nothing has to be rejected,
+  so no guess is needed;
+* at the first forced rejection on an edge ``e`` the guess is initialised to
+  the cheapest request seen on ``e``;
+* whenever the online cost exceeds ``Theta(alpha * log(mc))`` the guess is
+  doubled and the algorithm continues (the fractions already rejected are
+  "forgotten", i.e. their cost has been paid; the geometric growth of the
+  guesses means the total cost across phases is at most twice the cost of the
+  final phase).
+
+The wrappers below implement that scheme around
+:class:`~repro.core.fractional.FractionalAdmissionControl` and
+:class:`~repro.core.randomized.RandomizedAdmissionControl`.  One documented
+simplification (see DESIGN.md): requests registered during earlier phases keep
+the normalised costs they were registered with — re-normalising them online is
+impossible without rewriting history, and the effect is a constant factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.core.fractional import FractionalAdmissionControl, FractionalDecision, FractionalRunResult
+from repro.core.randomized import RandomizedAdmissionControl
+from repro.core.protocols import AdmissionResult
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import Decision, EdgeId, Request, RequestSequence
+from repro.utils.mathx import log2_guarded
+from repro.utils.rng import RandomState
+
+__all__ = ["AlphaSchedule", "DoublingFractionalAdmissionControl", "DoublingAdmissionControl"]
+
+
+@dataclass
+class AlphaSchedule:
+    """The guess-and-double bookkeeping shared by both wrappers.
+
+    Attributes
+    ----------
+    threshold_factor:
+        The online cost may reach ``threshold_factor * alpha * log2(mc)``
+        before the guess is doubled (the ``Theta`` constant of the paper).
+    alpha:
+        Current guess (``None`` until the first forced rejection).
+    phase_alphas:
+        Every guess used so far, in order (diagnostics for experiment E9).
+    """
+
+    m: int
+    c: int
+    threshold_factor: float = 4.0
+    alpha: Optional[float] = None
+    phase_alphas: List[float] = field(default_factory=list)
+    #: per-edge request count and cheapest cost, used to initialise the guess.
+    _edge_count: Dict[EdgeId, int] = field(default_factory=dict)
+    _edge_min_cost: Dict[EdgeId, float] = field(default_factory=dict)
+
+    def cost_limit(self) -> float:
+        """Online cost allowed under the current guess (infinite before the first guess)."""
+        if self.alpha is None:
+            return float("inf")
+        return self.threshold_factor * self.alpha * log2_guarded(self.m * max(self.c, 1))
+
+    def observe_request(self, request: Request, capacities: Mapping[EdgeId, int]) -> bool:
+        """Record an arrival; returns True if it initialises the first guess.
+
+        The first guess is taken at the first arrival that pushes some edge
+        beyond its capacity and equals the cheapest cost seen on that edge
+        (including the arriving request), as prescribed in Section 2.
+        """
+        initialised = False
+        for edge in request.edges:
+            self._edge_count[edge] = self._edge_count.get(edge, 0) + 1
+            current_min = self._edge_min_cost.get(edge, float("inf"))
+            self._edge_min_cost[edge] = min(current_min, request.cost)
+            if self.alpha is None and self._edge_count[edge] > capacities[edge]:
+                self.alpha = self._edge_min_cost[edge]
+                self.phase_alphas.append(self.alpha)
+                initialised = True
+        return initialised
+
+    def maybe_double(self, online_cost: float) -> bool:
+        """Double the guess while the online cost exceeds the allowed limit.
+
+        Returns True if at least one doubling happened.
+        """
+        if self.alpha is None:
+            return False
+        doubled = False
+        while online_cost > self.cost_limit():
+            self.alpha *= 2.0
+            self.phase_alphas.append(self.alpha)
+            doubled = True
+        return doubled
+
+    @property
+    def num_phases(self) -> int:
+        """Number of guesses used so far (0 before the first forced rejection)."""
+        return len(self.phase_alphas)
+
+
+class DoublingFractionalAdmissionControl:
+    """Fractional algorithm with online estimation of ``alpha``.
+
+    Mirrors the :class:`~repro.core.fractional.FractionalAdmissionControl`
+    interface (``process`` / ``fractional_cost`` / ``run_result``) and manages
+    the guess internally.
+    """
+
+    def __init__(
+        self,
+        capacities: Mapping[EdgeId, int],
+        *,
+        threshold_factor: float = 4.0,
+        force_accept_tags: Iterable[str] = (),
+        unweighted: bool = False,
+        name: Optional[str] = None,
+    ):
+        self._capacities = {e: int(c) for e, c in capacities.items()}
+        self.name = name or type(self).__name__
+        self._inner = FractionalAdmissionControl(
+            capacities,
+            alpha=None,
+            force_accept_tags=force_accept_tags,
+            unweighted=unweighted,
+        )
+        self.schedule = AlphaSchedule(
+            m=len(self._capacities),
+            c=max(self._capacities.values()),
+            threshold_factor=threshold_factor,
+        )
+
+    @property
+    def inner(self) -> FractionalAdmissionControl:
+        """The wrapped fractional algorithm."""
+        return self._inner
+
+    @property
+    def alpha(self) -> Optional[float]:
+        """Current guess of the optimal cost."""
+        return self.schedule.alpha
+
+    def process(self, request: Request) -> FractionalDecision:
+        """Process one request, updating the guess before and after."""
+        if self.schedule.observe_request(request, self._capacities):
+            self._inner.update_alpha(self.schedule.alpha)
+        decision = self._inner.process(request)
+        if self.schedule.maybe_double(self._inner.fractional_cost()):
+            self._inner.update_alpha(self.schedule.alpha)
+        return decision
+
+    def process_sequence(self, requests: RequestSequence | Iterable[Request]) -> FractionalRunResult:
+        """Process a whole sequence and return the run summary."""
+        for request in requests:
+            self.process(request)
+        return self.run_result()
+
+    def fractional_cost(self) -> float:
+        """Objective value of the wrapped fractional solution."""
+        return self._inner.fractional_cost()
+
+    def fractions(self) -> Dict[int, float]:
+        """Rejected fraction per request."""
+        return self._inner.fractions()
+
+    @property
+    def num_augmentations(self) -> int:
+        """Total weight augmentations of the wrapped algorithm."""
+        return self._inner.num_augmentations
+
+    def run_result(self) -> FractionalRunResult:
+        """Run summary of the wrapped algorithm (alpha reflects the final guess)."""
+        result = self._inner.run_result()
+        result.alpha = self.schedule.alpha
+        return result
+
+    def check_invariants(self) -> List[str]:
+        """Delegate to the wrapped algorithm's invariant checker."""
+        return self._inner.check_invariants()
+
+    @classmethod
+    def for_instance(cls, instance: AdmissionInstance, **kwargs) -> "DoublingFractionalAdmissionControl":
+        """Construct the wrapper for a concrete instance."""
+        if "unweighted" not in kwargs and instance.is_unit_cost():
+            kwargs["unweighted"] = True
+        return cls(instance.capacities, **kwargs)
+
+
+class DoublingAdmissionControl:
+    """Randomized algorithm with online estimation of ``alpha``.
+
+    Duck-types the :class:`~repro.core.protocols.OnlineAdmissionAlgorithm`
+    interface by delegation, so it can be used anywhere the randomized
+    algorithm can (in particular with
+    :func:`~repro.core.protocols.run_admission`).
+    """
+
+    def __init__(
+        self,
+        capacities: Mapping[EdgeId, int],
+        *,
+        weighted: bool = True,
+        threshold_factor: float = 4.0,
+        rounding_constant: Optional[float] = None,
+        random_state: RandomState = None,
+        force_accept_tags: Iterable[str] = (),
+        overload_guard: bool = False,
+        name: Optional[str] = None,
+    ):
+        self._capacities = {e: int(c) for e, c in capacities.items()}
+        self.name = name or type(self).__name__
+        self._inner = RandomizedAdmissionControl(
+            capacities,
+            weighted=weighted,
+            alpha=None,
+            rounding_constant=rounding_constant,
+            random_state=random_state,
+            force_accept_tags=force_accept_tags,
+            overload_guard=overload_guard,
+            name=name,
+        )
+        self.schedule = AlphaSchedule(
+            m=len(self._capacities),
+            c=max(self._capacities.values()),
+            threshold_factor=threshold_factor,
+        )
+
+    @property
+    def inner(self) -> RandomizedAdmissionControl:
+        """The wrapped randomized algorithm."""
+        return self._inner
+
+    @property
+    def alpha(self) -> Optional[float]:
+        """Current guess of the optimal cost."""
+        return self.schedule.alpha
+
+    def process(self, request: Request) -> Decision:
+        """Process one request, updating the guess before and after."""
+        if self.schedule.observe_request(request, self._capacities):
+            self._inner.update_alpha(self.schedule.alpha)
+        decision = self._inner.process(request)
+        if self.schedule.maybe_double(self._inner.fractional_cost()):
+            self._inner.update_alpha(self.schedule.alpha)
+        return decision
+
+    def result(self) -> AdmissionResult:
+        """Result of the wrapped algorithm, annotated with the doubling diagnostics."""
+        result = self._inner.result()
+        result.algorithm = self.name
+        result.extra["alpha_final"] = self.schedule.alpha
+        result.extra["alpha_phases"] = list(self.schedule.phase_alphas)
+        result.extra["num_phases"] = self.schedule.num_phases
+        return result
+
+    def __getattr__(self, item):
+        # Delegate state queries (rejection_cost, accepted_ids, ...) to the inner algorithm.
+        return getattr(self._inner, item)
+
+    @classmethod
+    def for_instance(cls, instance: AdmissionInstance, **kwargs) -> "DoublingAdmissionControl":
+        """Construct the wrapper for a concrete instance."""
+        if "weighted" not in kwargs:
+            kwargs["weighted"] = not instance.is_unit_cost()
+        return cls(instance.capacities, **kwargs)

@@ -1,0 +1,316 @@
+"""The fractional online admission-control algorithm (paper, Section 2).
+
+The algorithm maintains a fractional rejection ``f_i`` for every request and
+guarantees that, for every edge, the total rejected fraction of the *alive*
+requests covers the edge's excess.  Theorem 2 shows the resulting fractional
+cost is ``O(log(mc))`` times the optimal fractional cost (``O(log c)`` in the
+unweighted case).
+
+Besides the weight mechanism itself (delegated to
+:class:`~repro.core.weights.FractionalWeightState`), Section 2 prescribes a
+preprocessing step parameterised by a guess ``alpha`` of the optimal cost:
+
+* requests with cost greater than ``2*alpha`` (the class ``R_big``) are
+  accepted permanently and the capacities along their paths are decreased;
+* requests with cost below ``alpha/(mc)`` (the class ``R_small``) are rejected
+  immediately;
+* the remaining costs are normalised so the minimum cost is 1 and the maximum
+  is ``g <= 2mc``.
+
+The class below implements both modes: with ``alpha`` given (full
+preprocessing, as analysed in the paper) and without (``alpha=None`` — the raw
+weight mechanism, useful as the shadow of the randomized algorithm in the
+unweighted case and inside the guess-and-double wrapper of
+:mod:`repro.core.doubling`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.weights import ArrivalOutcome, FractionalWeightState
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import EdgeId, Request, RequestSequence
+from repro.utils.validation import check_positive
+
+__all__ = ["CostClass", "FractionalDecision", "FractionalRunResult", "FractionalAdmissionControl"]
+
+
+class CostClass:
+    """Cost classes of the Section 2 preprocessing."""
+
+    SMALL = "small"  #: cost below ``alpha / (mc)`` — rejected immediately.
+    BIG = "big"  #: cost above ``2 * alpha`` — accepted permanently.
+    NORMAL = "normal"  #: handled by the weight mechanism.
+    FORCED = "forced"  #: accepted permanently because of its tag (reduction phase-2 requests).
+
+
+@dataclass
+class FractionalDecision:
+    """Outcome of the fractional algorithm for one arriving request."""
+
+    request_id: int
+    cost_class: str
+    #: weight-mechanism activity triggered by this arrival (None for SMALL).
+    outcome: Optional[ArrivalOutcome]
+    #: the request's own rejected fraction right after the arrival.
+    fraction_rejected: float
+
+
+@dataclass
+class FractionalRunResult:
+    """Summary of a full fractional run."""
+
+    fractional_cost: float
+    fractions: Dict[int, float]
+    num_augmentations: int
+    num_small: int
+    num_big: int
+    num_normal: int
+    alpha: Optional[float]
+    g: float
+
+    @property
+    def num_requests(self) -> int:
+        """Total number of processed requests."""
+        return self.num_small + self.num_big + self.num_normal
+
+
+class FractionalAdmissionControl:
+    """Online fractional admission control (Section 2 of the paper).
+
+    Parameters
+    ----------
+    capacities:
+        Edge-capacity mapping (the static part of the instance).
+    alpha:
+        Guess of the optimal (fractional) rejection cost.  When provided, the
+        ``R_big`` / ``R_small`` preprocessing and the cost normalisation are
+        applied exactly as in the paper.  When ``None`` the preprocessing is
+        skipped and costs are used as given (they should then be scaled so the
+        minimum relevant cost is about 1).
+    g:
+        Bound on the normalised cost ratio used in the seed weight
+        ``1/(g c)``.  Defaults to ``2 m c`` when ``alpha`` is given (the
+        paper's bound after normalisation), to ``1`` for unit-cost inputs and
+        to ``2 m c`` otherwise.
+    force_accept_tags:
+        Requests carrying one of these tags are accepted permanently no matter
+        their cost (used by the set-cover reduction's phase-2 element
+        requests); their edges' effective capacities are decreased exactly as
+        for ``R_big`` requests.
+    unweighted:
+        Set to True to assert that all costs are 1 and use ``g = 1`` (the
+        ``O(log c)`` configuration of Theorem 2).
+    """
+
+    def __init__(
+        self,
+        capacities: Mapping[EdgeId, int],
+        *,
+        alpha: Optional[float] = None,
+        g: Optional[float] = None,
+        force_accept_tags: Iterable[str] = (),
+        unweighted: bool = False,
+        name: Optional[str] = None,
+    ):
+        self._original_capacities: Dict[EdgeId, int] = {e: int(c) for e, c in capacities.items()}
+        if not self._original_capacities:
+            raise ValueError("capacities must contain at least one edge")
+        self.m = len(self._original_capacities)
+        self.c = max(self._original_capacities.values())
+        self.unweighted = bool(unweighted)
+        self.force_accept_tags = frozenset(force_accept_tags)
+        self.name = name or type(self).__name__
+
+        if alpha is not None:
+            alpha = check_positive(alpha, "alpha")
+        self.alpha = alpha
+
+        if g is not None:
+            self.g = check_positive(g, "g")
+        elif self.unweighted:
+            self.g = 1.0
+        else:
+            self.g = 2.0 * self.m * self.c
+
+        self._weights = FractionalWeightState(
+            self._original_capacities, g=self.g, max_capacity=self.c
+        )
+
+        # Bookkeeping in *original* cost units.
+        self._original_cost: Dict[int, float] = {}
+        self._class_of: Dict[int, str] = {}
+        self._small_cost = 0.0
+        self._decisions: List[FractionalDecision] = []
+
+    # -- preprocessing thresholds -------------------------------------------------
+    @property
+    def small_threshold(self) -> Optional[float]:
+        """Costs strictly below this are ``R_small`` (None when ``alpha`` is unset)."""
+        if self.alpha is None:
+            return None
+        return self.alpha / (self.m * self.c)
+
+    @property
+    def big_threshold(self) -> Optional[float]:
+        """Costs strictly above this are ``R_big`` (None when ``alpha`` is unset)."""
+        if self.alpha is None:
+            return None
+        return 2.0 * self.alpha
+
+    def update_alpha(self, alpha: float) -> None:
+        """Update the guess of OPT for *future* arrivals (guess-and-double support).
+
+        Already-processed requests keep their weights and classification; only
+        the classification thresholds and the cost normalisation of subsequent
+        requests change.  This matches the doubling scheme of Section 2, where
+        previously rejected fractions are "forgotten" (their cost has been
+        paid) and the algorithm simply continues with the larger guess.
+        """
+        self.alpha = check_positive(alpha, "alpha")
+
+    def _normalized_cost(self, cost: float) -> float:
+        """Scale a raw cost into the ``[1, g]`` range used by the weight mechanism."""
+        if self.unweighted:
+            return 1.0
+        if self.alpha is None:
+            return max(cost, 1e-12)
+        scaled = cost * self.m * self.c / self.alpha
+        # Costs outside [1, g] have been classified away; clipping only guards
+        # against floating-point edge cases on the class boundaries.
+        return min(max(scaled, 1.0), self.g)
+
+    # -- online processing -----------------------------------------------------------
+    def process(self, request: Request) -> FractionalDecision:
+        """Process one arriving request and return its fractional decision."""
+        rid = request.request_id
+        if rid in self._class_of:
+            raise ValueError(f"request id {rid} was already processed")
+        unknown = [e for e in request.edges if e not in self._original_capacities]
+        if unknown:
+            raise ValueError(f"request {rid} uses unknown edges {unknown[:3]!r}")
+        forced = request.tag is not None and request.tag in self.force_accept_tags
+        if self.unweighted and not forced and abs(request.cost - 1.0) > 1e-9:
+            raise ValueError(
+                f"unweighted mode requires unit costs, request {rid} has cost {request.cost}"
+            )
+        self._original_cost[rid] = request.cost
+
+        # Forced acceptance (set-cover reduction phase-2 requests).
+        if forced:
+            decision = self._accept_permanently(request, CostClass.FORCED)
+        elif self.alpha is not None and request.cost < self.small_threshold:
+            decision = self._reject_small(request)
+        elif self.alpha is not None and request.cost > self.big_threshold:
+            decision = self._accept_permanently(request, CostClass.BIG)
+        else:
+            decision = self._process_normal(request)
+        self._decisions.append(decision)
+        return decision
+
+    def _reject_small(self, request: Request) -> FractionalDecision:
+        """``R_small`` handling: reject the whole request immediately."""
+        self._class_of[request.request_id] = CostClass.SMALL
+        self._small_cost += request.cost
+        return FractionalDecision(request.request_id, CostClass.SMALL, None, 1.0)
+
+    def _accept_permanently(self, request: Request, cost_class: str) -> FractionalDecision:
+        """``R_big`` handling: accept for good and reserve capacity on its edges."""
+        self._class_of[request.request_id] = cost_class
+        outcome = ArrivalOutcome(request_id=request.request_id)
+        for edge in request.edges:
+            partial = self._weights.process_capacity_reduction(edge, request.request_id)
+            outcome.augmentations.extend(partial.augmentations)
+            outcome.newly_dead.update(partial.newly_dead)
+            for other, delta in partial.deltas.items():
+                outcome.deltas[other] = outcome.deltas.get(other, 0.0) + delta
+        return FractionalDecision(request.request_id, cost_class, outcome, 0.0)
+
+    def _process_normal(self, request: Request) -> FractionalDecision:
+        """Regular handling through the weight mechanism."""
+        self._class_of[request.request_id] = CostClass.NORMAL
+        normalized = self._normalized_cost(request.cost)
+        outcome = self._weights.process_arrival(request.request_id, request.edges, normalized)
+        fraction = min(self._weights.weight(request.request_id), 1.0)
+        return FractionalDecision(request.request_id, CostClass.NORMAL, outcome, fraction)
+
+    # -- results --------------------------------------------------------------------
+    def fraction_rejected(self, request_id: int) -> float:
+        """Current rejected fraction of a processed request (in ``[0, 1]``)."""
+        cls = self._class_of[request_id]
+        if cls == CostClass.SMALL:
+            return 1.0
+        if cls in (CostClass.BIG, CostClass.FORCED):
+            return 0.0
+        return min(self._weights.weight(request_id), 1.0)
+
+    def fractions(self) -> Dict[int, float]:
+        """Rejected fraction of every processed request."""
+        return {rid: self.fraction_rejected(rid) for rid in self._class_of}
+
+    def fractional_cost(self) -> float:
+        """The algorithm's objective: ``sum_i min(f_i, 1) p_i`` in original cost units.
+
+        ``R_small`` requests contribute their full cost, ``R_big``/forced
+        requests contribute nothing (they are accepted), and requests in the
+        weight mechanism contribute ``min(f_i, 1)`` times their original cost.
+        """
+        total = self._small_cost
+        for rid, cls in self._class_of.items():
+            if cls == CostClass.NORMAL:
+                total += min(self._weights.weight(rid), 1.0) * self._original_cost[rid]
+        return total
+
+    @property
+    def num_augmentations(self) -> int:
+        """Total number of weight augmentations performed so far (Lemma 1 quantity)."""
+        return self._weights.total_augmentations
+
+    @property
+    def weight_state(self) -> FractionalWeightState:
+        """The underlying weight mechanism (read-only use recommended)."""
+        return self._weights
+
+    def cost_class(self, request_id: int) -> str:
+        """Cost class assigned to a processed request."""
+        return self._class_of[request_id]
+
+    def decisions(self) -> List[FractionalDecision]:
+        """Chronological fractional decisions."""
+        return list(self._decisions)
+
+    def check_invariants(self) -> List[str]:
+        """Delegate to the weight mechanism's invariant checker."""
+        return self._weights.check_invariants()
+
+    def run_result(self) -> FractionalRunResult:
+        """Snapshot of the run so far."""
+        classes = list(self._class_of.values())
+        return FractionalRunResult(
+            fractional_cost=self.fractional_cost(),
+            fractions=self.fractions(),
+            num_augmentations=self.num_augmentations,
+            num_small=classes.count(CostClass.SMALL),
+            num_big=classes.count(CostClass.BIG) + classes.count(CostClass.FORCED),
+            num_normal=classes.count(CostClass.NORMAL),
+            alpha=self.alpha,
+            g=self.g,
+        )
+
+    # -- conveniences ------------------------------------------------------------------
+    @classmethod
+    def for_instance(
+        cls, instance: AdmissionInstance, **kwargs
+    ) -> "FractionalAdmissionControl":
+        """Construct the algorithm for a concrete instance's capacities."""
+        if "unweighted" not in kwargs and instance.is_unit_cost():
+            kwargs["unweighted"] = True
+        return cls(instance.capacities, **kwargs)
+
+    def process_sequence(self, requests: RequestSequence | Iterable[Request]) -> FractionalRunResult:
+        """Process a whole request sequence and return the run summary."""
+        for request in requests:
+            self.process(request)
+        return self.run_result()

@@ -1,0 +1,325 @@
+"""The randomized online admission-control algorithm (paper, Section 3).
+
+The randomized algorithm runs the Section-2 fractional algorithm as a shadow
+and rounds its weight *increases* into actual rejections:
+
+1. perform the shadow's weight augmentations for the arriving request;
+2. reject (preempt) every request whose weight reached ``1 / (K log(mc))``;
+3. for every request whose weight increased by ``delta`` during this arrival,
+   reject it with probability ``K * delta * log(mc)``;
+4. accept the arriving request if it still fits within every edge capacity,
+   otherwise reject it.
+
+``K = 12`` and ``log(mc)`` in the weighted case (Theorem 3,
+``O(log^2(mc))``-competitive); ``K = 4`` and ``log m`` in the unweighted case
+(Theorem 4, ``O(log m log c)``-competitive).  Both constants are exposed as
+parameters so the ablation experiment can vary them.
+
+The implementation also supports two practical extensions used elsewhere in
+the library and documented in DESIGN.md:
+
+* *forced acceptances* — requests whose tag is listed in ``force_accept_tags``
+  are always accepted and treated like the paper's ``R_big`` class (their
+  edges' effective capacities are reserved).  The set-cover reduction of
+  Section 4 relies on this to guarantee that only phase-1 (set) requests are
+  ever rejected.  If a forced acceptance overloads an edge, additional alive
+  requests on that edge are preempted deterministically, largest shadow weight
+  first — the event has the same small probability that step 4's failure has
+  in Theorem 3's analysis.
+* the ``|REQ_e| < 4mc^2`` guard of Section 3 (``overload_guard=True``): edges
+  that have seen at least ``4mc^2`` requests have all of their requests
+  rejected, which the paper shows is 2-competitive on its own.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.fractional import CostClass, FractionalAdmissionControl, FractionalDecision
+from repro.core.protocols import OnlineAdmissionAlgorithm
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import Decision, DecisionKind, EdgeId, Request
+from repro.utils.mathx import log2_guarded
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["RandomizedAdmissionControl"]
+
+
+class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
+    """Randomized online admission control (Section 3 of the paper).
+
+    Parameters
+    ----------
+    capacities:
+        Edge-capacity mapping.
+    weighted:
+        ``True`` for the Theorem-3 configuration (threshold and probabilities
+        scaled by ``log(mc)``), ``False`` for the Theorem-4 unweighted
+        configuration (scaled by ``log m``; costs must all be 1).
+    alpha:
+        Optional guess of OPT forwarded to the fractional shadow (enables the
+        ``R_big`` / ``R_small`` preprocessing).  Leave ``None`` for the plain
+        mechanism or when using :class:`~repro.core.doubling.DoublingAdmissionControl`.
+    rounding_constant:
+        The constant ``K`` above; defaults to 12 (weighted) / 4 (unweighted).
+    random_state:
+        Seed or generator driving the rounding coin flips.
+    force_accept_tags:
+        Tags of requests that must always be accepted (see module docstring).
+    overload_guard:
+        Enable the ``|REQ_e| >= 4mc^2`` bulk-rejection guard from Section 3.
+    g:
+        Normalised cost-ratio bound forwarded to the shadow.
+    """
+
+    def __init__(
+        self,
+        capacities: Mapping[EdgeId, int],
+        *,
+        weighted: bool = True,
+        alpha: Optional[float] = None,
+        rounding_constant: Optional[float] = None,
+        random_state: RandomState = None,
+        force_accept_tags: Iterable[str] = (),
+        overload_guard: bool = False,
+        g: Optional[float] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(capacities, name=name)
+        self.weighted = bool(weighted)
+        self.rng = as_generator(random_state)
+        self.force_accept_tags = frozenset(force_accept_tags)
+        self.overload_guard = bool(overload_guard)
+
+        m = len(self._capacities)
+        c = max(self._capacities.values())
+        self.m, self.c = m, c
+        if self.weighted:
+            self.log_factor = log2_guarded(m * c)
+            self.rounding_constant = 12.0 if rounding_constant is None else float(rounding_constant)
+        else:
+            self.log_factor = log2_guarded(m)
+            self.rounding_constant = 4.0 if rounding_constant is None else float(rounding_constant)
+        if self.rounding_constant <= 0:
+            raise ValueError("rounding_constant must be positive")
+        #: step-2 threshold: requests at or above this weight are rejected for sure.
+        self.weight_threshold = 1.0 / (self.rounding_constant * self.log_factor)
+        #: step-3 multiplier: a weight increase of ``delta`` is rejected w.p. ``delta * prob_factor``.
+        self.prob_factor = self.rounding_constant * self.log_factor
+        #: step 3 of Section 3 assumes |REQ_e| < 4 m c^2.
+        self.overload_limit = 4 * m * c * c
+
+        self._shadow = FractionalAdmissionControl(
+            capacities,
+            alpha=alpha,
+            g=g,
+            force_accept_tags=self.force_accept_tags,
+            unweighted=not self.weighted,
+        )
+        # Edges already bulk-rejected by the overload guard.
+        self._guarded_edges: Set[EdgeId] = set()
+        # Requests accepted permanently (R_big / forced): never preempted by rounding.
+        self._permanent: Set[int] = set()
+        self._requests_by_id: Dict[int, Request] = {}
+        # Diagnostics.
+        self.num_threshold_rejections = 0
+        self.num_coin_rejections = 0
+        self.num_capacity_rejections = 0
+        self.num_feasibility_preemptions = 0
+
+    # ------------------------------------------------------------------------------
+    @property
+    def shadow(self) -> FractionalAdmissionControl:
+        """The fractional shadow algorithm (read-only use recommended)."""
+        return self._shadow
+
+    def update_alpha(self, alpha: float) -> None:
+        """Forward a new OPT guess to the fractional shadow (doubling support)."""
+        self._shadow.update_alpha(alpha)
+
+    def fractional_cost(self) -> float:
+        """Objective of the fractional shadow (the comparator in Theorem 3's proof)."""
+        return self._shadow.fractional_cost()
+
+    def extra_metrics(self) -> Dict[str, float]:
+        """Diagnostics merged into the :class:`~repro.core.protocols.AdmissionResult`."""
+        return {
+            "fractional_cost": self._shadow.fractional_cost(),
+            "num_augmentations": self._shadow.num_augmentations,
+            "threshold_rejections": self.num_threshold_rejections,
+            "coin_rejections": self.num_coin_rejections,
+            "capacity_rejections": self.num_capacity_rejections,
+            "feasibility_preemptions": self.num_feasibility_preemptions,
+            "weight_threshold": self.weight_threshold,
+            "prob_factor": self.prob_factor,
+        }
+
+    # ------------------------------------------------------------------------------
+    def process(self, request: Request) -> Decision:
+        """Process one arriving request (steps 1–4 of Section 3)."""
+        self._register_arrival(request)
+        self._requests_by_id[request.request_id] = request
+
+        # Optional Section-3 guard: edges with >= 4mc^2 requests get everything rejected.
+        if self.overload_guard and self._apply_overload_guard(request):
+            return self._decisions[-1]
+
+        # Step 1: run the fractional shadow (weight augmentations).
+        frac = self._shadow.process(request)
+
+        if frac.cost_class == CostClass.SMALL:
+            # R_small requests are rejected outright (cheap, paid in full).
+            return self._reject(request)
+
+        if frac.cost_class in (CostClass.BIG, CostClass.FORCED):
+            return self._process_permanent(request, frac)
+
+        return self._process_normal(request, frac)
+
+    # -- normal requests ----------------------------------------------------------------
+    def _process_normal(self, request: Request, frac: FractionalDecision) -> Decision:
+        """Steps 2–4 for a request handled by the weight mechanism."""
+        arriving_id = request.request_id
+        arriving_rejected = False
+
+        touched = set(frac.outcome.deltas) | {arriving_id}
+        # Step 2: reject every request whose weight reached the threshold.
+        for rid in sorted(touched):
+            if self._shadow.cost_class(rid) != CostClass.NORMAL:
+                continue
+            if self._shadow.weight_state.weight(rid) >= self.weight_threshold:
+                if rid == arriving_id:
+                    arriving_rejected = True
+                elif self._evict(rid, arriving_id):
+                    self.num_threshold_rejections += 1
+
+        # Step 3: independent coin per weight increase.
+        for rid, delta in sorted(frac.outcome.deltas.items()):
+            if self._shadow.cost_class(rid) != CostClass.NORMAL:
+                continue
+            probability = min(1.0, self.prob_factor * delta)
+            if probability <= 0.0:
+                continue
+            if self.rng.random() < probability:
+                if rid == arriving_id:
+                    arriving_rejected = True
+                elif self._evict(rid, arriving_id):
+                    self.num_coin_rejections += 1
+
+        if arriving_rejected:
+            return self._reject(request)
+
+        # Step 4: accept only if the request fits.
+        if self.can_accept(request):
+            return self._accept(request)
+        self.num_capacity_rejections += 1
+        return self._reject(request)
+
+    # -- permanently accepted requests ------------------------------------------------------
+    def _process_permanent(self, request: Request, frac: FractionalDecision) -> Decision:
+        """Handle ``R_big`` / forced requests: accept, then restore feasibility."""
+        arriving_id = request.request_id
+        self._permanent.add(arriving_id)
+
+        # The shadow reserved capacity on the request's edges, possibly
+        # triggering augmentations; round those weight increases as in step 3
+        # and apply the step-2 threshold to the touched requests.
+        if frac.outcome is not None:
+            for rid in sorted(set(frac.outcome.deltas)):
+                if self._shadow.cost_class(rid) != CostClass.NORMAL:
+                    continue
+                if self._shadow.weight_state.weight(rid) >= self.weight_threshold:
+                    if self._evict(rid, arriving_id):
+                        self.num_threshold_rejections += 1
+            for rid, delta in sorted(frac.outcome.deltas.items()):
+                if self._shadow.cost_class(rid) != CostClass.NORMAL:
+                    continue
+                probability = min(1.0, self.prob_factor * delta)
+                if probability > 0.0 and self.rng.random() < probability:
+                    if self._evict(rid, arriving_id):
+                        self.num_coin_rejections += 1
+
+        decision = self._accept(request)
+        self._restore_feasibility(request.edges, arriving_id)
+        return decision
+
+    def _restore_feasibility(self, edges: Iterable[EdgeId], arriving_id: int) -> None:
+        """Preempt alive accepted requests until every given edge fits its capacity.
+
+        Candidates are ordered by (non-permanent first, largest shadow weight,
+        smallest cost): the requests the fractional solution has rejected the
+        most are evicted first, mirroring the rounding's intent.
+        """
+        for edge in edges:
+            while self._load[edge] > self._capacities[edge]:
+                candidates = [
+                    rid
+                    for rid, req in self._accepted.items()
+                    if edge in req.edges and rid != arriving_id and rid not in self._permanent
+                ]
+                if not candidates:
+                    candidates = [
+                        rid
+                        for rid, req in self._accepted.items()
+                        if edge in req.edges and rid != arriving_id
+                    ]
+                if not candidates:
+                    # Only the forced request itself occupies the edge beyond
+                    # capacity: the instance (or the alpha guess) is inconsistent.
+                    break
+
+                def eviction_key(rid: int) -> Tuple[float, float, int]:
+                    weight = 0.0
+                    if self._shadow.cost_class(rid) == CostClass.NORMAL:
+                        weight = self._shadow.weight_state.weight(rid)
+                    return (-weight, self._requests_by_id[rid].cost, rid)
+
+                victim = min(candidates, key=eviction_key)
+                self._preempt(victim, at_request=arriving_id)
+                self.num_feasibility_preemptions += 1
+
+    # -- helpers -----------------------------------------------------------------------------
+    def _evict(self, request_id: int, at_request: int) -> bool:
+        """Preempt ``request_id`` if it is currently accepted; True if something happened."""
+        if request_id in self._permanent:
+            return False
+        if request_id in self._accepted:
+            self._preempt(request_id, at_request=at_request)
+            return True
+        return False
+
+    def _apply_overload_guard(self, request: Request) -> bool:
+        """Bulk-reject requests on edges that have seen ``>= 4mc^2`` requests.
+
+        Returns True if the arriving request was rejected by the guard (in
+        which case it is *not* forwarded to the fractional shadow, matching the
+        paper's "the online algorithm can reject all the requests in REQ_e").
+        """
+        triggered = False
+        for edge in request.edges:
+            if edge in self._guarded_edges:
+                triggered = True
+                continue
+            seen = len(self._shadow.weight_state.requests_on(edge)) + 1  # +1 for the arrival
+            if seen >= self.overload_limit:
+                self._guarded_edges.add(edge)
+                triggered = True
+                for rid in list(self._accepted):
+                    if edge in self._accepted[rid].edges and rid not in self._permanent:
+                        self._preempt(rid, at_request=request.request_id)
+        if triggered:
+            self._reject(request)
+        return triggered
+
+    # -- conveniences ---------------------------------------------------------------------------
+    @classmethod
+    def for_instance(cls, instance: AdmissionInstance, **kwargs) -> "RandomizedAdmissionControl":
+        """Construct the algorithm for a concrete instance's capacities.
+
+        The weighted/unweighted configuration is inferred from the instance's
+        costs unless given explicitly.
+        """
+        if "weighted" not in kwargs:
+            kwargs["weighted"] = not instance.is_unit_cost()
+        return cls(instance.capacities, **kwargs)

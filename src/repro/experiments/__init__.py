@@ -1,0 +1,45 @@
+"""Experiment suite (E1–E10): the paper's theorems as measurable experiments.
+
+Importing this package registers every experiment; use::
+
+    from repro.experiments import run_experiment, all_experiments
+    result = run_experiment("E1")
+    print(result.table())
+"""
+
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    register,
+)
+
+# Importing the modules registers them.
+from repro.experiments import (  # noqa: F401  (imported for registration side effect)
+    e1_fractional,
+    e2_augmentations,
+    e3_randomized_weighted,
+    e4_randomized_unweighted,
+    e5_reduction,
+    e6_bicriteria,
+    e7_potentials,
+    e8_baselines,
+    e9_doubling,
+    e10_scaling,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "register",
+    "run_experiment",
+]
+
+
+def run_experiment(experiment_id: str, config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Run one experiment by id (``"E1"`` ... ``"E10"``)."""
+    runner = get_experiment(experiment_id)
+    return runner(config)

@@ -1,0 +1,91 @@
+"""E1 — Theorem 2: the fractional algorithm is ``O(log(mc))``-competitive.
+
+For a sweep of ``(m, c)`` the experiment runs the fractional algorithm (with
+``alpha`` set to the optimal fractional cost, as the theorem assumes after the
+guess-and-double reduction) on congested single-edge and adversarial workloads,
+and reports the ratio of the fractional online cost to the optimal fractional
+cost next to the ``log2(mc)`` (weighted) / ``log2(c)`` (unweighted) bound.
+The quantity to watch is ``ratio / bound``: Theorem 2 says it stays bounded by
+a constant as ``m`` and ``c`` grow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.bounds import fractional_admission_bound
+from repro.core.fractional import FractionalAdmissionControl
+from repro.experiments.base import ExperimentConfig, ExperimentResult, register
+from repro.offline import solve_admission_lp
+from repro.utils.mathx import safe_ratio
+from repro.utils.rng import spawn_generators, stable_seed
+from repro.workloads import overloaded_edge_adversary, pareto_costs, single_edge_workload
+
+EXPERIMENT_ID = "E1"
+TITLE = "Fractional admission control vs fractional OPT"
+VALIDATES = "Theorem 2 (O(log mc) weighted, O(log c) unweighted)"
+
+__all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
+
+
+def _grid(config: ExperimentConfig):
+    if config.quick:
+        return [(8, 2), (16, 4), (32, 8)]
+    return [(8, 2), (16, 4), (32, 8), (64, 8), (128, 16), (256, 32)]
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Run the E1 sweep and return the result table."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
+    trials = config.scaled_trials(5)
+
+    for m, c in _grid(config):
+        for weighted in (False, True):
+            generators = spawn_generators(stable_seed(config.seed, m, c, weighted), trials)
+            ratios: List[float] = []
+            for rng in generators:
+                if weighted:
+                    instance = single_edge_workload(
+                        num_edges=m,
+                        num_requests=4 * m,
+                        capacity=c,
+                        concentration=1.2,
+                        cost_sampler=lambda count, r: pareto_costs(count, shape=1.5, random_state=r),
+                        random_state=rng,
+                    )
+                else:
+                    instance = overloaded_edge_adversary(
+                        num_edges=m,
+                        capacity=c,
+                        num_hot_edges=max(2, m // 8),
+                        overload_factor=2.5,
+                        random_state=rng,
+                    )
+                opt = solve_admission_lp(instance)
+                algo = FractionalAdmissionControl.for_instance(
+                    instance, alpha=max(opt.cost, 1e-9) if weighted else None
+                )
+                algo.process_sequence(instance.requests)
+                ratios.append(safe_ratio(algo.fractional_cost(), opt.cost))
+            bound = fractional_admission_bound(m, c, weighted=weighted)
+            mean_ratio = sum(ratios) / len(ratios)
+            result.rows.append(
+                {
+                    "m": m,
+                    "c": c,
+                    "weighted": weighted,
+                    "trials": trials,
+                    "ratio_mean": mean_ratio,
+                    "ratio_max": max(ratios),
+                    "bound": bound.value,
+                    "ratio/bound": mean_ratio / bound.value,
+                }
+            )
+    result.notes.append(
+        "ratio/bound should stay roughly constant (the hidden O(1)) as m and c grow."
+    )
+    return result
+
+
+register(EXPERIMENT_ID, run)

@@ -1,0 +1,81 @@
+"""E2 — Lemma 1: the number of weight augmentations is ``O(alpha log(gc))``.
+
+The experiment runs the fractional algorithm with the optimal fractional cost
+``alpha`` supplied (the setting Lemma 1 analyses), counts the weight
+augmentations actually performed, and compares them with the explicit bound
+``alpha * log2(2 g c)``.  The reported ``augs/bound`` column must never exceed
+1 if the implementation matches the proof.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bounds import lemma1_augmentation_bound
+from repro.core.fractional import FractionalAdmissionControl
+from repro.experiments.base import ExperimentConfig, ExperimentResult, register
+from repro.offline import solve_admission_lp
+from repro.utils.rng import spawn_generators, stable_seed
+from repro.workloads import overloaded_edge_adversary, single_edge_workload, uniform_costs
+
+EXPERIMENT_ID = "E2"
+TITLE = "Weight-augmentation count vs Lemma 1 bound"
+VALIDATES = "Lemma 1 (at most O(alpha log(gc)) augmentations)"
+
+__all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
+
+
+def _grid(config: ExperimentConfig):
+    if config.quick:
+        return [(8, 2), (16, 4), (32, 4)]
+    return [(8, 2), (16, 4), (32, 4), (64, 8), (128, 8), (256, 16)]
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Run the E2 sweep and return the result table."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
+    trials = config.scaled_trials(5)
+
+    for m, c in _grid(config):
+        generators = spawn_generators(stable_seed(config.seed, m, c, "e2"), trials)
+        worst_fraction = 0.0
+        total_augs = 0
+        total_bound = 0.0
+        violations = 0
+        for rng in generators:
+            instance = single_edge_workload(
+                num_edges=m,
+                num_requests=5 * m,
+                capacity=c,
+                concentration=1.0,
+                cost_sampler=lambda count, r: uniform_costs(count, 1.0, 4.0, random_state=r),
+                random_state=rng,
+            )
+            opt = solve_admission_lp(instance)
+            alpha = max(opt.cost, 1e-9)
+            algo = FractionalAdmissionControl.for_instance(instance, alpha=alpha)
+            algo.process_sequence(instance.requests)
+            bound = lemma1_augmentation_bound(alpha, algo.g, algo.c)
+            total_augs += algo.num_augmentations
+            total_bound += bound
+            if bound > 0:
+                worst_fraction = max(worst_fraction, algo.num_augmentations / bound)
+            if algo.num_augmentations > bound + 1e-9:
+                violations += 1
+        result.rows.append(
+            {
+                "m": m,
+                "c": c,
+                "trials": trials,
+                "augmentations_total": total_augs,
+                "bound_total": total_bound,
+                "augs/bound_worst": worst_fraction,
+                "violations": violations,
+            }
+        )
+    result.notes.append("Lemma 1 requires augs/bound_worst <= 1 and violations == 0 everywhere.")
+    return result
+
+
+register(EXPERIMENT_ID, run)

@@ -1,0 +1,124 @@
+"""E7 — the proofs' potential-function invariants, checked at runtime.
+
+Two families of checks:
+
+* **Lemma 1** (admission control): with ``alpha`` equal to the optimal
+  fractional cost, the potential ``prod_i max(f_i, 1/(gc))^{f*_i p_i}`` starts
+  at ``(gc)^{-alpha}``, never exceeds ``2^alpha``, and the number of
+  augmentations is at most ``alpha log2(2gc)``.
+* **Lemma 5 / Lemma 6** (bicriteria set cover): the potential ``Phi`` never
+  exceeds ``n^2``, no augmentation increases it, at most ``2 ln n`` sets are
+  selected per augmentation, and the number of augmentations respects
+  Lemma 5's bound computed from the offline optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.invariants import check_bicriteria_state, check_fractional_state
+from repro.core.bicriteria import BicriteriaOnlineSetCover
+from repro.core.fractional import FractionalAdmissionControl
+from repro.core.potential import check_lemma1
+from repro.core.protocols import run_setcover
+from repro.experiments.base import ExperimentConfig, ExperimentResult, register
+from repro.instances.setcover import SetCoverInstance
+from repro.offline import solve_admission_lp, solve_set_multicover_ilp
+from repro.utils.rng import spawn_generators, stable_seed
+from repro.workloads import single_edge_workload, uniform_costs
+from repro.workloads.setcover_random import random_set_system, repetition_heavy_arrivals
+
+EXPERIMENT_ID = "E7"
+TITLE = "Potential-function invariants (Lemmas 1, 5 and 6)"
+VALIDATES = "Lemma 1, Lemma 5, Lemma 6"
+
+__all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Run the invariant checks and return one row per configuration."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
+    trials = config.scaled_trials(4)
+    sizes = [(8, 2), (16, 4), (32, 8)] if config.quick else [(8, 2), (16, 4), (32, 8), (64, 8), (128, 16)]
+
+    # -- Lemma 1 on the fractional algorithm -------------------------------------
+    for m, c in sizes:
+        generators = spawn_generators(stable_seed(config.seed, m, c, "e7-frac"), trials)
+        checks_ok = 0
+        invariant_ok = 0
+        for rng in generators:
+            instance = single_edge_workload(
+                num_edges=m,
+                num_requests=4 * m,
+                capacity=c,
+                concentration=1.1,
+                cost_sampler=lambda count, r: uniform_costs(count, 1.0, 3.0, random_state=r),
+                random_state=rng,
+            )
+            opt = solve_admission_lp(instance)
+            alpha = max(opt.cost, 1e-9)
+            algo = FractionalAdmissionControl.for_instance(instance, alpha=alpha)
+            algo.process_sequence(instance.requests)
+            report = check_fractional_state(algo, optimal_cost=alpha)
+            invariant_ok += int(report.ok)
+            # Potential check needs the optimal fractional solution expressed in
+            # the algorithm's normalised cost units.
+            normalized_costs = {
+                rid: algo.weight_state.cost_of(rid)
+                for rid in algo.weight_state.weights()
+            }
+            fractions = {rid: opt.fractions.get(rid, 0.0) for rid in normalized_costs}
+            normalized_alpha = sum(fractions[rid] * normalized_costs[rid] for rid in fractions)
+            check = check_lemma1(
+                algo.weight_state,
+                fractions,
+                normalized_costs,
+                alpha=max(normalized_alpha, 1e-9),
+                g=algo.g,
+                c=algo.c,
+            )
+            checks_ok += int(check.all_ok)
+        result.rows.append(
+            {
+                "check": "lemma1",
+                "size": f"m={m},c={c}",
+                "trials": trials,
+                "invariants_ok": invariant_ok,
+                "potential_ok": checks_ok,
+            }
+        )
+
+    # -- Lemmas 5 and 6 on the bicriteria algorithm --------------------------------
+    sc_sizes = [(16, 8), (32, 16)] if config.quick else [(16, 8), (32, 16), (64, 24), (128, 32)]
+    for n, m in sc_sizes:
+        generators = spawn_generators(stable_seed(config.seed, n, m, "e7-bic"), trials)
+        invariant_ok = 0
+        max_potential_fraction = 0.0
+        for rng in generators:
+            system = random_set_system(n, m, min(0.5, 4.0 / m + 0.1), random_state=rng)
+            arrivals = repetition_heavy_arrivals(system, random_state=rng)
+            instance = SetCoverInstance(system, arrivals)
+            algorithm = BicriteriaOnlineSetCover(system, eps=0.2)
+            run_setcover(algorithm, instance)
+            opt = solve_set_multicover_ilp(system, instance.demands(), time_limit=config.ilp_time_limit)
+            report = check_bicriteria_state(algorithm, optimal_cost=opt.cost)
+            invariant_ok += int(report.ok)
+            max_potential_fraction = max(
+                max_potential_fraction,
+                algorithm.max_potential_seen / (max(algorithm.n, 2) ** 2),
+            )
+        result.rows.append(
+            {
+                "check": "lemma5+6",
+                "size": f"n={n},m={m}",
+                "trials": trials,
+                "invariants_ok": invariant_ok,
+                "max_potential/n^2": max_potential_fraction,
+            }
+        )
+    result.notes.append("invariants_ok must equal trials in every row; max_potential/n^2 must stay <= 1.")
+    return result
+
+
+register(EXPERIMENT_ID, run)

@@ -1,0 +1,34 @@
+"""Problem-instance data model.
+
+This subpackage defines the objects the rest of the library operates on:
+
+* :class:`~repro.instances.request.Request` and
+  :class:`~repro.instances.request.RequestSequence` — online admission-control
+  requests (a set of edges plus a rejection cost).
+* :class:`~repro.instances.admission.AdmissionInstance` — edge capacities plus
+  a request sequence.
+* :class:`~repro.instances.setcover.SetSystem` and
+  :class:`~repro.instances.setcover.SetCoverInstance` — online set cover with
+  repetitions.
+* :mod:`~repro.instances.canonical` — hand-made instances with known optima.
+* :mod:`~repro.instances.serialize` — JSON round-tripping.
+"""
+
+from repro.instances.admission import AdmissionInstance, FeasibilityReport
+from repro.instances.request import Decision, DecisionKind, Request, RequestSequence
+from repro.instances.setcover import CoverAssignment, SetCoverInstance, SetSystem
+from repro.instances import canonical, serialize
+
+__all__ = [
+    "AdmissionInstance",
+    "FeasibilityReport",
+    "Decision",
+    "DecisionKind",
+    "Request",
+    "RequestSequence",
+    "CoverAssignment",
+    "SetCoverInstance",
+    "SetSystem",
+    "canonical",
+    "serialize",
+]

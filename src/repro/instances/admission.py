@@ -1,0 +1,172 @@
+"""Admission-control problem instances.
+
+An :class:`AdmissionInstance` couples the static part of the problem (the set
+of capacitated edges) with the online part (the :class:`RequestSequence`).  It
+is the single object passed to online algorithms, offline solvers and the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from repro.instances.request import EdgeId, Request, RequestSequence
+
+__all__ = ["AdmissionInstance", "FeasibilityReport"]
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Result of checking an accept/reject assignment against capacities."""
+
+    feasible: bool
+    violations: Tuple[Tuple[EdgeId, int, int], ...]  # (edge, load, capacity)
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+class AdmissionInstance:
+    """A complete admission-control-to-minimize-rejections instance.
+
+    Parameters
+    ----------
+    capacities:
+        Mapping from edge id to integer capacity ``c_e >= 1``.  Edges that
+        appear in requests but not in this mapping raise at construction time,
+        so silent typos in workload generators are caught early.
+    requests:
+        The online request sequence.
+    name:
+        Optional human-readable name used in experiment reports.
+    """
+
+    def __init__(
+        self,
+        capacities: Mapping[EdgeId, int],
+        requests: RequestSequence | Iterable[Request],
+        name: Optional[str] = None,
+    ):
+        if not isinstance(requests, RequestSequence):
+            requests = RequestSequence(requests)
+        self._capacities: Dict[EdgeId, int] = {}
+        for edge, cap in capacities.items():
+            cap = int(cap)
+            if cap < 1:
+                raise ValueError(f"capacity of edge {edge!r} must be >= 1, got {cap}")
+            self._capacities[edge] = cap
+        missing = [e for e in requests.edges() if e not in self._capacities]
+        if missing:
+            raise ValueError(f"requests reference edges without capacities: {missing[:5]!r}")
+        self._requests = requests
+        self.name = name or "admission-instance"
+
+    # -- basic accessors -----------------------------------------------------
+    @property
+    def capacities(self) -> Dict[EdgeId, int]:
+        """Copy of the edge-capacity mapping."""
+        return dict(self._capacities)
+
+    @property
+    def requests(self) -> RequestSequence:
+        """The online request sequence."""
+        return self._requests
+
+    @property
+    def num_edges(self) -> int:
+        """``m`` — the number of edges in the instance."""
+        return len(self._capacities)
+
+    @property
+    def num_requests(self) -> int:
+        """Number of requests in the sequence."""
+        return len(self._requests)
+
+    @property
+    def max_capacity(self) -> int:
+        """``c`` — the maximum edge capacity (paper notation)."""
+        return max(self._capacities.values(), default=0)
+
+    @property
+    def min_capacity(self) -> int:
+        """The minimum edge capacity."""
+        return min(self._capacities.values(), default=0)
+
+    def capacity(self, edge: EdgeId) -> int:
+        """Capacity of a single edge."""
+        return self._capacities[edge]
+
+    def edges(self) -> List[EdgeId]:
+        """All edge ids (deterministic order: insertion order of capacities)."""
+        return list(self._capacities)
+
+    def is_unit_cost(self) -> bool:
+        """True if the instance is unweighted (all costs equal to 1)."""
+        return self._requests.is_unit_cost()
+
+    def parameter_mc(self) -> int:
+        """The product ``m * c`` appearing in the weighted bounds."""
+        return self.num_edges * max(self.max_capacity, 1)
+
+    # -- feasibility ----------------------------------------------------------
+    def check_feasible(self, accepted_ids: Iterable[int]) -> FeasibilityReport:
+        """Check whether accepting exactly ``accepted_ids`` respects capacities."""
+        accepted = set(accepted_ids)
+        load: Dict[EdgeId, int] = {e: 0 for e in self._capacities}
+        for req in self._requests:
+            if req.request_id in accepted:
+                for e in req.edges:
+                    load[e] += 1
+        violations = tuple(
+            (e, load[e], self._capacities[e])
+            for e in self._capacities
+            if load[e] > self._capacities[e]
+        )
+        return FeasibilityReport(feasible=not violations, violations=violations)
+
+    def rejection_cost(self, rejected_ids: Iterable[int]) -> float:
+        """Total cost of the given rejected requests."""
+        costs = self._requests.cost_by_id()
+        return sum(costs[i] for i in set(rejected_ids))
+
+    def total_excess(self) -> int:
+        """``Q = max_e (|REQ_e| - c_e)`` restricted to non-negative values, summed.
+
+        The per-edge excess is how many requests *must* be rejected because of
+        that edge alone; the maximum over edges is a lower bound on the number
+        of rejections of any feasible solution (used in Theorem 4's analysis).
+        """
+        load = self._requests.edge_load()
+        return sum(max(0, load.get(e, 0) - c) for e, c in self._capacities.items())
+
+    def max_excess(self) -> int:
+        """``Q`` from Theorem 4: the maximum per-edge excess ``|REQ_e| - c_e``."""
+        load = self._requests.edge_load()
+        return max((load.get(e, 0) - c for e, c in self._capacities.items()), default=0)
+
+    def lower_bound_rejections(self) -> int:
+        """A simple lower bound on the number of rejections any solution makes.
+
+        Every feasible solution must reject at least ``max(0, |REQ_e| - c_e)``
+        requests among those using edge ``e``; the maximum over edges is a
+        valid lower bound (rejections can be shared between edges, so the sum
+        is not).
+        """
+        return max(0, self.max_excess())
+
+    # -- misc -----------------------------------------------------------------
+    def restrict_to_prefix(self, length: int) -> "AdmissionInstance":
+        """Instance containing only the first ``length`` requests."""
+        return AdmissionInstance(self._capacities, self._requests[:length], name=self.name)
+
+    def describe(self) -> str:
+        """One-line description used by experiment reports."""
+        kind = "unweighted" if self.is_unit_cost() else "weighted"
+        return (
+            f"{self.name}: m={self.num_edges} edges, c={self.max_capacity} max capacity, "
+            f"{self.num_requests} requests ({kind})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdmissionInstance({self.describe()})"

@@ -1,0 +1,131 @@
+"""Canonical small instances used in tests, examples and documentation.
+
+These instances are hand-constructed so that their optimal solutions are known
+in closed form, which makes them useful both as documentation ("this is what an
+instance looks like") and as exact regression tests for the offline solvers and
+online algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import Request, RequestSequence
+from repro.instances.setcover import SetCoverInstance, SetSystem
+
+__all__ = [
+    "single_edge_overload",
+    "two_edge_chain",
+    "star_congestion",
+    "disjoint_paths_no_rejection",
+    "triangle_weighted",
+    "small_set_cover",
+    "repetition_set_cover",
+    "nested_set_cover",
+]
+
+
+def single_edge_overload(extra: int = 3, capacity: int = 2, cost: float = 1.0) -> AdmissionInstance:
+    """``capacity + extra`` identical unit requests through a single edge.
+
+    The offline optimum rejects exactly ``extra`` requests (cost ``extra*cost``).
+    """
+    requests = RequestSequence(
+        Request(i, frozenset({"e0"}), cost) for i in range(capacity + extra)
+    )
+    return AdmissionInstance({"e0": capacity}, requests, name="single-edge-overload")
+
+
+def two_edge_chain() -> AdmissionInstance:
+    """Two edges in series; long requests compete with short ones.
+
+    Edges ``a`` and ``b`` have capacity 1.  Request 0 uses both edges, requests
+    1 and 2 use one edge each.  The optimum rejects only request 0 (cost 1)
+    and accepts the two single-edge requests.
+    """
+    requests = RequestSequence(
+        [
+            Request(0, frozenset({"a", "b"}), 1.0),
+            Request(1, frozenset({"a"}), 1.0),
+            Request(2, frozenset({"b"}), 1.0),
+        ]
+    )
+    return AdmissionInstance({"a": 1, "b": 1}, requests, name="two-edge-chain")
+
+
+def star_congestion(leaves: int = 4, capacity: int = 1) -> AdmissionInstance:
+    """A star whose centre edge is shared by all requests.
+
+    Each of the ``leaves`` requests uses the shared centre edge ``hub`` plus a
+    private leaf edge.  Only ``capacity`` requests fit; the optimum rejects
+    ``leaves - capacity`` of them.
+    """
+    capacities = {"hub": capacity}
+    reqs = []
+    for i in range(leaves):
+        leaf = f"leaf{i}"
+        capacities[leaf] = 1
+        reqs.append(Request(i, frozenset({"hub", leaf}), 1.0))
+    return AdmissionInstance(capacities, RequestSequence(reqs), name="star-congestion")
+
+
+def disjoint_paths_no_rejection(paths: int = 5) -> AdmissionInstance:
+    """Requests on pairwise-disjoint edges — the optimum rejects nothing.
+
+    Important regression case: the paper stresses that the fractional
+    algorithm starts with all weights zero precisely so that it rejects nothing
+    when OPT rejects nothing.
+    """
+    capacities = {f"e{i}": 1 for i in range(paths)}
+    requests = RequestSequence(Request(i, frozenset({f"e{i}"}), 1.0) for i in range(paths))
+    return AdmissionInstance(capacities, requests, name="disjoint-no-rejection")
+
+
+def triangle_weighted() -> AdmissionInstance:
+    """Weighted instance where the optimum must reject the *cheap* request.
+
+    Edge ``x`` has capacity 1; an expensive request (cost 10) and a cheap
+    request (cost 1) both use it.  OPT rejects the cheap one, paying 1.
+    """
+    requests = RequestSequence(
+        [
+            Request(0, frozenset({"x"}), 10.0),
+            Request(1, frozenset({"x"}), 1.0),
+        ]
+    )
+    return AdmissionInstance({"x": 1}, requests, name="triangle-weighted")
+
+
+def small_set_cover() -> SetCoverInstance:
+    """Four elements, three sets; each element requested once.
+
+    Sets: ``A = {1, 2}``, ``B = {2, 3}``, ``C = {3, 4}`` with unit costs.
+    Requesting 1, 2, 3, 4 once each forces at least {A, C} (cost 2) — the
+    optimum — while a careless algorithm may also buy B.
+    """
+    system = SetSystem({"A": {1, 2}, "B": {2, 3}, "C": {3, 4}})
+    return SetCoverInstance(system, [1, 2, 3, 4], name="small-set-cover")
+
+
+def repetition_set_cover() -> SetCoverInstance:
+    """An element requested three times, forcing three different sets.
+
+    Element 1 belongs to sets A, B and C; requesting it three times forces the
+    algorithm to buy all three.  Element 2 is covered on the way (it is in A).
+    """
+    system = SetSystem({"A": {1, 2}, "B": {1, 3}, "C": {1, 4}})
+    return SetCoverInstance(system, [1, 2, 1, 1], name="repetition-set-cover")
+
+
+def nested_set_cover(levels: int = 4) -> SetCoverInstance:
+    """A nested family ``S_k = {0, ..., k}``; the optimum buys only the largest.
+
+    Every element arrival can be covered by the single largest set, so
+    ``OPT = 1`` regardless of ``levels``, while naive algorithms may buy many
+    of the nested sets.
+    """
+    sets = {f"S{k}": set(range(k + 1)) for k in range(levels)}
+    system = SetSystem(sets)
+    arrivals = list(range(levels))
+    return SetCoverInstance(system, arrivals, name="nested-set-cover")

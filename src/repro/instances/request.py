@@ -1,0 +1,201 @@
+"""Request data model for the admission-control problem.
+
+A *request* in the paper is a communication demand that arrives together with
+the path it must be routed on; the algorithms in Sections 2–3 only ever look at
+the *set of edges* of that path (the concluding remarks point out that they
+never use the fact that the edges form a simple path).  We therefore model a
+request as an immutable record carrying an identifier, the set of edges it
+occupies, and a positive cost (the penalty paid if it is rejected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Request", "RequestSequence", "Decision", "DecisionKind"]
+
+EdgeId = Hashable
+
+
+@dataclass(frozen=True)
+class Request:
+    """A single admission-control request.
+
+    Parameters
+    ----------
+    request_id:
+        Unique identifier within a request sequence (arrival order is given by
+        the sequence, not by the id).
+    edges:
+        The edges occupied by the request's path.  Stored as a ``frozenset``;
+        order does not matter for the algorithms.
+    cost:
+        Rejection penalty ``p_i > 0``.
+    path:
+        Optional ordered vertex path (purely informational; retained for
+        network-level workloads so examples can show the route).
+    tag:
+        Optional free-form label used by workload generators (e.g. ``"phase1"``
+        in the set-cover reduction).
+    """
+
+    request_id: int
+    edges: FrozenSet[EdgeId]
+    cost: float = 1.0
+    path: Optional[Tuple[Hashable, ...]] = None
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.edges, frozenset):
+            object.__setattr__(self, "edges", frozenset(self.edges))
+        if len(self.edges) == 0:
+            raise ValueError(f"request {self.request_id} must occupy at least one edge")
+        if not self.cost > 0:
+            raise ValueError(f"request {self.request_id} must have positive cost, got {self.cost}")
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct edges the request occupies."""
+        return len(self.edges)
+
+    def with_cost(self, cost: float) -> "Request":
+        """Return a copy of this request with a different cost."""
+        return Request(self.request_id, self.edges, cost, self.path, self.tag)
+
+    def uses(self, edge: EdgeId) -> bool:
+        """True if the request's path contains ``edge``."""
+        return edge in self.edges
+
+
+class DecisionKind:
+    """Symbolic constants for online decisions."""
+
+    ACCEPT = "accept"
+    REJECT = "reject"
+    PREEMPT = "preempt"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of processing one request (or of a later preemption).
+
+    ``kind`` is one of :class:`DecisionKind`'s constants.  For ``PREEMPT`` the
+    ``at_request`` field records the id of the request whose arrival triggered
+    the preemption, which the analysis module uses to reconstruct timelines.
+    """
+
+    request_id: int
+    kind: str
+    at_request: Optional[int] = None
+
+    def is_rejection(self) -> bool:
+        """True for both up-front rejections and later preemptions."""
+        return self.kind in (DecisionKind.REJECT, DecisionKind.PREEMPT)
+
+
+class RequestSequence:
+    """An ordered sequence of requests presented to an online algorithm.
+
+    The class behaves like an immutable sequence of :class:`Request` objects
+    and offers convenience accessors used throughout the workloads, offline
+    solvers and analysis code (edge index, total cost, cost vector, ...).
+    """
+
+    def __init__(self, requests: Iterable[Request]):
+        self._requests: List[Request] = list(requests)
+        seen: Dict[int, Request] = {}
+        for req in self._requests:
+            if req.request_id in seen:
+                raise ValueError(f"duplicate request id {req.request_id}")
+            seen[req.request_id] = req
+        self._by_id = seen
+
+    # -- sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return RequestSequence(self._requests[index])
+        return self._requests[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RequestSequence(n={len(self)}, total_cost={self.total_cost():.3f})"
+
+    # -- accessors -----------------------------------------------------------
+    def by_id(self, request_id: int) -> Request:
+        """Return the request with the given id (KeyError if absent)."""
+        return self._by_id[request_id]
+
+    def ids(self) -> List[int]:
+        """Request ids in arrival order."""
+        return [r.request_id for r in self._requests]
+
+    def total_cost(self) -> float:
+        """Sum of all request costs."""
+        return sum(r.cost for r in self._requests)
+
+    def cost_by_id(self) -> Dict[int, float]:
+        """Mapping request id -> cost."""
+        return {r.request_id: r.cost for r in self._requests}
+
+    def edges(self) -> FrozenSet[EdgeId]:
+        """Union of all edges appearing in any request."""
+        out: set = set()
+        for r in self._requests:
+            out |= r.edges
+        return frozenset(out)
+
+    def requests_on_edge(self, edge: EdgeId) -> List[Request]:
+        """All requests whose paths contain ``edge`` (arrival order)."""
+        return [r for r in self._requests if edge in r.edges]
+
+    def edge_load(self) -> Dict[EdgeId, int]:
+        """Number of requests touching each edge."""
+        load: Dict[EdgeId, int] = {}
+        for r in self._requests:
+            for e in r.edges:
+                load[e] = load.get(e, 0) + 1
+        return load
+
+    def max_cost(self) -> float:
+        """Largest request cost (0.0 for an empty sequence)."""
+        return max((r.cost for r in self._requests), default=0.0)
+
+    def min_cost(self) -> float:
+        """Smallest request cost (0.0 for an empty sequence)."""
+        return min((r.cost for r in self._requests), default=0.0)
+
+    def is_unit_cost(self, tol: float = 1e-12) -> bool:
+        """True if every request has cost 1 (the paper's unweighted case)."""
+        return all(abs(r.cost - 1.0) <= tol for r in self._requests)
+
+    def filter(self, predicate) -> "RequestSequence":
+        """Return the subsequence of requests satisfying ``predicate``."""
+        return RequestSequence(r for r in self._requests if predicate(r))
+
+    def concatenate(self, other: "RequestSequence") -> "RequestSequence":
+        """Return the concatenation ``self + other`` (ids must stay unique)."""
+        return RequestSequence(list(self._requests) + list(other._requests))
+
+    @staticmethod
+    def from_edge_lists(
+        edge_lists: Sequence[Sequence[EdgeId]],
+        costs: Optional[Sequence[float]] = None,
+        tags: Optional[Sequence[Optional[str]]] = None,
+    ) -> "RequestSequence":
+        """Build a sequence from raw edge lists (ids assigned 0..n-1)."""
+        n = len(edge_lists)
+        if costs is None:
+            costs = [1.0] * n
+        if tags is None:
+            tags = [None] * n
+        if len(costs) != n or len(tags) != n:
+            raise ValueError("edge_lists, costs and tags must have equal length")
+        return RequestSequence(
+            Request(i, frozenset(edge_lists[i]), float(costs[i]), tag=tags[i]) for i in range(n)
+        )

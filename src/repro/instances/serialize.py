@@ -1,0 +1,139 @@
+"""JSON (de)serialisation of problem instances.
+
+Instances are plain data, so round-tripping them through JSON makes it easy to
+snapshot interesting adversarial workloads, share them between experiments, and
+write golden-file regression tests.  Only JSON-representable edge/element ids
+(strings, integers) are supported; tuple ids (used by the network layer) are
+encoded as tagged lists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import Request, RequestSequence
+from repro.instances.setcover import SetCoverInstance, SetSystem
+
+__all__ = [
+    "admission_to_dict",
+    "admission_from_dict",
+    "setcover_to_dict",
+    "setcover_from_dict",
+    "dump_admission",
+    "load_admission",
+    "dump_setcover",
+    "load_setcover",
+]
+
+_TUPLE_TAG = "__tuple__"
+
+
+def _encode_id(value: Any) -> Any:
+    """Encode an edge/element id into a JSON-friendly value."""
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [_encode_id(v) for v in value]}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot serialise id of type {type(value).__name__}: {value!r}")
+
+
+def _decode_id(value: Any) -> Any:
+    """Inverse of :func:`_encode_id`."""
+    if isinstance(value, dict) and _TUPLE_TAG in value:
+        return tuple(_decode_id(v) for v in value[_TUPLE_TAG])
+    return value
+
+
+def admission_to_dict(instance: AdmissionInstance) -> Dict[str, Any]:
+    """Convert an :class:`AdmissionInstance` into a JSON-serialisable dict."""
+    return {
+        "kind": "admission",
+        "name": instance.name,
+        "capacities": [
+            {"edge": _encode_id(edge), "capacity": cap}
+            for edge, cap in instance.capacities.items()
+        ],
+        "requests": [
+            {
+                "id": req.request_id,
+                "edges": [_encode_id(e) for e in sorted(req.edges, key=repr)],
+                "cost": req.cost,
+                "tag": req.tag,
+            }
+            for req in instance.requests
+        ],
+    }
+
+
+def admission_from_dict(data: Dict[str, Any]) -> AdmissionInstance:
+    """Rebuild an :class:`AdmissionInstance` from :func:`admission_to_dict` output."""
+    if data.get("kind") != "admission":
+        raise ValueError(f"not an admission instance payload: kind={data.get('kind')!r}")
+    capacities = {_decode_id(item["edge"]): int(item["capacity"]) for item in data["capacities"]}
+    requests = RequestSequence(
+        Request(
+            int(item["id"]),
+            frozenset(_decode_id(e) for e in item["edges"]),
+            float(item["cost"]),
+            tag=item.get("tag"),
+        )
+        for item in data["requests"]
+    )
+    return AdmissionInstance(capacities, requests, name=data.get("name"))
+
+
+def setcover_to_dict(instance: SetCoverInstance) -> Dict[str, Any]:
+    """Convert a :class:`SetCoverInstance` into a JSON-serialisable dict."""
+    system = instance.system
+    return {
+        "kind": "setcover",
+        "name": instance.name,
+        "sets": [
+            {
+                "id": _encode_id(sid),
+                "members": [_encode_id(e) for e in sorted(system.members(sid), key=repr)],
+                "cost": system.cost(sid),
+            }
+            for sid in system.set_ids()
+        ],
+        "elements": [_encode_id(e) for e in system.elements()],
+        "arrivals": [_encode_id(e) for e in instance.arrivals],
+    }
+
+
+def setcover_from_dict(data: Dict[str, Any]) -> SetCoverInstance:
+    """Rebuild a :class:`SetCoverInstance` from :func:`setcover_to_dict` output."""
+    if data.get("kind") != "setcover":
+        raise ValueError(f"not a set-cover instance payload: kind={data.get('kind')!r}")
+    sets = {_decode_id(item["id"]): [_decode_id(e) for e in item["members"]] for item in data["sets"]}
+    costs = {_decode_id(item["id"]): float(item["cost"]) for item in data["sets"]}
+    elements = [_decode_id(e) for e in data["elements"]]
+    system = SetSystem(sets, costs, elements=elements)
+    arrivals: List[Any] = [_decode_id(e) for e in data["arrivals"]]
+    return SetCoverInstance(system, arrivals, name=data.get("name"))
+
+
+def dump_admission(instance: AdmissionInstance, path: str) -> None:
+    """Write an admission instance to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(admission_to_dict(instance), fh, indent=2)
+
+
+def load_admission(path: str) -> AdmissionInstance:
+    """Read an admission instance from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return admission_from_dict(json.load(fh))
+
+
+def dump_setcover(instance: SetCoverInstance, path: str) -> None:
+    """Write a set-cover instance to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(setcover_to_dict(instance), fh, indent=2)
+
+
+def load_setcover(path: str) -> SetCoverInstance:
+    """Read a set-cover instance from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return setcover_from_dict(json.load(fh))

@@ -1,0 +1,258 @@
+"""Online set cover with repetitions — instance data model.
+
+The problem (paper, Section 1): a ground set ``X`` of ``n`` elements and a
+family ``S`` of ``m`` subsets of ``X``, each with a non-negative cost.  An
+adversary presents elements one at a time; an element may be presented several
+times (not necessarily consecutively).  Whenever an element has been presented
+``k`` times so far, the online algorithm must have it covered by ``k``
+*different* sets from ``S``.  The objective is to minimise the total cost of
+the sets purchased.
+
+The data model mirrors :mod:`repro.instances.admission`:
+
+* :class:`SetSystem` — the static part (elements, sets, costs).
+* :class:`SetCoverInstance` — a set system plus the online arrival sequence
+  (a list of element ids, possibly with repetitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["SetSystem", "SetCoverInstance", "CoverAssignment"]
+
+ElementId = Hashable
+SetId = Hashable
+
+
+class SetSystem:
+    """A weighted set system ``(X, S, cost)``.
+
+    Parameters
+    ----------
+    sets:
+        Mapping from set id to an iterable of element ids.
+    costs:
+        Optional mapping from set id to non-negative cost; missing entries
+        default to 1.0 (the unweighted case the paper analyses in Section 5).
+    elements:
+        Optional explicit ground set.  By default the ground set is the union
+        of all sets; passing it explicitly allows isolated elements (which make
+        some arrival sequences infeasible — useful for negative tests).
+    """
+
+    def __init__(
+        self,
+        sets: Mapping[SetId, Iterable[ElementId]],
+        costs: Optional[Mapping[SetId, float]] = None,
+        elements: Optional[Iterable[ElementId]] = None,
+    ):
+        self._sets: Dict[SetId, FrozenSet[ElementId]] = {
+            sid: frozenset(members) for sid, members in sets.items()
+        }
+        if not self._sets:
+            raise ValueError("a set system must contain at least one set")
+        for sid, members in self._sets.items():
+            if len(members) == 0:
+                raise ValueError(f"set {sid!r} is empty")
+        self._costs: Dict[SetId, float] = {}
+        costs = dict(costs or {})
+        for sid in self._sets:
+            cost = float(costs.get(sid, 1.0))
+            if cost < 0:
+                raise ValueError(f"cost of set {sid!r} must be non-negative, got {cost}")
+            self._costs[sid] = cost
+        unknown = set(costs) - set(self._sets)
+        if unknown:
+            raise ValueError(f"costs given for unknown sets: {sorted(map(repr, unknown))[:5]}")
+
+        if elements is None:
+            universe: set = set()
+            for members in self._sets.values():
+                universe |= members
+            self._elements: Tuple[ElementId, ...] = tuple(sorted(universe, key=repr))
+        else:
+            self._elements = tuple(elements)
+            covered = set()
+            for members in self._sets.values():
+                covered |= members
+            stray = covered - set(self._elements)
+            if stray:
+                raise ValueError(f"sets contain elements outside the ground set: {sorted(map(repr, stray))[:5]}")
+
+        # Inverted index: element -> frozenset of set ids containing it.
+        containing: Dict[ElementId, set] = {e: set() for e in self._elements}
+        for sid, members in self._sets.items():
+            for e in members:
+                containing[e].add(sid)
+        self._containing: Dict[ElementId, FrozenSet[SetId]] = {
+            e: frozenset(s) for e, s in containing.items()
+        }
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def num_elements(self) -> int:
+        """``n`` — size of the ground set."""
+        return len(self._elements)
+
+    @property
+    def num_sets(self) -> int:
+        """``m`` — number of sets in the family."""
+        return len(self._sets)
+
+    def elements(self) -> Tuple[ElementId, ...]:
+        """The ground set (deterministic order)."""
+        return self._elements
+
+    def set_ids(self) -> List[SetId]:
+        """All set ids (insertion order)."""
+        return list(self._sets)
+
+    def members(self, set_id: SetId) -> FrozenSet[ElementId]:
+        """Elements of a given set."""
+        return self._sets[set_id]
+
+    def cost(self, set_id: SetId) -> float:
+        """Cost of a given set."""
+        return self._costs[set_id]
+
+    def costs(self) -> Dict[SetId, float]:
+        """Copy of the cost mapping."""
+        return dict(self._costs)
+
+    def sets_containing(self, element: ElementId) -> FrozenSet[SetId]:
+        """``S_j`` — the collection of sets containing ``element``."""
+        try:
+            return self._containing[element]
+        except KeyError:
+            raise KeyError(f"element {element!r} is not in the ground set") from None
+
+    def degree(self, element: ElementId) -> int:
+        """Number of sets containing ``element`` (its maximum coverable multiplicity)."""
+        return len(self.sets_containing(element))
+
+    def max_degree(self) -> int:
+        """Maximum element degree over the ground set."""
+        return max((len(s) for s in self._containing.values()), default=0)
+
+    def is_unit_cost(self, tol: float = 1e-12) -> bool:
+        """True if all sets have cost 1."""
+        return all(abs(c - 1.0) <= tol for c in self._costs.values())
+
+    def total_cost(self) -> float:
+        """Sum of all set costs (cost of buying the whole family)."""
+        return sum(self._costs.values())
+
+    def as_dict(self) -> Dict[SetId, FrozenSet[ElementId]]:
+        """Copy of the set-membership mapping."""
+        return dict(self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SetSystem(n={self.num_elements}, m={self.num_sets})"
+
+
+@dataclass(frozen=True)
+class CoverAssignment:
+    """A purchased collection of sets, evaluated against an arrival sequence."""
+
+    chosen: FrozenSet[SetId]
+    cost: float
+
+    def covers(self, system: SetSystem, demands: Mapping[ElementId, int]) -> bool:
+        """True if every element ``j`` is covered by at least ``demands[j]`` chosen sets."""
+        for element, demand in demands.items():
+            if len(system.sets_containing(element) & self.chosen) < demand:
+                return False
+        return True
+
+
+class SetCoverInstance:
+    """A set system together with an online arrival sequence.
+
+    Parameters
+    ----------
+    system:
+        The static set system.
+    arrivals:
+        Sequence of element ids in arrival order; an element may repeat, and
+        each repetition increases its coverage demand by one.
+    name:
+        Optional label for experiment reports.
+    """
+
+    def __init__(
+        self,
+        system: SetSystem,
+        arrivals: Sequence[ElementId],
+        name: Optional[str] = None,
+    ):
+        self._system = system
+        self._arrivals: Tuple[ElementId, ...] = tuple(arrivals)
+        for element in self._arrivals:
+            if element not in system._containing:
+                raise ValueError(f"arrival references unknown element {element!r}")
+        self.name = name or "setcover-instance"
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def system(self) -> SetSystem:
+        """The underlying set system."""
+        return self._system
+
+    @property
+    def arrivals(self) -> Tuple[ElementId, ...]:
+        """The arrival sequence (with repetitions)."""
+        return self._arrivals
+
+    @property
+    def num_arrivals(self) -> int:
+        """Length of the arrival sequence."""
+        return len(self._arrivals)
+
+    def demands(self) -> Dict[ElementId, int]:
+        """Final demand of each element = number of times it arrived."""
+        out: Dict[ElementId, int] = {}
+        for e in self._arrivals:
+            out[e] = out.get(e, 0) + 1
+        return out
+
+    def max_repetitions(self) -> int:
+        """Largest number of times any single element is requested."""
+        demands = self.demands()
+        return max(demands.values(), default=0)
+
+    def prefix_demands(self, length: int) -> Dict[ElementId, int]:
+        """Demands induced by the first ``length`` arrivals."""
+        out: Dict[ElementId, int] = {}
+        for e in self._arrivals[:length]:
+            out[e] = out.get(e, 0) + 1
+        return out
+
+    def is_feasible(self) -> bool:
+        """True if every element's demand does not exceed its degree.
+
+        The demand of an element can only be met by *different* sets, hence a
+        demand above the number of sets containing the element is infeasible
+        for the offline optimum as well.
+        """
+        return all(
+            demand <= self._system.degree(element) for element, demand in self.demands().items()
+        )
+
+    def iter_arrivals(self) -> Iterator[Tuple[int, ElementId, int]]:
+        """Yield ``(index, element, k)`` where ``k`` is the running repetition count."""
+        counts: Dict[ElementId, int] = {}
+        for index, element in enumerate(self._arrivals):
+            counts[element] = counts.get(element, 0) + 1
+            yield index, element, counts[element]
+
+    def describe(self) -> str:
+        """One-line description used by experiment reports."""
+        return (
+            f"{self.name}: n={self._system.num_elements} elements, m={self._system.num_sets} sets, "
+            f"{self.num_arrivals} arrivals, max repetition {self.max_repetitions()}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SetCoverInstance({self.describe()})"

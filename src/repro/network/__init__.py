@@ -1,0 +1,6 @@
+"""Capacitated-network substrate: graphs, topologies and routing helpers."""
+
+from repro.network.graph import CapacitatedGraph
+from repro.network import topologies, routing
+
+__all__ = ["CapacitatedGraph", "topologies", "routing"]

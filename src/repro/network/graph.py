@@ -1,0 +1,179 @@
+"""Capacitated directed-graph substrate.
+
+The admission-control problem is stated on a directed graph ``G = (V, E)``
+with integer edge capacities.  The online algorithms themselves only consume
+edge *subsets* (see the paper's concluding remarks), but workloads, examples
+and the routing helpers need an actual graph: vertices, directed edges, path
+finding, and conversion of vertex paths to edge-id sets.
+
+:class:`CapacitatedGraph` wraps a :class:`networkx.DiGraph` and assigns every
+directed edge a stable hashable id ``(u, v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.instances.request import Request, RequestSequence
+from repro.instances.admission import AdmissionInstance
+
+__all__ = ["CapacitatedGraph"]
+
+Vertex = Hashable
+EdgeKey = Tuple[Vertex, Vertex]
+
+
+class CapacitatedGraph:
+    """A directed graph with positive integer edge capacities.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` or ``(u, v, capacity)`` tuples.  A missing
+        capacity defaults to ``default_capacity``.
+    default_capacity:
+        Capacity assigned to edges given without one.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Sequence],
+        default_capacity: int = 1,
+    ):
+        if default_capacity < 1:
+            raise ValueError("default_capacity must be >= 1")
+        self._graph = nx.DiGraph()
+        self._capacities: Dict[EdgeKey, int] = {}
+        for item in edges:
+            if len(item) == 2:
+                u, v = item
+                cap = default_capacity
+            elif len(item) == 3:
+                u, v, cap = item
+            else:
+                raise ValueError(f"edge spec must be (u, v) or (u, v, capacity), got {item!r}")
+            cap = int(cap)
+            if cap < 1:
+                raise ValueError(f"capacity of edge ({u!r}, {v!r}) must be >= 1, got {cap}")
+            if u == v:
+                raise ValueError(f"self-loop ({u!r}, {u!r}) is not allowed")
+            self._graph.add_edge(u, v, capacity=cap)
+            self._capacities[(u, v)] = cap
+        if self._graph.number_of_edges() == 0:
+            raise ValueError("graph must contain at least one edge")
+
+    # -- construction helpers --------------------------------------------------
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph, *, default_capacity: int = 1) -> "CapacitatedGraph":
+        """Build from any networkx graph (undirected graphs become symmetric digraphs).
+
+        Edge attribute ``capacity`` is honoured when present.
+        """
+        edges = []
+        if graph.is_directed():
+            for u, v, data in graph.edges(data=True):
+                edges.append((u, v, data.get("capacity", default_capacity)))
+        else:
+            for u, v, data in graph.edges(data=True):
+                cap = data.get("capacity", default_capacity)
+                edges.append((u, v, cap))
+                edges.append((v, u, cap))
+        return cls(edges, default_capacity=default_capacity)
+
+    # -- accessors --------------------------------------------------------------
+    @property
+    def nx(self) -> nx.DiGraph:
+        """The underlying :class:`networkx.DiGraph` (treat as read-only)."""
+        return self._graph
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        """``m`` — number of directed edges."""
+        return self._graph.number_of_edges()
+
+    @property
+    def max_capacity(self) -> int:
+        """``c`` — maximum edge capacity."""
+        return max(self._capacities.values())
+
+    def vertices(self) -> List[Vertex]:
+        """All vertices."""
+        return list(self._graph.nodes())
+
+    def edge_ids(self) -> List[EdgeKey]:
+        """All edge ids ``(u, v)``."""
+        return list(self._capacities)
+
+    def capacities(self) -> Dict[EdgeKey, int]:
+        """Copy of the capacity mapping keyed by edge id."""
+        return dict(self._capacities)
+
+    def capacity(self, edge: EdgeKey) -> int:
+        """Capacity of a single edge."""
+        return self._capacities[edge]
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """True if the directed edge ``(u, v)`` exists."""
+        return self._graph.has_edge(u, v)
+
+    # -- paths --------------------------------------------------------------------
+    def path_edges(self, path: Sequence[Vertex]) -> Tuple[EdgeKey, ...]:
+        """Convert a vertex path into the tuple of edge ids it traverses.
+
+        Raises
+        ------
+        ValueError
+            If the path is shorter than two vertices, repeats a vertex (the
+            paper requires simple paths), or uses a missing edge.
+        """
+        if len(path) < 2:
+            raise ValueError("a path needs at least two vertices")
+        if len(set(path)) != len(path):
+            raise ValueError(f"path {list(path)!r} is not simple (repeated vertex)")
+        edges = []
+        for u, v in zip(path[:-1], path[1:]):
+            if not self._graph.has_edge(u, v):
+                raise ValueError(f"path uses missing edge ({u!r}, {v!r})")
+            edges.append((u, v))
+        return tuple(edges)
+
+    def shortest_path(self, source: Vertex, target: Vertex) -> List[Vertex]:
+        """Shortest (fewest hops) directed path from ``source`` to ``target``."""
+        return nx.shortest_path(self._graph, source, target)
+
+    def has_path(self, source: Vertex, target: Vertex) -> bool:
+        """True if some directed path exists."""
+        return nx.has_path(self._graph, source, target)
+
+    def simple_paths(self, source: Vertex, target: Vertex, cutoff: Optional[int] = None) -> List[List[Vertex]]:
+        """All simple directed paths from ``source`` to ``target`` (optionally length-bounded)."""
+        return [list(p) for p in nx.all_simple_paths(self._graph, source, target, cutoff=cutoff)]
+
+    # -- conversion ----------------------------------------------------------------
+    def request_from_path(
+        self, request_id: int, path: Sequence[Vertex], cost: float = 1.0, tag: Optional[str] = None
+    ) -> Request:
+        """Build a :class:`Request` occupying the edges of ``path``."""
+        edges = self.path_edges(path)
+        return Request(request_id, frozenset(edges), cost, path=tuple(path), tag=tag)
+
+    def build_instance(
+        self,
+        requests: RequestSequence | Iterable[Request],
+        name: Optional[str] = None,
+    ) -> AdmissionInstance:
+        """Package this graph's capacities and the given requests into an instance."""
+        return AdmissionInstance(self._capacities, requests, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CapacitatedGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"c={self.max_capacity})"
+        )

@@ -1,0 +1,98 @@
+"""Routing helpers: turning (source, target) demands into routed requests.
+
+The paper's model has each request arrive *with* its path, so the online
+algorithm never routes.  Routing therefore lives with the workload layer: the
+generators below pick a path for each demand (shortest path, random simple
+path, or random walk-derived path) and emit fully-specified
+:class:`~repro.instances.request.Request` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.network.graph import CapacitatedGraph, Vertex
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "shortest_path_route",
+    "random_simple_path",
+    "random_source_target",
+    "k_shortest_paths",
+]
+
+
+def shortest_path_route(graph: CapacitatedGraph, source: Vertex, target: Vertex) -> List[Vertex]:
+    """Fewest-hop route between two vertices (raises ``networkx.NetworkXNoPath`` if none)."""
+    return graph.shortest_path(source, target)
+
+
+def random_source_target(
+    graph: CapacitatedGraph, random_state: RandomState = None, require_path: bool = True,
+    max_attempts: int = 1000,
+) -> Tuple[Vertex, Vertex]:
+    """Pick a uniformly random ordered vertex pair, optionally requiring connectivity."""
+    rng = as_generator(random_state)
+    vertices = graph.vertices()
+    if len(vertices) < 2:
+        raise ValueError("graph needs at least two vertices")
+    for _ in range(max_attempts):
+        u, v = rng.choice(len(vertices), size=2, replace=False)
+        source, target = vertices[int(u)], vertices[int(v)]
+        if not require_path or graph.has_path(source, target):
+            return source, target
+    raise RuntimeError("could not find a connected source/target pair; is the graph connected?")
+
+
+def random_simple_path(
+    graph: CapacitatedGraph,
+    source: Vertex,
+    target: Vertex,
+    random_state: RandomState = None,
+    max_length: Optional[int] = None,
+    max_attempts: int = 64,
+) -> List[Vertex]:
+    """A random simple path from ``source`` to ``target``.
+
+    Uses randomized DFS: at each step the unvisited out-neighbours are tried in
+    random order.  Falls back to the shortest path if the random walk fails
+    ``max_attempts`` times (e.g. on sparse graphs).
+    """
+    rng = as_generator(random_state)
+    nxg = graph.nx
+    limit = max_length if max_length is not None else graph.num_vertices
+
+    for _ in range(max_attempts):
+        path = [source]
+        visited = {source}
+        while path[-1] != target and len(path) <= limit:
+            current = path[-1]
+            neighbours = [v for v in nxg.successors(current) if v not in visited]
+            if target in nxg.successors(current):
+                path.append(target)
+                break
+            if not neighbours:
+                break
+            nxt = neighbours[int(rng.integers(0, len(neighbours)))]
+            path.append(nxt)
+            visited.add(nxt)
+        if path[-1] == target:
+            return path
+    return graph.shortest_path(source, target)
+
+
+def k_shortest_paths(
+    graph: CapacitatedGraph, source: Vertex, target: Vertex, k: int
+) -> List[List[Vertex]]:
+    """Up to ``k`` loop-free shortest paths (by hop count), shortest first."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    generator = nx.shortest_simple_paths(graph.nx, source, target)
+    paths: List[List[Vertex]] = []
+    for path in generator:
+        paths.append(list(path))
+        if len(paths) >= k:
+            break
+    return paths

@@ -1,0 +1,126 @@
+"""Standard network topologies used by workload generators and examples.
+
+All constructors return a :class:`~repro.network.graph.CapacitatedGraph` with a
+uniform (or per-edge) capacity.  Undirected shapes are expanded into symmetric
+directed graphs because the paper's model is directed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.network.graph import CapacitatedGraph
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "line_graph",
+    "ring_graph",
+    "star_graph",
+    "binary_tree_graph",
+    "grid_graph",
+    "complete_graph",
+    "random_gnp_graph",
+    "random_regular_graph",
+]
+
+
+def line_graph(num_vertices: int, capacity: int = 1) -> CapacitatedGraph:
+    """A directed line ``0 -> 1 -> ... -> n-1`` (the classic call-control topology)."""
+    if num_vertices < 2:
+        raise ValueError("line_graph needs at least two vertices")
+    edges = [(i, i + 1, capacity) for i in range(num_vertices - 1)]
+    return CapacitatedGraph(edges)
+
+
+def ring_graph(num_vertices: int, capacity: int = 1) -> CapacitatedGraph:
+    """A directed cycle on ``num_vertices`` vertices."""
+    if num_vertices < 3:
+        raise ValueError("ring_graph needs at least three vertices")
+    edges = [(i, (i + 1) % num_vertices, capacity) for i in range(num_vertices)]
+    return CapacitatedGraph(edges)
+
+
+def star_graph(leaves: int, capacity: int = 1) -> CapacitatedGraph:
+    """A star with centre ``0`` and bidirected spokes to ``1..leaves``."""
+    if leaves < 1:
+        raise ValueError("star_graph needs at least one leaf")
+    edges = []
+    for leaf in range(1, leaves + 1):
+        edges.append((0, leaf, capacity))
+        edges.append((leaf, 0, capacity))
+    return CapacitatedGraph(edges)
+
+
+def binary_tree_graph(depth: int, capacity: int = 1) -> CapacitatedGraph:
+    """A complete binary tree of the given depth, edges directed both ways."""
+    if depth < 1:
+        raise ValueError("binary_tree_graph needs depth >= 1")
+    tree = nx.balanced_tree(2, depth)
+    for _, _, data in tree.edges(data=True):
+        data["capacity"] = capacity
+    return CapacitatedGraph.from_networkx(tree, default_capacity=capacity)
+
+
+def grid_graph(rows: int, cols: int, capacity: int = 1) -> CapacitatedGraph:
+    """A ``rows x cols`` grid, edges directed both ways (mesh-network style)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    grid = nx.grid_2d_graph(rows, cols)
+    for _, _, data in grid.edges(data=True):
+        data["capacity"] = capacity
+    return CapacitatedGraph.from_networkx(grid, default_capacity=capacity)
+
+
+def complete_graph(num_vertices: int, capacity: int = 1) -> CapacitatedGraph:
+    """A complete directed graph on ``num_vertices`` vertices."""
+    if num_vertices < 2:
+        raise ValueError("complete_graph needs at least two vertices")
+    edges = [
+        (u, v, capacity)
+        for u in range(num_vertices)
+        for v in range(num_vertices)
+        if u != v
+    ]
+    return CapacitatedGraph(edges)
+
+
+def random_gnp_graph(
+    num_vertices: int,
+    edge_probability: float,
+    capacity: int = 1,
+    random_state: RandomState = None,
+    ensure_connected: bool = True,
+) -> CapacitatedGraph:
+    """A G(n, p) random graph turned into a symmetric directed graph.
+
+    With ``ensure_connected`` a spanning cycle is added so that every
+    source/target pair used by workload generators has a path.
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = as_generator(random_state)
+    graph = nx.gnp_random_graph(num_vertices, edge_probability, seed=int(rng.integers(0, 2**31)))
+    if ensure_connected:
+        for i in range(num_vertices):
+            graph.add_edge(i, (i + 1) % num_vertices)
+    for _, _, data in graph.edges(data=True):
+        data["capacity"] = capacity
+    return CapacitatedGraph.from_networkx(graph, default_capacity=capacity)
+
+
+def random_regular_graph(
+    degree: int,
+    num_vertices: int,
+    capacity: int = 1,
+    random_state: RandomState = None,
+) -> CapacitatedGraph:
+    """A random ``degree``-regular graph (an expander-like topology for stress tests)."""
+    if degree * num_vertices % 2 != 0:
+        raise ValueError("degree * num_vertices must be even for a regular graph")
+    rng = as_generator(random_state)
+    graph = nx.random_regular_graph(degree, num_vertices, seed=int(rng.integers(0, 2**31)))
+    for _, _, data in graph.edges(data=True):
+        data["capacity"] = capacity
+    return CapacitatedGraph.from_networkx(graph, default_capacity=capacity)

@@ -1,0 +1,48 @@
+"""Offline comparators: exact and approximate optimum solvers.
+
+Admission control
+-----------------
+* :func:`~repro.offline.admission_ilp.solve_admission_ilp` — exact integral OPT
+  (the comparator of Theorems 3–4).
+* :func:`~repro.offline.admission_lp.solve_admission_lp` — exact fractional OPT
+  (the comparator of Theorem 2, and a lower bound on the integral OPT).
+* :mod:`~repro.offline.admission_greedy` — fast feasible upper bounds.
+
+Set cover with repetitions
+---------------------------
+* :func:`~repro.offline.set_multicover.solve_set_multicover_ilp` — exact OPT.
+* :func:`~repro.offline.set_multicover.solve_set_multicover_lp` — LP lower bound.
+* :func:`~repro.offline.set_multicover.greedy_set_multicover` — greedy upper bound.
+"""
+
+from repro.offline.admission_greedy import (
+    best_greedy,
+    greedy_accept_by_cost,
+    greedy_accept_by_density,
+)
+from repro.offline.admission_ilp import IntegralSolution, solve_admission_ilp
+from repro.offline.admission_lp import FractionalSolution, solve_admission_lp
+from repro.offline.set_multicover import (
+    CoverSolution,
+    FractionalCoverSolution,
+    demands_from_instance,
+    greedy_set_multicover,
+    solve_set_multicover_ilp,
+    solve_set_multicover_lp,
+)
+
+__all__ = [
+    "best_greedy",
+    "greedy_accept_by_cost",
+    "greedy_accept_by_density",
+    "IntegralSolution",
+    "solve_admission_ilp",
+    "FractionalSolution",
+    "solve_admission_lp",
+    "CoverSolution",
+    "FractionalCoverSolution",
+    "demands_from_instance",
+    "greedy_set_multicover",
+    "solve_set_multicover_ilp",
+    "solve_set_multicover_lp",
+]

@@ -1,0 +1,70 @@
+"""Offline greedy heuristics for admission control.
+
+These are not part of the paper; they serve two roles in the reproduction:
+
+* quick upper bounds on OPT for large instances where the exact ILP is too
+  slow (a feasible solution's cost is always an upper bound);
+* sanity baselines for the offline solvers' tests (greedy cost must never be
+  below the LP bound nor below the ILP optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import EdgeId, Request
+from repro.offline.admission_ilp import IntegralSolution
+
+__all__ = ["greedy_accept_by_cost", "greedy_accept_by_density", "best_greedy"]
+
+
+def _greedy(instance: AdmissionInstance, order: List[Request], name: str) -> IntegralSolution:
+    """Accept requests in the given order whenever they still fit."""
+    residual: Dict[EdgeId, int] = instance.capacities
+    accepted: List[int] = []
+    rejected: List[int] = []
+    for request in order:
+        if all(residual[e] >= 1 for e in request.edges):
+            for e in request.edges:
+                residual[e] -= 1
+            accepted.append(request.request_id)
+        else:
+            rejected.append(request.request_id)
+    costs = instance.requests.cost_by_id()
+    return IntegralSolution(
+        cost=sum(costs[i] for i in rejected),
+        rejected_ids=frozenset(rejected),
+        accepted_ids=frozenset(accepted),
+        status=name,
+    )
+
+
+def greedy_accept_by_cost(instance: AdmissionInstance) -> IntegralSolution:
+    """Accept requests in decreasing cost order while they fit.
+
+    Expensive requests are the most costly to reject, so they are protected
+    first.  This is the natural offline greedy for the rejection objective.
+    """
+    order = sorted(instance.requests, key=lambda r: (-r.cost, r.request_id))
+    return _greedy(instance, order, "greedy-by-cost")
+
+
+def greedy_accept_by_density(instance: AdmissionInstance) -> IntegralSolution:
+    """Accept requests in decreasing cost-per-edge order while they fit.
+
+    Requests occupying many edges block more capacity; normalising the cost by
+    the path length often beats plain cost ordering on path workloads.
+    """
+    order = sorted(
+        instance.requests, key=lambda r: (-r.cost / max(len(r.edges), 1), r.request_id)
+    )
+    return _greedy(instance, order, "greedy-by-density")
+
+
+def best_greedy(instance: AdmissionInstance) -> IntegralSolution:
+    """The better of the two greedy orderings (still only an upper bound on OPT)."""
+    by_cost = greedy_accept_by_cost(instance)
+    by_density = greedy_accept_by_density(instance)
+    return by_cost if by_cost.cost <= by_density.cost else by_density

@@ -1,0 +1,46 @@
+"""Shared low-level utilities used across the :mod:`repro` package.
+
+The utilities are intentionally dependency-light: deterministic random number
+handling (:mod:`repro.utils.rng`), guarded math helpers used by the
+competitive-analysis bounds (:mod:`repro.utils.mathx`), lightweight timing
+(:mod:`repro.utils.timing`), logging setup (:mod:`repro.utils.logging`), and
+argument validation helpers (:mod:`repro.utils.validation`).
+"""
+
+from repro.utils.mathx import (
+    ceil_log2,
+    log2_guarded,
+    ln_guarded,
+    safe_ratio,
+    harmonic_number,
+    clamp,
+)
+from repro.utils.rng import RandomState, as_generator, spawn_generators, derive_seed
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_integer,
+    check_in_range,
+)
+
+__all__ = [
+    "ceil_log2",
+    "log2_guarded",
+    "ln_guarded",
+    "safe_ratio",
+    "harmonic_number",
+    "clamp",
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "derive_seed",
+    "Timer",
+    "timed",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_integer",
+    "check_in_range",
+]

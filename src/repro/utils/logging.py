@@ -1,0 +1,42 @@
+"""Logging configuration for the library.
+
+The library never configures the root logger on import; applications call
+:func:`configure_logging` explicitly (the examples do).  Modules obtain their
+logger through :func:`get_logger` so all of them share the ``repro.`` prefix.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("core.fractional")`` and ``get_logger("repro.core.fractional")``
+    return the same logger.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(level: int = logging.INFO, *, stream=None, fmt: Optional[str] = None) -> None:
+    """Attach a stream handler to the ``repro`` logger hierarchy.
+
+    Calling it twice replaces the previous handler rather than duplicating
+    output (useful in notebooks and repeated example runs).
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(fmt or _FORMAT))
+    logger.addHandler(handler)
+    logger.propagate = False

@@ -1,0 +1,111 @@
+"""Small guarded math helpers.
+
+The competitive bounds of the paper are expressed in terms of logarithms of
+instance parameters (``log(mc)``, ``log m log n`` ...).  For tiny instances
+these logarithms can be zero or negative, which would make thresholds such as
+``1 / (12 log(mc))`` meaningless.  The helpers here centralise the guards so
+every algorithm and bound function treats degenerate parameters the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = [
+    "log2_guarded",
+    "ln_guarded",
+    "ceil_log2",
+    "safe_ratio",
+    "harmonic_number",
+    "clamp",
+    "geometric_mean",
+    "is_power_of_two",
+]
+
+
+def log2_guarded(x: float, minimum: float = 1.0) -> float:
+    """Return ``log2(x)`` but never less than ``minimum``.
+
+    The paper's algorithms divide by quantities such as ``log(mc)``.  For
+    ``mc <= 2`` the logarithm would be at most 1 (or 0), which would produce
+    degenerate rejection thresholds; the guarded version keeps every formula
+    well defined on small instances while being identical to ``log2`` on the
+    asymptotic regime the theorems address.
+
+    Parameters
+    ----------
+    x:
+        Argument of the logarithm. Values below 1 are treated as 1.
+    minimum:
+        Lower bound for the returned value (default 1.0).
+    """
+    if x < 1.0:
+        x = 1.0
+    return max(math.log2(x), minimum)
+
+
+def ln_guarded(x: float, minimum: float = 1.0) -> float:
+    """Natural-logarithm counterpart of :func:`log2_guarded`."""
+    if x < 1.0:
+        x = 1.0
+    return max(math.log(x), minimum)
+
+
+def ceil_log2(x: float) -> int:
+    """Return ``ceil(log2(x))`` for ``x >= 1`` (and 0 for smaller values)."""
+    if x <= 1:
+        return 0
+    return int(math.ceil(math.log2(x)))
+
+
+def safe_ratio(numerator: float, denominator: float, *, zero_over_zero: float = 1.0) -> float:
+    """Competitive ratio ``numerator / denominator`` with the 0/0 convention.
+
+    An online algorithm that pays 0 while the optimum pays 0 is (vacuously)
+    1-competitive, hence ``zero_over_zero`` defaults to 1.  A strictly
+    positive cost against a zero optimum is reported as ``math.inf``.
+    """
+    if denominator == 0:
+        return zero_over_zero if numerator == 0 else math.inf
+    return numerator / denominator
+
+
+def harmonic_number(n: int) -> float:
+    """Return the ``n``-th harmonic number ``H_n = 1 + 1/2 + ... + 1/n``.
+
+    Used by the classical greedy set-cover approximation bound ``H_n <= ln n + 1``.
+    """
+    if n <= 0:
+        return 0.0
+    if n < 128:
+        return sum(1.0 / k for k in range(1, n + 1))
+    # Asymptotic expansion is plenty accurate for the analysis reports.
+    gamma = 0.5772156649015329
+    return math.log(n) + gamma + 1.0 / (2 * n) - 1.0 / (12 * n * n)
+
+
+def clamp(x: float, lo: float, hi: float) -> float:
+    """Clamp ``x`` into the closed interval ``[lo, hi]``."""
+    if lo > hi:
+        raise ValueError(f"clamp interval is empty: [{lo}, {hi}]")
+    return lo if x < lo else hi if x > hi else x
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values (1.0 for an empty iterable)."""
+    total = 0.0
+    count = 0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric_mean requires strictly positive values")
+        total += math.log(v)
+        count += 1
+    if count == 0:
+        return 1.0
+    return math.exp(total / count)
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0

@@ -1,0 +1,72 @@
+"""Lightweight wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Tuple, TypeVar
+
+__all__ = ["Timer", "timed"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating timer keyed by section name.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.section("solve"):
+    ...     _ = sum(range(1000))
+    >>> "solve" in timer.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time a named section; durations accumulate across uses."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never timed)."""
+        return self.totals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per call for ``name`` (0.0 if never timed)."""
+        count = self.counts.get(name, 0)
+        return self.totals.get(name, 0.0) / count if count else 0.0
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-section summary."""
+        lines = []
+        for name in sorted(self.totals):
+            lines.append(
+                f"{name:<30s} total={self.totals[name]:.4f}s "
+                f"calls={self.counts[name]} mean={self.mean(name):.6f}s"
+            )
+        return "\n".join(lines)
+
+
+def timed(func: Callable[..., T]) -> Callable[..., Tuple[T, float]]:
+    """Return a wrapper that also reports the call's wall-clock duration."""
+
+    def wrapper(*args, **kwargs) -> Tuple[T, float]:
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        return result, time.perf_counter() - start
+
+    wrapper.__name__ = getattr(func, "__name__", "timed")
+    wrapper.__doc__ = func.__doc__
+    return wrapper

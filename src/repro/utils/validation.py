@@ -1,0 +1,59 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Any
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_integer",
+    "check_in_range",
+]
+
+
+def check_positive(value: Any, name: str) -> float:
+    """Validate ``value > 0`` and return it as ``float``."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(value: Any, name: str) -> float:
+    """Validate ``value >= 0`` and return it as ``float``."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate ``0 <= value <= 1`` and return it as ``float``."""
+    value = check_non_negative(value, name)
+    if value > 1:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_integer(value: Any, name: str, *, minimum: int | None = None) -> int:
+    """Validate that ``value`` is an integer (optionally bounded below)."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_in_range(value: Any, name: str, lo: float, hi: float) -> float:
+    """Validate ``lo <= value <= hi`` and return it as ``float``."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return float(value)

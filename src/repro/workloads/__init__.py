@@ -1,0 +1,61 @@
+"""Workload generators: random and adversarial instances for both problems."""
+
+from repro.workloads.admission_adversarial import (
+    benefit_objective_trap,
+    cheap_then_expensive_adversary,
+    long_vs_short_adversary,
+    overloaded_edge_adversary,
+    repeated_overload_adversary,
+)
+from repro.workloads.admission_random import (
+    hotspot_workload,
+    line_interval_workload,
+    random_path_workload,
+    single_edge_workload,
+)
+from repro.workloads.costs import (
+    bimodal_costs,
+    lognormal_costs,
+    pareto_costs,
+    uniform_costs,
+    unit_costs,
+)
+from repro.workloads.setcover_adversarial import (
+    adaptive_uncovered_adversary,
+    disjoint_blocks_instance,
+    nested_family_instance,
+    repetition_stress_instance,
+)
+from repro.workloads.setcover_random import (
+    random_arrivals,
+    random_set_system,
+    random_setcover_instance,
+    regular_set_system,
+    repetition_heavy_arrivals,
+)
+
+__all__ = [
+    "benefit_objective_trap",
+    "cheap_then_expensive_adversary",
+    "long_vs_short_adversary",
+    "overloaded_edge_adversary",
+    "repeated_overload_adversary",
+    "hotspot_workload",
+    "line_interval_workload",
+    "random_path_workload",
+    "single_edge_workload",
+    "bimodal_costs",
+    "lognormal_costs",
+    "pareto_costs",
+    "uniform_costs",
+    "unit_costs",
+    "adaptive_uncovered_adversary",
+    "disjoint_blocks_instance",
+    "nested_family_instance",
+    "repetition_stress_instance",
+    "random_arrivals",
+    "random_set_system",
+    "random_setcover_instance",
+    "regular_set_system",
+    "repetition_heavy_arrivals",
+]

@@ -1,0 +1,211 @@
+"""Adversarial admission-control workloads.
+
+Random workloads rarely separate a polylog-competitive algorithm from a naive
+baseline; the constructions below are designed to:
+
+* :func:`overloaded_edge_adversary` — flood a hidden subset of edges so that a
+  large number of rejections is unavoidable, while leaving plenty of harmless
+  requests around to tempt naive algorithms into the wrong rejections;
+* :func:`cheap_then_expensive_adversary` — the classic weighted trap: cheap
+  requests claim an edge first, then expensive requests need the same edge.
+  OPT rejects the cheap ones; a non-preemptive algorithm is stuck paying for
+  the expensive ones;
+* :func:`long_vs_short_adversary` — a long path request followed by many
+  single-edge requests on its edges; OPT rejects only the long one.  This is
+  the structure behind the ``Omega(sqrt m)`` style lower bounds for too-simple
+  deterministic rules;
+* :func:`benefit_objective_trap` — the Section-1 motivation: an instance where
+  a throughput-maximising algorithm can end up rejecting almost everything
+  while an algorithm that targets rejections rejects only a handful;
+* :func:`repeated_overload_adversary` — waves of overload on the same edge,
+  exercising preemption decisions over time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import Request, RequestSequence
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "overloaded_edge_adversary",
+    "cheap_then_expensive_adversary",
+    "long_vs_short_adversary",
+    "benefit_objective_trap",
+    "repeated_overload_adversary",
+]
+
+
+def overloaded_edge_adversary(
+    num_edges: int,
+    capacity: int,
+    *,
+    num_hot_edges: int = 2,
+    overload_factor: float = 3.0,
+    decoys_per_hot: int = 4,
+    random_state: RandomState = None,
+    name: str = "overloaded-edges",
+) -> AdmissionInstance:
+    """Flood a hidden subset of edges beyond capacity, surrounded by decoys.
+
+    ``num_hot_edges`` edges receive ``ceil(overload_factor * capacity)``
+    single-edge requests each (so OPT must reject
+    ``(overload_factor - 1) * capacity`` per hot edge), interleaved with
+    two-edge decoy requests that pair a hot edge with a cold one — rejecting a
+    decoy also relieves the hot edge, but OPT never needs to reject any
+    cold-only request.
+    """
+    if num_hot_edges < 1 or num_hot_edges > num_edges:
+        raise ValueError("need 1 <= num_hot_edges <= num_edges")
+    rng = as_generator(random_state)
+    capacities = {f"e{k}": capacity for k in range(num_edges)}
+    hot = [f"e{k}" for k in range(num_hot_edges)]
+    cold = [f"e{k}" for k in range(num_hot_edges, num_edges)] or hot
+
+    requests: List[Request] = []
+    rid = 0
+    per_hot = int(np.ceil(overload_factor * capacity))
+    for hot_edge in hot:
+        for _ in range(per_hot):
+            requests.append(Request(rid, frozenset({hot_edge}), 1.0))
+            rid += 1
+        for _ in range(decoys_per_hot):
+            cold_edge = cold[int(rng.integers(0, len(cold)))]
+            edges = {hot_edge, cold_edge} if cold_edge != hot_edge else {hot_edge}
+            requests.append(Request(rid, frozenset(edges), 1.0))
+            rid += 1
+    order = rng.permutation(len(requests))
+    reordered = [
+        Request(i, requests[int(k)].edges, requests[int(k)].cost) for i, k in enumerate(order)
+    ]
+    return AdmissionInstance(capacities, RequestSequence(reordered), name=name)
+
+
+def cheap_then_expensive_adversary(
+    num_edges: int,
+    capacity: int,
+    *,
+    expensive_cost: float = 50.0,
+    expensive_per_edge: Optional[int] = None,
+    name: str = "cheap-then-expensive",
+) -> AdmissionInstance:
+    """Cheap requests occupy each edge first, then expensive ones want it.
+
+    Per edge: ``capacity`` cheap (cost 1) requests arrive first and fill it,
+    then ``expensive_per_edge`` (default ``capacity``) requests of cost
+    ``expensive_cost`` arrive on the same edge.  OPT rejects the cheap
+    requests (cost ``capacity`` per edge); a non-preemptive algorithm must
+    reject the expensive ones (cost ``capacity * expensive_cost`` per edge),
+    a gap of ``expensive_cost``.
+    """
+    if capacity < 1 or num_edges < 1:
+        raise ValueError("capacity and num_edges must be >= 1")
+    expensive_per_edge = expensive_per_edge or capacity
+    capacities = {f"e{k}": capacity for k in range(num_edges)}
+    requests: List[Request] = []
+    rid = 0
+    for k in range(num_edges):
+        edge = f"e{k}"
+        for _ in range(capacity):
+            requests.append(Request(rid, frozenset({edge}), 1.0))
+            rid += 1
+        for _ in range(expensive_per_edge):
+            requests.append(Request(rid, frozenset({edge}), float(expensive_cost)))
+            rid += 1
+    return AdmissionInstance(capacities, RequestSequence(requests), name=name)
+
+
+def long_vs_short_adversary(
+    num_edges: int,
+    capacity: int = 1,
+    *,
+    shorts_per_edge: int = 1,
+    name: str = "long-vs-short",
+) -> AdmissionInstance:
+    """One request spanning every edge, then short requests on each edge.
+
+    The long request arrives first and occupies all ``num_edges`` edges; then
+    ``shorts_per_edge * capacity`` single-edge requests arrive per edge.  OPT
+    rejects only the long request (cost 1); any algorithm that refuses to
+    preempt it must reject up to ``num_edges`` short requests.
+    """
+    if num_edges < 1 or capacity < 1:
+        raise ValueError("num_edges and capacity must be >= 1")
+    capacities = {f"e{k}": capacity for k in range(num_edges)}
+    all_edges = frozenset(capacities)
+    requests: List[Request] = [Request(0, all_edges, 1.0)]
+    rid = 1
+    for k in range(num_edges):
+        for _ in range(shorts_per_edge * capacity):
+            requests.append(Request(rid, frozenset({f"e{k}"}), 1.0))
+            rid += 1
+    return AdmissionInstance(capacities, RequestSequence(requests), name=name)
+
+
+def benefit_objective_trap(
+    num_groups: int,
+    group_size: int,
+    capacity: int = 1,
+    *,
+    name: str = "benefit-trap",
+) -> AdmissionInstance:
+    """The Section-1 motivation: maximizing acceptances is not minimizing rejections.
+
+    Each of the ``num_groups`` groups has a private edge of capacity
+    ``capacity`` and receives ``group_size`` single-edge requests plus one
+    "anchor" request that also touches a shared edge.  A throughput-maximising
+    policy happily sacrifices whole groups to keep the shared edge free; the
+    rejection-minimising optimum rejects exactly the per-group excess
+    (``group_size + 1 - capacity`` per group at most) and never more.
+    """
+    if num_groups < 1 or group_size < 1:
+        raise ValueError("num_groups and group_size must be >= 1")
+    capacities = {"shared": max(1, num_groups // 2)}
+    for k in range(num_groups):
+        capacities[f"g{k}"] = capacity
+    requests: List[Request] = []
+    rid = 0
+    for k in range(num_groups):
+        requests.append(Request(rid, frozenset({f"g{k}", "shared"}), 1.0))
+        rid += 1
+        for _ in range(group_size):
+            requests.append(Request(rid, frozenset({f"g{k}"}), 1.0))
+            rid += 1
+    return AdmissionInstance(capacities, RequestSequence(requests), name=name)
+
+
+def repeated_overload_adversary(
+    capacity: int,
+    num_waves: int,
+    wave_size: Optional[int] = None,
+    *,
+    num_side_edges: int = 4,
+    random_state: RandomState = None,
+    name: str = "repeated-overload",
+) -> AdmissionInstance:
+    """Waves of overload on a single bottleneck edge, with side traffic.
+
+    Every wave sends ``wave_size`` (default ``2 * capacity``) requests through
+    the bottleneck, each also touching a random side edge.  OPT rejects
+    ``wave_size * num_waves - capacity`` requests in total; online algorithms
+    must keep deciding which standing requests to preempt as new waves arrive.
+    """
+    if capacity < 1 or num_waves < 1:
+        raise ValueError("capacity and num_waves must be >= 1")
+    rng = as_generator(random_state)
+    wave_size = wave_size or 2 * capacity
+    capacities = {"bottleneck": capacity}
+    for k in range(num_side_edges):
+        capacities[f"side{k}"] = capacity * num_waves * wave_size  # effectively uncapacitated
+    requests: List[Request] = []
+    rid = 0
+    for _ in range(num_waves):
+        for _ in range(wave_size):
+            side = f"side{int(rng.integers(0, num_side_edges))}"
+            requests.append(Request(rid, frozenset({"bottleneck", side}), 1.0))
+            rid += 1
+    return AdmissionInstance(capacities, RequestSequence(requests), name=name)

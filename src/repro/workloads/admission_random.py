@@ -1,0 +1,183 @@
+"""Random admission-control workloads on network topologies.
+
+These generators turn a :class:`~repro.network.graph.CapacitatedGraph` (or a
+bare edge set) into an :class:`~repro.instances.admission.AdmissionInstance`
+by sampling requests:
+
+* :func:`random_path_workload` — random source/target pairs routed on the
+  graph (shortest or random simple path), the "virtual circuit" workload the
+  paper's introduction describes;
+* :func:`single_edge_workload` — requests touching single random edges
+  (the workload the set-cover reduction produces in phase 2, and the purest
+  stress test of the per-edge mechanism);
+* :func:`hotspot_workload` — a fraction of requests funnelled through a small
+  set of hotspot edges so rejections become unavoidable;
+* :func:`line_interval_workload` — interval requests on a line network (the
+  classical call-control workload).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import Request, RequestSequence
+from repro.network.graph import CapacitatedGraph
+from repro.network.routing import random_simple_path, random_source_target
+from repro.network.topologies import line_graph
+from repro.utils.rng import RandomState, as_generator
+from repro.workloads.costs import unit_costs
+
+CostSampler = Callable[[int, RandomState], np.ndarray]
+
+__all__ = [
+    "random_path_workload",
+    "single_edge_workload",
+    "hotspot_workload",
+    "line_interval_workload",
+]
+
+
+def _costs(cost_sampler: Optional[CostSampler], count: int, rng) -> np.ndarray:
+    sampler = cost_sampler or unit_costs
+    costs = np.asarray(sampler(count, rng), dtype=float)
+    if costs.shape != (count,):
+        raise ValueError(f"cost sampler returned shape {costs.shape}, expected ({count},)")
+    if np.any(costs <= 0):
+        raise ValueError("cost sampler produced non-positive costs")
+    return costs
+
+
+def random_path_workload(
+    graph: CapacitatedGraph,
+    num_requests: int,
+    *,
+    cost_sampler: Optional[CostSampler] = None,
+    shortest_paths: bool = True,
+    random_state: RandomState = None,
+    name: str = "random-paths",
+) -> AdmissionInstance:
+    """Random source/target requests routed on the graph.
+
+    Parameters
+    ----------
+    graph:
+        The capacitated network.
+    num_requests:
+        Number of requests to generate.
+    cost_sampler:
+        Callable ``(count, rng) -> costs``; defaults to unit costs.
+    shortest_paths:
+        Route along shortest paths (True) or random simple paths (False).
+    """
+    rng = as_generator(random_state)
+    costs = _costs(cost_sampler, num_requests, rng)
+    requests = []
+    for i in range(num_requests):
+        source, target = random_source_target(graph, rng)
+        if shortest_paths:
+            path = graph.shortest_path(source, target)
+        else:
+            path = random_simple_path(graph, source, target, rng)
+        requests.append(graph.request_from_path(i, path, cost=float(costs[i])))
+    return graph.build_instance(RequestSequence(requests), name=name)
+
+
+def single_edge_workload(
+    num_edges: int,
+    num_requests: int,
+    capacity: int = 1,
+    *,
+    concentration: float = 1.0,
+    cost_sampler: Optional[CostSampler] = None,
+    random_state: RandomState = None,
+    name: str = "single-edge",
+) -> AdmissionInstance:
+    """Requests each occupying one edge, drawn from a (possibly skewed) distribution.
+
+    ``concentration`` is the Zipf-like skew of the edge choice: 0 gives a
+    uniform distribution over edges, larger values concentrate the load on the
+    first few edges and force rejections there.
+    """
+    if num_edges < 1 or num_requests < 0:
+        raise ValueError("num_edges must be >= 1 and num_requests >= 0")
+    rng = as_generator(random_state)
+    capacities = {f"e{k}": capacity for k in range(num_edges)}
+    weights = np.arange(1, num_edges + 1, dtype=float) ** (-float(concentration))
+    weights /= weights.sum()
+    choices = rng.choice(num_edges, size=num_requests, p=weights)
+    costs = _costs(cost_sampler, num_requests, rng)
+    requests = RequestSequence(
+        Request(i, frozenset({f"e{int(choices[i])}"}), float(costs[i])) for i in range(num_requests)
+    )
+    return AdmissionInstance(capacities, requests, name=name)
+
+
+def hotspot_workload(
+    graph: CapacitatedGraph,
+    num_requests: int,
+    *,
+    num_hotspots: int = 2,
+    hotspot_fraction: float = 0.7,
+    cost_sampler: Optional[CostSampler] = None,
+    random_state: RandomState = None,
+    name: str = "hotspot",
+) -> AdmissionInstance:
+    """Random paths with a fraction of requests forced through hotspot edges.
+
+    ``hotspot_fraction`` of the requests additionally occupy one of
+    ``num_hotspots`` randomly chosen edges, creating localised congestion that
+    the optimum resolves by rejecting only the cheapest conflicting requests.
+    """
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise ValueError("hotspot_fraction must be in [0, 1]")
+    rng = as_generator(random_state)
+    edge_ids = graph.edge_ids()
+    num_hotspots = min(max(num_hotspots, 1), len(edge_ids))
+    hotspot_indices = rng.choice(len(edge_ids), size=num_hotspots, replace=False)
+    hotspots = [edge_ids[int(k)] for k in hotspot_indices]
+
+    costs = _costs(cost_sampler, num_requests, rng)
+    requests = []
+    for i in range(num_requests):
+        source, target = random_source_target(graph, rng)
+        path = graph.shortest_path(source, target)
+        edges = set(graph.path_edges(path))
+        if rng.random() < hotspot_fraction:
+            edges.add(hotspots[int(rng.integers(0, len(hotspots)))])
+        requests.append(Request(i, frozenset(edges), float(costs[i])))
+    return graph.build_instance(RequestSequence(requests), name=name)
+
+
+def line_interval_workload(
+    num_vertices: int,
+    num_requests: int,
+    capacity: int = 1,
+    *,
+    max_length: Optional[int] = None,
+    cost_sampler: Optional[CostSampler] = None,
+    random_state: RandomState = None,
+    name: str = "line-intervals",
+) -> AdmissionInstance:
+    """Interval requests on a directed line (the classical call-control workload).
+
+    Each request occupies a contiguous interval ``[a, b)`` of the line's edges,
+    with ``a`` uniform and the length geometric-ish (uniform up to
+    ``max_length``).
+    """
+    if num_vertices < 2:
+        raise ValueError("num_vertices must be >= 2")
+    rng = as_generator(random_state)
+    graph = line_graph(num_vertices, capacity=capacity)
+    max_length = max_length or (num_vertices - 1)
+    costs = _costs(cost_sampler, num_requests, rng)
+    requests = []
+    for i in range(num_requests):
+        start = int(rng.integers(0, num_vertices - 1))
+        length = int(rng.integers(1, max_length + 1))
+        end = min(start + length, num_vertices - 1)
+        path = list(range(start, end + 1))
+        requests.append(graph.request_from_path(i, path, cost=float(costs[i])))
+    return graph.build_instance(RequestSequence(requests), name=name)

@@ -1,0 +1,87 @@
+"""Request-cost generators used by the admission-control workloads.
+
+The weighted bounds of the paper depend on the cost *spread* (through the
+normalisation ``g <= 2mc``); the generators below produce the regimes the
+experiments sweep: unit costs, narrow uniform spreads, heavy-tailed spreads
+(which exercise the ``R_big`` / ``R_small`` preprocessing), and bimodal
+cheap/expensive mixes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "unit_costs",
+    "uniform_costs",
+    "pareto_costs",
+    "lognormal_costs",
+    "bimodal_costs",
+]
+
+
+def unit_costs(count: int, random_state: RandomState = None) -> np.ndarray:
+    """All-ones cost vector (the unweighted case)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return np.ones(count, dtype=float)
+
+
+def uniform_costs(
+    count: int, low: float = 1.0, high: float = 10.0, random_state: RandomState = None
+) -> np.ndarray:
+    """Costs drawn uniformly from ``[low, high]``."""
+    if low <= 0 or high < low:
+        raise ValueError("require 0 < low <= high")
+    rng = as_generator(random_state)
+    return rng.uniform(low, high, size=count)
+
+
+def pareto_costs(
+    count: int, shape: float = 1.5, scale: float = 1.0, random_state: RandomState = None
+) -> np.ndarray:
+    """Heavy-tailed Pareto costs (``scale`` is the minimum cost).
+
+    A small ``shape`` produces occasional very expensive requests, which is
+    the regime where protecting expensive requests (and the ``R_big`` class)
+    matters most.
+    """
+    if shape <= 0 or scale <= 0:
+        raise ValueError("shape and scale must be positive")
+    rng = as_generator(random_state)
+    return scale * (1.0 + rng.pareto(shape, size=count))
+
+
+def lognormal_costs(
+    count: int, sigma: float = 1.0, median: float = 5.0, random_state: RandomState = None
+) -> np.ndarray:
+    """Log-normal costs with the given median and log-scale spread."""
+    if sigma < 0 or median <= 0:
+        raise ValueError("sigma must be >= 0 and median > 0")
+    rng = as_generator(random_state)
+    return median * np.exp(rng.normal(0.0, sigma, size=count))
+
+
+def bimodal_costs(
+    count: int,
+    cheap: float = 1.0,
+    expensive: float = 100.0,
+    expensive_fraction: float = 0.1,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """A cheap/expensive mix (motivates the weighted objective).
+
+    ``expensive_fraction`` of the requests cost ``expensive``, the rest cost
+    ``cheap``.
+    """
+    if cheap <= 0 or expensive <= 0:
+        raise ValueError("costs must be positive")
+    if not 0.0 <= expensive_fraction <= 1.0:
+        raise ValueError("expensive_fraction must be in [0, 1]")
+    rng = as_generator(random_state)
+    mask = rng.random(count) < expensive_fraction
+    return np.where(mask, float(expensive), float(cheap))

@@ -1,0 +1,170 @@
+"""Adversarial workloads for online set cover with repetitions.
+
+Online set cover is hard precisely because the adversary can adapt: it keeps
+requesting elements the algorithm has not covered (or has covered the least),
+forcing it to spread purchases while the optimum buys a few well-chosen sets.
+The generators here provide:
+
+* :func:`adaptive_uncovered_adversary` — the adaptive strategy above, played
+  against a live algorithm instance (the strongest practical adversary);
+* :func:`nested_family_instance` — the nested family ``S_k = {0..k}``
+  where OPT is a single set but cautious algorithms buy many;
+* :func:`disjoint_blocks_instance` — blocks of elements covered by one cheap
+  "block set" and many expensive "singleton sets"; arrivals hit every element
+  of a few blocks, so OPT buys only those blocks;
+* :func:`repetition_stress_instance` — a single high-degree element requested
+  up to its full degree, forcing every algorithm to buy (almost) all of its
+  sets; OPT does the same, so the ratio should be close to 1 — a calibration
+  workload.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.protocols import OnlineSetCoverAlgorithm
+from repro.instances.setcover import SetCoverInstance, SetSystem
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "adaptive_uncovered_adversary",
+    "nested_family_instance",
+    "disjoint_blocks_instance",
+    "repetition_stress_instance",
+]
+
+
+def adaptive_uncovered_adversary(
+    system: SetSystem,
+    algorithm_factory: Callable[[SetSystem], OnlineSetCoverAlgorithm],
+    num_arrivals: int,
+    *,
+    allow_repetitions: bool = True,
+    random_state: RandomState = None,
+) -> Tuple[SetCoverInstance, OnlineSetCoverAlgorithm]:
+    """Play an adaptive adversary against a live algorithm instance.
+
+    At every step the adversary requests the element whose remaining coverage
+    slack (coverage minus demand) is smallest — i.e. the element the algorithm
+    is currently weakest on — subject to feasibility (an element is never
+    requested more times than its degree; without repetitions, at most once).
+
+    Returns the materialised instance (so offline optima can be computed) and
+    the algorithm object that actually played it (so its cost can be read off
+    directly — the adversary's choices depend on that very run).
+    """
+    rng = as_generator(random_state)
+    algorithm = algorithm_factory(system)
+    arrivals: List = []
+    demands: Dict = {e: 0 for e in system.elements()}
+    for _ in range(num_arrivals):
+        candidates = []
+        for element in system.elements():
+            limit = system.degree(element) if allow_repetitions else 1
+            if demands[element] < limit:
+                slack = algorithm.coverage(element) - demands[element]
+                candidates.append((slack, rng.random(), element))
+        if not candidates:
+            break
+        candidates.sort(key=lambda t: (t[0], t[1]))
+        element = candidates[0][2]
+        demands[element] += 1
+        arrivals.append(element)
+        algorithm.process_element(element)
+    instance = SetCoverInstance(system, arrivals, name="adaptive-adversary")
+    return instance, algorithm
+
+
+def nested_family_instance(levels: int, *, repetitions: int = 1) -> SetCoverInstance:
+    """The nested family ``S_k = {0, ..., k}`` with elements requested bottom-up.
+
+    OPT buys only the largest set (``repetitions`` largest sets if elements are
+    requested ``repetitions`` times), while an algorithm that reacts locally to
+    each arrival tends to buy many of the nested sets.
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    if repetitions < 1 or repetitions > 1 + 0:
+        # Repetitions beyond 1 are only feasible for elements contained in
+        # several sets; element ``k`` is in exactly ``levels - k`` sets.
+        pass
+    sets = {f"S{k}": set(range(k + 1)) for k in range(levels)}
+    system = SetSystem(sets)
+    arrivals: List[int] = []
+    for element in range(levels):
+        reps = min(repetitions, system.degree(element))
+        arrivals.extend([element] * reps)
+    return SetCoverInstance(system, arrivals, name="nested-family")
+
+
+def disjoint_blocks_instance(
+    num_blocks: int,
+    block_size: int,
+    *,
+    blocks_requested: Optional[int] = None,
+    singleton_cost: float = 1.0,
+    block_cost: float = 1.0,
+    random_state: RandomState = None,
+) -> SetCoverInstance:
+    """Blocks of elements, each coverable by one block set or many singletons.
+
+    Element ``(b, i)`` belongs to the block set ``B_b`` (cost ``block_cost``)
+    and to its own singleton set (cost ``singleton_cost``).  The adversary
+    requests every element of ``blocks_requested`` blocks (default: all), so
+    OPT pays ``blocks_requested * block_cost``; an algorithm that hedges with
+    singletons pays up to ``block_size`` times more.
+    """
+    if num_blocks < 1 or block_size < 1:
+        raise ValueError("num_blocks and block_size must be >= 1")
+    rng = as_generator(random_state)
+    blocks_requested = blocks_requested if blocks_requested is not None else num_blocks
+    blocks_requested = min(blocks_requested, num_blocks)
+
+    sets: Dict[str, List[Tuple[int, int]]] = {}
+    costs: Dict[str, float] = {}
+    for b in range(num_blocks):
+        members = [(b, i) for i in range(block_size)]
+        sets[f"B{b}"] = members
+        costs[f"B{b}"] = block_cost
+        for i in range(block_size):
+            sets[f"x{b}_{i}"] = [(b, i)]
+            costs[f"x{b}_{i}"] = singleton_cost
+    system = SetSystem(sets, costs)
+
+    chosen_blocks = rng.choice(num_blocks, size=blocks_requested, replace=False)
+    arrivals: List[Tuple[int, int]] = []
+    for b in chosen_blocks:
+        for i in range(block_size):
+            arrivals.append((int(b), i))
+    order = rng.permutation(len(arrivals))
+    arrivals = [arrivals[int(k)] for k in order]
+    return SetCoverInstance(system, arrivals, name="disjoint-blocks")
+
+
+def repetition_stress_instance(
+    degree: int,
+    *,
+    extra_elements: int = 4,
+    requested_repetitions: Optional[int] = None,
+) -> SetCoverInstance:
+    """One element contained in ``degree`` sets, requested up to ``degree`` times.
+
+    Every algorithm must buy (almost) all sets containing the hot element, and
+    so must OPT — the measured competitive ratio should be near 1, which makes
+    this a calibration instance for the repetition machinery.
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    requested = requested_repetitions or degree
+    requested = min(requested, degree)
+    sets: Dict[str, List[int]] = {}
+    for k in range(degree):
+        members = [0]
+        if extra_elements:
+            members.append(1 + (k % extra_elements))
+        sets[f"S{k}"] = members
+    system = SetSystem(sets)
+    arrivals = [0] * requested
+    return SetCoverInstance(system, arrivals, name="repetition-stress")

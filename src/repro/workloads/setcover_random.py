@@ -1,0 +1,168 @@
+"""Random set systems and arrival sequences for online set cover with repetitions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.instances.setcover import SetCoverInstance, SetSystem
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "random_set_system",
+    "regular_set_system",
+    "random_arrivals",
+    "repetition_heavy_arrivals",
+    "random_setcover_instance",
+]
+
+
+def random_set_system(
+    num_elements: int,
+    num_sets: int,
+    membership_probability: float = 0.3,
+    *,
+    costs: Optional[Sequence[float]] = None,
+    random_state: RandomState = None,
+) -> SetSystem:
+    """A Bernoulli random set system: element ``j`` is in set ``S`` w.p. ``p``.
+
+    Every element is guaranteed to belong to at least one set (a random one is
+    added if the Bernoulli draws left it uncovered), and every set is
+    guaranteed non-empty, so the system is always a valid instance.
+    """
+    if num_elements < 1 or num_sets < 1:
+        raise ValueError("num_elements and num_sets must be >= 1")
+    if not 0.0 <= membership_probability <= 1.0:
+        raise ValueError("membership_probability must be in [0, 1]")
+    rng = as_generator(random_state)
+    membership = rng.random((num_sets, num_elements)) < membership_probability
+    # Guarantee non-empty sets and covered elements.
+    for s in range(num_sets):
+        if not membership[s].any():
+            membership[s, int(rng.integers(0, num_elements))] = True
+    for j in range(num_elements):
+        if not membership[:, j].any():
+            membership[int(rng.integers(0, num_sets)), j] = True
+    sets: Dict[str, List[int]] = {
+        f"S{s}": [j for j in range(num_elements) if membership[s, j]] for s in range(num_sets)
+    }
+    cost_map = None
+    if costs is not None:
+        if len(costs) != num_sets:
+            raise ValueError("costs must have one entry per set")
+        cost_map = {f"S{s}": float(costs[s]) for s in range(num_sets)}
+    return SetSystem(sets, cost_map)
+
+
+def regular_set_system(
+    num_elements: int,
+    num_sets: int,
+    element_degree: int,
+    *,
+    random_state: RandomState = None,
+) -> SetSystem:
+    """A set system where every element belongs to exactly ``element_degree`` sets.
+
+    Useful for repetition-heavy workloads: the maximum feasible demand of every
+    element is exactly ``element_degree``.
+    """
+    if element_degree < 1 or element_degree > num_sets:
+        raise ValueError("need 1 <= element_degree <= num_sets")
+    rng = as_generator(random_state)
+    sets: Dict[str, List[int]] = {f"S{s}": [] for s in range(num_sets)}
+    for j in range(num_elements):
+        owners = rng.choice(num_sets, size=element_degree, replace=False)
+        for s in owners:
+            sets[f"S{int(s)}"].append(j)
+    # Drop empty sets (can happen when num_elements * degree < num_sets).
+    sets = {sid: members for sid, members in sets.items() if members}
+    return SetSystem(sets)
+
+
+def random_arrivals(
+    system: SetSystem,
+    num_arrivals: int,
+    *,
+    max_repetitions: Optional[int] = None,
+    random_state: RandomState = None,
+) -> List:
+    """Uniform random arrivals, truncated so no element exceeds its feasible demand.
+
+    ``max_repetitions`` further caps the number of times any element arrives
+    (defaults to its degree, the feasibility limit).
+    """
+    rng = as_generator(random_state)
+    elements = list(system.elements())
+    counts: Dict = {e: 0 for e in elements}
+    arrivals: List = []
+    attempts = 0
+    while len(arrivals) < num_arrivals and attempts < 50 * num_arrivals:
+        attempts += 1
+        element = elements[int(rng.integers(0, len(elements)))]
+        limit = system.degree(element)
+        if max_repetitions is not None:
+            limit = min(limit, max_repetitions)
+        if counts[element] >= limit:
+            continue
+        counts[element] += 1
+        arrivals.append(element)
+    return arrivals
+
+
+def repetition_heavy_arrivals(
+    system: SetSystem,
+    repetition_fraction: float = 0.8,
+    *,
+    random_state: RandomState = None,
+) -> List:
+    """Arrivals that repeatedly request a few high-degree elements.
+
+    A ``repetition_fraction`` share of the high-degree elements is requested up
+    to its full degree (interleaved), the remaining elements once each —
+    the regime where "with repetitions" differs most from plain online set
+    cover.
+    """
+    if not 0.0 < repetition_fraction <= 1.0:
+        raise ValueError("repetition_fraction must be in (0, 1]")
+    rng = as_generator(random_state)
+    elements = sorted(system.elements(), key=lambda e: -system.degree(e))
+    num_heavy = max(1, int(round(repetition_fraction * len(elements) * 0.25)))
+    heavy = elements[:num_heavy]
+    light = elements[num_heavy:]
+
+    arrivals: List = []
+    for element in light:
+        arrivals.append(element)
+    pending = {e: system.degree(e) for e in heavy}
+    while pending:
+        element = list(pending)[int(rng.integers(0, len(pending)))]
+        arrivals.append(element)
+        pending[element] -= 1
+        if pending[element] <= 0:
+            del pending[element]
+    order = rng.permutation(len(arrivals))
+    return [arrivals[int(k)] for k in order]
+
+
+def random_setcover_instance(
+    num_elements: int,
+    num_sets: int,
+    num_arrivals: int,
+    *,
+    membership_probability: float = 0.3,
+    max_repetitions: Optional[int] = None,
+    costs: Optional[Sequence[float]] = None,
+    random_state: RandomState = None,
+    name: str = "random-setcover",
+) -> SetCoverInstance:
+    """Convenience: a random set system plus random arrivals in one call."""
+    rng = as_generator(random_state)
+    system = random_set_system(
+        num_elements, num_sets, membership_probability, costs=costs, random_state=rng
+    )
+    arrivals = random_arrivals(
+        system, num_arrivals, max_repetitions=max_repetitions, random_state=rng
+    )
+    return SetCoverInstance(system, arrivals, name=name)

@@ -1,0 +1,98 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.instances.admission import AdmissionInstance
+from repro.instances.canonical import (
+    disjoint_paths_no_rejection,
+    repetition_set_cover,
+    single_edge_overload,
+    small_set_cover,
+    star_congestion,
+    triangle_weighted,
+    two_edge_chain,
+)
+from repro.instances.request import Request, RequestSequence
+from repro.instances.setcover import SetCoverInstance, SetSystem
+from repro.workloads import overloaded_edge_adversary, random_setcover_instance
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def star_instance() -> AdmissionInstance:
+    """Six unit requests through a hub of capacity 2 (OPT rejects 4)."""
+    return star_congestion(leaves=6, capacity=2)
+
+
+@pytest.fixture
+def overload_instance() -> AdmissionInstance:
+    """Five unit requests through one edge of capacity 2 (OPT rejects 3)."""
+    return single_edge_overload(extra=3, capacity=2)
+
+
+@pytest.fixture
+def chain_instance() -> AdmissionInstance:
+    """Two-edge chain where OPT rejects only the long request."""
+    return two_edge_chain()
+
+
+@pytest.fixture
+def weighted_instance() -> AdmissionInstance:
+    """Weighted single-edge instance where OPT rejects the cheap request."""
+    return triangle_weighted()
+
+
+@pytest.fixture
+def free_instance() -> AdmissionInstance:
+    """Disjoint requests — the optimum rejects nothing."""
+    return disjoint_paths_no_rejection(paths=5)
+
+
+@pytest.fixture
+def adversarial_instance() -> AdmissionInstance:
+    """A medium adversarial instance for integration-style tests."""
+    return overloaded_edge_adversary(num_edges=12, capacity=2, num_hot_edges=2, random_state=3)
+
+
+@pytest.fixture
+def simple_system() -> SetSystem:
+    """The three-set system of the small canonical set-cover instance."""
+    return small_set_cover().system
+
+
+@pytest.fixture
+def small_cover_instance() -> SetCoverInstance:
+    """Four elements requested once each; OPT = 2 sets."""
+    return small_set_cover()
+
+
+@pytest.fixture
+def repetition_instance() -> SetCoverInstance:
+    """One element requested three times; OPT = 3 sets."""
+    return repetition_set_cover()
+
+
+@pytest.fixture
+def random_cover_instance() -> SetCoverInstance:
+    """A reproducible random set-cover instance with repetitions."""
+    return random_setcover_instance(20, 10, 30, random_state=7)
+
+
+@pytest.fixture
+def simple_requests() -> RequestSequence:
+    """Three requests on two edges used by data-model tests."""
+    return RequestSequence(
+        [
+            Request(0, frozenset({"a"}), 1.0),
+            Request(1, frozenset({"a", "b"}), 2.5),
+            Request(2, frozenset({"b"}), 4.0),
+        ]
+    )

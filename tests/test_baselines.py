@@ -1,0 +1,186 @@
+"""Tests for the online baselines (admission control and set cover)."""
+
+import pytest
+
+from repro.analysis.invariants import check_admission_result
+from repro.baselines import (
+    CheapestSetOnline,
+    ExponentialBenefitAdmission,
+    GreedyDensityOnline,
+    GreedySwap,
+    KeepExpensive,
+    RandomSetOnline,
+    RejectWhenFull,
+    ThresholdPreemption,
+)
+from repro.core.protocols import InfeasibleArrivalError, run_admission, run_setcover
+from repro.instances.setcover import SetCoverInstance, SetSystem
+from repro.offline import solve_admission_ilp
+from repro.workloads import (
+    cheap_then_expensive_adversary,
+    long_vs_short_adversary,
+    overloaded_edge_adversary,
+    random_setcover_instance,
+)
+
+ADMISSION_BASELINES = [RejectWhenFull, KeepExpensive, GreedySwap, ThresholdPreemption, ExponentialBenefitAdmission]
+
+
+class TestAdmissionBaselinesFeasibility:
+    @pytest.mark.parametrize("factory", ADMISSION_BASELINES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_always_feasible(self, factory, seed):
+        instance = overloaded_edge_adversary(10, 2, num_hot_edges=2, random_state=seed)
+        algo = factory.for_instance(instance)
+        result = run_admission(algo, instance)
+        assert result.feasible
+        assert check_admission_result(instance, result).ok
+
+    @pytest.mark.parametrize("factory", ADMISSION_BASELINES)
+    def test_no_rejections_without_congestion(self, factory, free_instance):
+        algo = factory.for_instance(free_instance)
+        result = run_admission(algo, free_instance)
+        assert result.rejection_cost == 0.0
+
+    @pytest.mark.parametrize("factory", ADMISSION_BASELINES)
+    def test_weighted_instances_supported(self, factory, weighted_instance):
+        algo = factory.for_instance(weighted_instance)
+        result = run_admission(algo, weighted_instance)
+        assert result.feasible
+
+
+class TestRejectWhenFull:
+    def test_never_preempts(self, adversarial_instance):
+        algo = RejectWhenFull.for_instance(adversarial_instance)
+        result = run_admission(algo, adversarial_instance)
+        assert not result.preempted_ids
+
+    def test_pays_expensive_on_cheap_then_expensive(self):
+        instance = cheap_then_expensive_adversary(4, 1, expensive_cost=10.0)
+        opt = solve_admission_ilp(instance)
+        algo = RejectWhenFull.for_instance(instance)
+        result = run_admission(algo, instance)
+        assert result.rejection_cost == pytest.approx(10.0 * opt.cost)
+
+
+class TestKeepExpensive:
+    def test_optimal_on_cheap_then_expensive(self):
+        instance = cheap_then_expensive_adversary(4, 2, expensive_cost=10.0)
+        opt = solve_admission_ilp(instance)
+        algo = KeepExpensive.for_instance(instance)
+        result = run_admission(algo, instance)
+        assert result.rejection_cost == pytest.approx(opt.cost)
+
+    def test_keeps_latest_on_long_vs_short(self):
+        instance = long_vs_short_adversary(6, capacity=1)
+        algo = KeepExpensive.for_instance(instance)
+        result = run_admission(algo, instance)
+        # The long request (id 0) gets preempted as soon as a short one conflicts.
+        assert 0 in result.preempted_ids | result.rejected_ids
+
+
+class TestGreedySwap:
+    def test_swaps_only_when_profitable(self, weighted_instance):
+        algo = GreedySwap.for_instance(weighted_instance)
+        result = run_admission(algo, weighted_instance)
+        # Expensive request arrives first; cheap one should simply be rejected.
+        assert result.rejection_cost == pytest.approx(1.0)
+
+    def test_accepts_expensive_after_cheap(self):
+        instance = cheap_then_expensive_adversary(2, 1, expensive_cost=9.0)
+        algo = GreedySwap.for_instance(instance)
+        result = run_admission(algo, instance)
+        assert result.rejection_cost == pytest.approx(solve_admission_ilp(instance).cost)
+
+
+class TestThresholdPreemption:
+    def test_threshold_factor_default_sqrt_m(self, adversarial_instance):
+        algo = ThresholdPreemption.for_instance(adversarial_instance)
+        assert algo.threshold_factor == pytest.approx(adversarial_instance.num_edges**0.5)
+
+    def test_threshold_factor_validated(self, star_instance):
+        with pytest.raises(ValueError):
+            ThresholdPreemption(star_instance.capacities, threshold_factor=0.5)
+
+    def test_preempts_only_much_cheaper(self):
+        instance = cheap_then_expensive_adversary(1, 1, expensive_cost=100.0)
+        algo = ThresholdPreemption.for_instance(instance, threshold_factor=10.0)
+        result = run_admission(algo, instance)
+        # The 100-cost request displaces the cheap one (100 >= 10 * 1).
+        assert result.rejection_cost == pytest.approx(1.0)
+
+    def test_does_not_preempt_similar_cost(self):
+        instance = cheap_then_expensive_adversary(1, 1, expensive_cost=2.0)
+        algo = ThresholdPreemption.for_instance(instance, threshold_factor=10.0)
+        result = run_admission(algo, instance)
+        assert result.rejection_cost == pytest.approx(2.0)
+
+
+class TestExponentialBenefit:
+    def test_parameter_validation(self, star_instance):
+        with pytest.raises(ValueError):
+            ExponentialBenefitAdmission(star_instance.capacities, mu=1.0)
+        with pytest.raises(ValueError):
+            ExponentialBenefitAdmission(star_instance.capacities, scale=0.0)
+
+    def test_price_increases_with_load(self, star_instance):
+        algo = ExponentialBenefitAdmission.for_instance(star_instance)
+        request = star_instance.requests[0]
+        before = algo.path_price(request)
+        algo.process(request)
+        after = algo.path_price(star_instance.requests[1])
+        assert after >= before
+
+    def test_rejects_more_cost_than_needed_on_benefit_trap(self):
+        from repro.workloads import benefit_objective_trap
+
+        instance = benefit_objective_trap(num_groups=6, group_size=5, capacity=1)
+        opt = solve_admission_ilp(instance)
+        algo = ExponentialBenefitAdmission.for_instance(instance, mu=1e6)
+        result = run_admission(algo, instance)
+        assert result.rejection_cost >= opt.cost
+
+
+SETCOVER_BASELINES = [CheapestSetOnline, GreedyDensityOnline, RandomSetOnline]
+
+
+class TestSetCoverBaselines:
+    @pytest.mark.parametrize("factory", SETCOVER_BASELINES)
+    def test_demands_satisfied(self, factory, random_cover_instance):
+        algo = factory.for_instance(random_cover_instance)
+        result = run_setcover(algo, random_cover_instance)
+        assert result.satisfied
+
+    @pytest.mark.parametrize("factory", SETCOVER_BASELINES)
+    def test_repetitions_covered_by_distinct_sets(self, factory, repetition_instance):
+        algo = factory.for_instance(repetition_instance)
+        result = run_setcover(algo, repetition_instance)
+        covering = repetition_instance.system.sets_containing(1) & result.chosen_sets
+        assert len(covering) >= 3
+
+    def test_cheapest_prefers_cheap_sets(self):
+        system = SetSystem({"cheap": {1}, "costly": {1}}, {"cheap": 1.0, "costly": 5.0})
+        algo = CheapestSetOnline(system)
+        algo.process_element(1)
+        assert algo.chosen_sets() == frozenset({"cheap"})
+
+    def test_greedy_density_prefers_covering_pending_demand(self):
+        system = SetSystem({"wide": {1, 2, 3}, "narrow": {1}})
+        algo = GreedyDensityOnline(system)
+        algo.process_element(1)
+        assert "wide" in algo.chosen_sets()
+
+    def test_infeasible_demand_raises(self):
+        system = SetSystem({"A": {1}})
+        algo = CheapestSetOnline(system)
+        algo.process_element(1)
+        with pytest.raises(InfeasibleArrivalError):
+            algo.process_element(1)
+
+    def test_random_baseline_reproducible(self, random_cover_instance):
+        costs = []
+        for _ in range(2):
+            algo = RandomSetOnline(random_cover_instance.system, random_state=3)
+            result = run_setcover(algo, random_cover_instance)
+            costs.append(result.cost)
+        assert costs[0] == costs[1]

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E1"])
+        assert args.experiment == "E1"
+        assert not args.quick
+        assert args.trials == 3
+
+    def test_demo_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "unknown"])
+
+
+class TestListCommand:
+    def test_lists_all_ten_experiments(self):
+        code, output = run_cli(["list"])
+        assert code == 0
+        for k in range(1, 11):
+            assert f"E{k}" in output
+
+
+class TestRunCommand:
+    def test_run_single_experiment_quick(self):
+        code, output = run_cli(["run", "E2", "--quick", "--trials", "1", "--ilp-time-limit", "5"])
+        assert code == 0
+        assert "[E2]" in output
+        assert "Lemma 1" in output
+
+    def test_run_lowercase_id(self):
+        code, output = run_cli(["run", "e10", "--quick", "--trials", "1"])
+        assert code == 0
+        assert "[E10]" in output
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_cli(["run", "E42", "--quick"])
+
+
+class TestDemoCommand:
+    def test_admission_demo(self):
+        code, output = run_cli(["demo", "admission", "--seed", "1"])
+        assert code == 0
+        assert "Admission control vs offline optimum" in output
+        assert "DoublingAdmissionControl" in output
+
+    def test_setcover_demo(self):
+        code, output = run_cli(["demo", "setcover", "--seed", "1"])
+        assert code == 0
+        assert "Online set cover with repetitions" in output

@@ -1,0 +1,176 @@
+"""Tests for the Section-5 deterministic bicriteria online set-cover algorithm."""
+
+import math
+
+import pytest
+
+from repro.analysis.invariants import check_bicriteria_state
+from repro.core.bicriteria import BicriteriaOnlineSetCover
+from repro.core.bounds import lemma5_augmentation_bound
+from repro.core.protocols import InfeasibleArrivalError, run_setcover
+from repro.instances.setcover import SetCoverInstance, SetSystem
+from repro.offline import solve_set_multicover_ilp
+from repro.workloads import nested_family_instance, random_setcover_instance
+from repro.workloads.setcover_random import random_set_system, repetition_heavy_arrivals
+
+
+class TestConstruction:
+    def test_initial_weights(self, simple_system):
+        algo = BicriteriaOnlineSetCover(simple_system, eps=0.2)
+        assert algo.set_weight("A") == pytest.approx(1.0 / (2 * simple_system.num_sets))
+        assert algo.element_weight(2) == pytest.approx(2.0 / (2 * simple_system.num_sets))
+
+    def test_selection_rounds_formula(self, simple_system):
+        algo = BicriteriaOnlineSetCover(simple_system, eps=0.2)
+        assert algo.selection_rounds == max(1, math.ceil(2 * math.log(simple_system.num_elements)))
+
+    def test_eps_validation(self, simple_system):
+        with pytest.raises(ValueError):
+            BicriteriaOnlineSetCover(simple_system, eps=0.0)
+        with pytest.raises(ValueError):
+            BicriteriaOnlineSetCover(simple_system, eps=1.0)
+
+    def test_weighted_costs_rejected_by_default(self):
+        system = SetSystem({"A": {1}}, {"A": 2.0})
+        with pytest.raises(ValueError):
+            BicriteriaOnlineSetCover(system)
+        BicriteriaOnlineSetCover(system, allow_weighted=True)  # does not raise
+
+    def test_on_infeasible_validation(self, simple_system):
+        with pytest.raises(ValueError):
+            BicriteriaOnlineSetCover(simple_system, on_infeasible="ignore")
+
+    def test_initial_potential_below_n_squared(self, simple_system):
+        algo = BicriteriaOnlineSetCover(simple_system)
+        assert algo.potential() <= max(simple_system.num_elements, 2) ** 2
+
+
+class TestCoverageGuarantee:
+    """Every element must be covered at least (1 - eps) * k times at all times."""
+
+    @pytest.mark.parametrize("eps", [0.1, 0.3, 0.5])
+    def test_coverage_after_each_arrival(self, eps):
+        instance = random_setcover_instance(25, 12, 40, random_state=3)
+        algo = BicriteriaOnlineSetCover(instance.system, eps=eps)
+        demands = {}
+        for element in instance.arrivals:
+            algo.process_element(element)
+            demands[element] = demands.get(element, 0) + 1
+            for e, k in demands.items():
+                assert algo.coverage(e) >= (1 - eps) * k - 1e-9
+
+    def test_single_arrival_gets_covered(self, simple_system):
+        algo = BicriteriaOnlineSetCover(simple_system, eps=0.3)
+        purchased = algo.process_element(1)
+        assert algo.coverage(1) >= 1
+        assert purchased  # something was bought
+
+    def test_repetitions_force_distinct_sets(self, repetition_instance):
+        algo = BicriteriaOnlineSetCover(repetition_instance.system, eps=0.1)
+        result = run_setcover(algo, repetition_instance)
+        # (1 - 0.1) * 3 = 2.7, so element 1 needs at least 3 distinct sets.
+        assert algo.coverage(1) >= 3
+        assert result.extra["bicriteria_satisfied"]
+
+    def test_larger_eps_buys_fewer_sets(self):
+        instance = random_setcover_instance(30, 15, 60, random_state=9)
+        costs = {}
+        for eps in (0.05, 0.5):
+            algo = BicriteriaOnlineSetCover(instance.system, eps=eps)
+            run_setcover(algo, instance)
+            costs[eps] = algo.cost()
+        assert costs[0.5] <= costs[0.05]
+
+    def test_infeasible_arrival_raises(self):
+        system = SetSystem({"A": {1}})
+        algo = BicriteriaOnlineSetCover(system, eps=0.1)
+        algo.process_element(1)
+        with pytest.raises(InfeasibleArrivalError):
+            algo.process_element(1)  # only one set contains 1, (1-eps)*2 > 1
+
+    def test_infeasible_arrival_clamped_when_requested(self):
+        system = SetSystem({"A": {1}})
+        algo = BicriteriaOnlineSetCover(system, eps=0.1, on_infeasible="clamp")
+        algo.process_element(1)
+        algo.process_element(1)  # clamps the target to the degree
+        assert algo.coverage(1) == 1
+
+
+class TestPotentialInvariants:
+    """Lemma 6: Phi never exceeds n^2 and never increases across an augmentation."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_potential_never_exceeds_n_squared(self, seed):
+        system = random_set_system(20, 12, 0.3, random_state=seed)
+        arrivals = repetition_heavy_arrivals(system, random_state=seed)
+        algo = BicriteriaOnlineSetCover(system, eps=0.2)
+        run_setcover(algo, SetCoverInstance(system, arrivals))
+        assert algo.max_potential_seen <= max(algo.n, 2) ** 2 + 1e-6
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_augmentations_never_increase_potential(self, seed):
+        system = random_set_system(16, 10, 0.3, random_state=100 + seed)
+        arrivals = repetition_heavy_arrivals(system, random_state=seed)
+        algo = BicriteriaOnlineSetCover(system, eps=0.2)
+        run_setcover(algo, SetCoverInstance(system, arrivals))
+        for trace in algo.traces:
+            assert trace.potential_after <= trace.potential_before * (1 + 1e-9) + 1e-9
+
+    def test_step2c_never_adds_more_than_two_log_n_sets(self):
+        system = random_set_system(25, 15, 0.3, random_state=5)
+        arrivals = repetition_heavy_arrivals(system, random_state=5)
+        algo = BicriteriaOnlineSetCover(system, eps=0.2)
+        run_setcover(algo, SetCoverInstance(system, arrivals))
+        for trace in algo.traces:
+            assert len(trace.sets_from_selection) <= algo.selection_rounds
+
+    def test_lemma5_augmentation_bound(self):
+        system = random_set_system(20, 12, 0.35, random_state=11)
+        arrivals = repetition_heavy_arrivals(system, random_state=11)
+        instance = SetCoverInstance(system, arrivals)
+        algo = BicriteriaOnlineSetCover(system, eps=0.2)
+        run_setcover(algo, instance)
+        opt = solve_set_multicover_ilp(system, instance.demands())
+        bound = lemma5_augmentation_bound(opt.cost, algo.m, algo.eps)
+        assert algo.num_augmentations <= bound + 1e-9
+
+    def test_invariant_checker_accepts_clean_run(self, random_cover_instance):
+        algo = BicriteriaOnlineSetCover(random_cover_instance.system, eps=0.2)
+        run_setcover(algo, random_cover_instance)
+        opt = solve_set_multicover_ilp(
+            random_cover_instance.system, random_cover_instance.demands()
+        )
+        report = check_bicriteria_state(algo, optimal_cost=opt.cost)
+        assert report.ok, str(report)
+
+
+class TestCompetitiveness:
+    def test_nested_family_stays_polylog(self):
+        instance = nested_family_instance(12)
+        algo = BicriteriaOnlineSetCover(instance.system, eps=0.2)
+        run_setcover(algo, instance)
+        # OPT = 1; Theorem 7 allows O(log m log n) ~ a handful of sets here.
+        bound = 8 * math.log2(instance.system.num_sets + 2) * math.log2(
+            instance.system.num_elements + 2
+        )
+        assert algo.cost() <= bound
+
+    def test_cost_never_exceeds_buying_everything(self, random_cover_instance):
+        algo = BicriteriaOnlineSetCover(random_cover_instance.system, eps=0.2)
+        run_setcover(algo, random_cover_instance)
+        assert algo.cost() <= random_cover_instance.system.total_cost()
+
+    def test_deterministic(self, random_cover_instance):
+        costs = []
+        for _ in range(2):
+            algo = BicriteriaOnlineSetCover(random_cover_instance.system, eps=0.2)
+            run_setcover(algo, random_cover_instance)
+            costs.append((algo.cost(), tuple(sorted(map(repr, algo.chosen_sets())))))
+        assert costs[0] == costs[1]
+
+    def test_extra_metrics(self, small_cover_instance):
+        algo = BicriteriaOnlineSetCover(small_cover_instance.system, eps=0.25)
+        result = run_setcover(algo, small_cover_instance)
+        assert result.extra["eps"] == 0.25
+        assert result.extra["num_augmentations"] == algo.num_augmentations
+        assert result.extra["potential_bound"] == pytest.approx(max(algo.n, 2) ** 2)

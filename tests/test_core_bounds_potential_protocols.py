@@ -1,0 +1,145 @@
+"""Tests for core.bounds, core.potential and the protocols / result containers."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    bicriteria_set_cover_bound,
+    bound_for_admission_instance,
+    bound_for_setcover_instance,
+    fractional_admission_bound,
+    lemma1_augmentation_bound,
+    lemma5_augmentation_bound,
+    randomized_admission_bound,
+    set_cover_randomized_bound,
+)
+from repro.core.fractional import FractionalAdmissionControl
+from repro.core.potential import (
+    check_lemma1,
+    lemma1_initial_log_potential,
+    lemma1_log_potential,
+    lemma1_log_upper_bound,
+    lemma5_initial_log_potential,
+    lemma5_log_potential,
+    lemma5_log_upper_bound,
+)
+from repro.core.protocols import AdmissionResult, run_admission
+from repro.core.randomized import RandomizedAdmissionControl
+from repro.instances.request import Decision, DecisionKind
+from repro.offline import solve_admission_lp
+
+
+class TestBounds:
+    def test_fractional_bounds(self):
+        assert fractional_admission_bound(16, 4, weighted=True).value == pytest.approx(6.0)
+        assert fractional_admission_bound(16, 4, weighted=False).value == pytest.approx(2.0)
+
+    def test_randomized_bounds(self):
+        assert randomized_admission_bound(16, 4, weighted=True).value == pytest.approx(36.0)
+        assert randomized_admission_bound(16, 4, weighted=False).value == pytest.approx(8.0)
+
+    def test_setcover_bounds(self):
+        assert set_cover_randomized_bound(8, 16, weighted=False).value == pytest.approx(12.0)
+        assert set_cover_randomized_bound(8, 16, weighted=True).value == pytest.approx(49.0)
+        assert bicriteria_set_cover_bound(8, 16).value == pytest.approx(12.0)
+
+    def test_guarded_for_tiny_instances(self):
+        assert fractional_admission_bound(1, 1).value >= 1.0
+        assert randomized_admission_bound(1, 1).value >= 1.0
+
+    def test_bounds_monotone_in_parameters(self):
+        assert randomized_admission_bound(64, 8).value > randomized_admission_bound(16, 4).value
+
+    def test_normalized_helper(self):
+        bound = randomized_admission_bound(16, 4)
+        assert bound.normalized(72.0) == pytest.approx(2.0)
+
+    def test_bound_for_instances(self, weighted_instance, small_cover_instance):
+        rep = bound_for_admission_instance(weighted_instance, randomized=True)
+        assert rep.name.startswith("theorem3")
+        rep2 = bound_for_admission_instance(weighted_instance, randomized=False, weighted=False)
+        assert rep2.name.startswith("theorem2")
+        rep3 = bound_for_setcover_instance(small_cover_instance)
+        assert "setcover" in rep3.name
+        rep4 = bound_for_setcover_instance(small_cover_instance, bicriteria=True)
+        assert rep4.name.startswith("theorem7")
+
+    def test_lemma_bounds(self):
+        assert lemma1_augmentation_bound(0.0, 4.0, 2) == 0.0
+        assert lemma1_augmentation_bound(2.0, 4.0, 2) == pytest.approx(2 * math.log2(16))
+        assert lemma5_augmentation_bound(0.0, 8, 0.2) == 0.0
+        assert lemma5_augmentation_bound(1.0, 8, 0.2) == pytest.approx(math.log2(24) / 0.1)
+        with pytest.raises(ValueError):
+            lemma5_augmentation_bound(1.0, 8, 1.5)
+
+
+class TestLemma1Potential:
+    def test_initial_value_matches_formula(self):
+        fractions = {0: 0.5, 1: 0.25}
+        costs = {0: 2.0, 1: 4.0}
+        zero_weights = {0: 0.0, 1: 0.0}
+        log_phi = lemma1_log_potential(zero_weights, fractions, costs, g=4.0, c=2)
+        alpha = 0.5 * 2.0 + 0.25 * 4.0
+        assert log_phi == pytest.approx(lemma1_initial_log_potential(alpha, 4.0, 2))
+
+    def test_upper_bound_is_alpha(self):
+        assert lemma1_log_upper_bound(3.0) == 3.0
+
+    def test_check_lemma1_on_real_run(self, overload_instance):
+        opt = solve_admission_lp(overload_instance)
+        algo = FractionalAdmissionControl.for_instance(overload_instance)
+        algo.process_sequence(overload_instance.requests)
+        costs = {rid: algo.weight_state.cost_of(rid) for rid in algo.weight_state.weights()}
+        fractions = {rid: opt.fractions.get(rid, 0.0) for rid in costs}
+        alpha = sum(fractions[r] * costs[r] for r in costs)
+        check = check_lemma1(algo.weight_state, fractions, costs, alpha=alpha, g=algo.g, c=algo.c)
+        assert check.all_ok
+
+
+class TestLemma5Potential:
+    def test_log_potential_sums_logs(self):
+        weights = {"A": 0.5, "B": 0.25}
+        assert lemma5_log_potential(weights, ["A", "B"]) == pytest.approx(math.log2(0.125))
+
+    def test_initial_and_upper_bound(self):
+        assert lemma5_initial_log_potential(2.0, 4) == pytest.approx(-2 * 3.0)
+        assert lemma5_log_upper_bound(2.0) == pytest.approx(2 * math.log2(1.5))
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            lemma5_log_potential({"A": 0.0}, ["A"])
+
+
+class TestProtocols:
+    def test_admission_result_helpers(self):
+        result = AdmissionResult(
+            algorithm="x",
+            accepted_ids=frozenset({1}),
+            rejected_ids=frozenset({2}),
+            preempted_ids=frozenset({3}),
+            rejection_cost=2.0,
+            feasible=True,
+            decisions=[Decision(2, DecisionKind.REJECT)],
+        )
+        assert result.num_rejections == 2
+        assert result.all_rejected_ids() == frozenset({2, 3})
+
+    def test_algorithm_state_queries(self, star_instance):
+        algo = RandomizedAdmissionControl.for_instance(star_instance, random_state=0)
+        run_admission(algo, star_instance)
+        assert algo.capacities() == star_instance.capacities
+        assert algo.load("hub") <= star_instance.capacity("hub")
+        assert algo.residual_capacity("hub") >= 0
+        assert isinstance(algo.decisions(), list)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RandomizedAdmissionControl({"e": 0})
+
+    def test_unknown_edge_in_request_rejected(self, star_instance):
+        from repro.instances.request import Request
+
+        algo = RandomizedAdmissionControl.for_instance(star_instance)
+        with pytest.raises(ValueError):
+            algo.process(Request(100, {"nope"}, 1.0))

@@ -1,0 +1,150 @@
+"""Tests for the Section-4 reduction (online set cover with repetitions -> admission control)."""
+
+import pytest
+
+from repro.core.protocols import run_setcover
+from repro.core.randomized import RandomizedAdmissionControl
+from repro.core.setcover_reduction import (
+    PHASE1_TAG,
+    PHASE2_TAG,
+    OnlineSetCoverViaAdmissionControl,
+    admission_instance_from_setcover,
+    build_reduction,
+    element_edge,
+)
+from repro.instances.setcover import SetCoverInstance, SetSystem
+from repro.offline import solve_set_multicover_ilp
+from repro.workloads import nested_family_instance, random_setcover_instance
+from repro.workloads.setcover_random import random_set_system, repetition_heavy_arrivals
+
+
+class TestBuildReduction:
+    def test_capacities_equal_degrees(self, simple_system):
+        capacities, phase1, mapping = build_reduction(simple_system)
+        for element in simple_system.elements():
+            assert capacities[element_edge(element)] == simple_system.degree(element)
+
+    def test_one_phase1_request_per_set(self, simple_system):
+        capacities, phase1, mapping = build_reduction(simple_system)
+        assert len(phase1) == simple_system.num_sets
+        assert set(mapping.values()) == set(simple_system.set_ids())
+        for request in phase1:
+            assert request.tag == PHASE1_TAG
+            set_id = mapping[request.request_id]
+            assert request.edges == frozenset(
+                element_edge(j) for j in simple_system.members(set_id)
+            )
+            assert request.cost == pytest.approx(simple_system.cost(set_id))
+
+    def test_maximum_capacity_at_most_m(self, random_cover_instance):
+        capacities, _, _ = build_reduction(random_cover_instance.system)
+        assert max(capacities.values()) <= random_cover_instance.system.num_sets
+
+
+class TestMaterializedInstance:
+    def test_phase_structure(self, small_cover_instance):
+        instance = admission_instance_from_setcover(small_cover_instance)
+        m = small_cover_instance.system.num_sets
+        assert instance.num_requests == m + small_cover_instance.num_arrivals
+        phase1 = [r for r in instance.requests if r.tag == PHASE1_TAG]
+        phase2 = [r for r in instance.requests if r.tag == PHASE2_TAG]
+        assert len(phase1) == m
+        assert len(phase2) == small_cover_instance.num_arrivals
+        assert all(r.num_edges == 1 for r in phase2)
+
+    def test_phase1_alone_is_feasible(self, small_cover_instance):
+        instance = admission_instance_from_setcover(small_cover_instance)
+        phase1_ids = [r.request_id for r in instance.requests if r.tag == PHASE1_TAG]
+        assert instance.check_feasible(phase1_ids).feasible
+
+
+class TestOnlineSetCoverViaAdmission:
+    def test_phase1_all_accepted_initially(self, simple_system):
+        solver = OnlineSetCoverViaAdmissionControl(simple_system, random_state=0)
+        # No element has arrived yet, so nothing should have been purchased.
+        assert solver.chosen_sets() == frozenset()
+        assert solver.cost() == 0.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_demands_always_satisfied(self, seed):
+        instance = random_setcover_instance(25, 12, 50, random_state=seed)
+        solver = OnlineSetCoverViaAdmissionControl(instance.system, random_state=seed)
+        result = run_setcover(solver, instance)
+        assert result.satisfied
+        for element, demand in instance.demands().items():
+            assert result.coverage[element] >= demand
+
+    def test_coverage_maintained_after_each_arrival(self):
+        instance = random_setcover_instance(15, 8, 30, random_state=5)
+        solver = OnlineSetCoverViaAdmissionControl(instance.system, random_state=5)
+        demands = {}
+        for element in instance.arrivals:
+            solver.process_element(element)
+            demands[element] = demands.get(element, 0) + 1
+            for e, k in demands.items():
+                assert solver.coverage(e) >= k
+
+    def test_repetitions_covered_by_distinct_sets(self, repetition_instance):
+        solver = OnlineSetCoverViaAdmissionControl(repetition_instance.system, random_state=1)
+        result = run_setcover(solver, repetition_instance)
+        covering = repetition_instance.system.sets_containing(1) & result.chosen_sets
+        assert len(covering) >= 3
+
+    def test_admission_stays_feasible(self, random_cover_instance):
+        solver = OnlineSetCoverViaAdmissionControl(random_cover_instance.system, random_state=2)
+        result = run_setcover(solver, random_cover_instance)
+        assert result.extra["admission_feasible"]
+
+    def test_cost_bounded_by_total_family_cost(self, random_cover_instance):
+        solver = OnlineSetCoverViaAdmissionControl(random_cover_instance.system, random_state=3)
+        result = run_setcover(solver, random_cover_instance)
+        assert result.cost <= random_cover_instance.system.total_cost() + 1e-9
+
+    def test_reasonable_ratio_on_nested_family(self):
+        instance = nested_family_instance(10)
+        solver = OnlineSetCoverViaAdmissionControl(instance.system, random_state=4)
+        result = run_setcover(solver, instance)
+        opt = solve_set_multicover_ilp(instance.system, instance.demands())
+        assert opt.cost == pytest.approx(1.0)
+        # Polylog bound with a generous constant.
+        assert result.cost <= 10 * 4 * 4
+
+    def test_doubling_backend(self, small_cover_instance):
+        solver = OnlineSetCoverViaAdmissionControl(
+            small_cover_instance.system, algorithm="doubling", random_state=0
+        )
+        result = run_setcover(solver, small_cover_instance)
+        assert result.satisfied
+
+    def test_custom_factory_backend(self, small_cover_instance):
+        def factory(capacities):
+            return RandomizedAdmissionControl(
+                capacities, weighted=False, force_accept_tags={PHASE2_TAG}, random_state=7
+            )
+
+        solver = OnlineSetCoverViaAdmissionControl(small_cover_instance.system, algorithm=factory)
+        result = run_setcover(solver, small_cover_instance)
+        assert result.satisfied
+
+    def test_unknown_backend_rejected(self, simple_system):
+        with pytest.raises(ValueError):
+            OnlineSetCoverViaAdmissionControl(simple_system, algorithm="magic")
+
+    def test_weighted_systems_supported(self):
+        system = SetSystem({"cheap": {1, 2}, "costly": {1, 2}}, {"cheap": 1.0, "costly": 10.0})
+        instance = SetCoverInstance(system, [1, 2])
+        solver = OnlineSetCoverViaAdmissionControl(system, random_state=0)
+        result = run_setcover(solver, instance)
+        assert result.satisfied
+
+    def test_weighted_inference(self, simple_system):
+        solver = OnlineSetCoverViaAdmissionControl(simple_system, random_state=0)
+        assert not solver.weighted
+
+    def test_repetition_heavy_workload(self):
+        system = random_set_system(20, 10, 0.4, random_state=8)
+        arrivals = repetition_heavy_arrivals(system, random_state=8)
+        instance = SetCoverInstance(system, arrivals)
+        solver = OnlineSetCoverViaAdmissionControl(system, random_state=8)
+        result = run_setcover(solver, instance)
+        assert result.satisfied

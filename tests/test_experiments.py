@@ -1,0 +1,124 @@
+"""Tests for the experiment harness (registry + every experiment in quick mode)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, all_experiments, get_experiment, run_experiment
+from repro.experiments.base import ExperimentResult, register
+
+TINY = ExperimentConfig(quick=True, num_trials=1, ilp_time_limit=5.0)
+
+
+class TestRegistry:
+    def test_all_ten_registered(self):
+        ids = set(all_experiments())
+        assert ids == {f"E{k}" for k in range(1, 11)}
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e1") is get_experiment("E1")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+    def test_register_custom(self):
+        def runner(config=None):
+            return ExperimentResult("EX", "custom", "nothing")
+
+        register("EX", runner)
+        assert run_experiment("EX").experiment_id == "EX"
+
+
+class TestExperimentConfig:
+    def test_scaled_trials(self):
+        assert ExperimentConfig(quick=True, num_trials=2).scaled_trials(10) == 2
+        assert ExperimentConfig(quick=False, num_trials=2).scaled_trials(10) == 10
+
+
+class TestExperimentResult:
+    def test_table_and_aggregates(self):
+        result = ExperimentResult("E0", "t", "v", rows=[{"a": 1.0}, {"a": 3.0}])
+        assert result.max_value("a") == 3.0
+        assert result.mean_value("a") == 2.0
+        assert "E0" in result.table()
+
+    def test_missing_column_is_nan(self):
+        import math
+
+        result = ExperimentResult("E0", "t", "v", rows=[{"a": 1.0}])
+        assert math.isnan(result.max_value("zzz"))
+
+
+class TestE1ToE2:
+    def test_e1_ratio_bounded(self):
+        result = run_experiment("E1", TINY)
+        assert result.rows
+        # Theorem 2 with the explicit constant ~ (3 + 2/c); 8x bound is generous.
+        assert all(row["ratio/bound"] <= 8.0 for row in result.rows)
+
+    def test_e2_no_violations(self):
+        result = run_experiment("E2", TINY)
+        assert result.rows
+        assert all(row["violations"] == 0 for row in result.rows)
+        assert all(row["augs/bound_worst"] <= 1.0 for row in result.rows)
+
+
+class TestE3ToE5:
+    def test_e3_feasible_and_bounded(self):
+        result = run_experiment("E3", TINY)
+        assert result.rows
+        assert all(row["feasible"] for row in result.rows)
+
+    def test_e4_feasible(self):
+        result = run_experiment("E4", TINY)
+        assert all(row["feasible"] for row in result.rows)
+
+    def test_e5_always_covered(self):
+        result = run_experiment("E5", TINY)
+        assert result.rows
+        assert all(row["all_covered"] for row in result.rows)
+
+
+class TestE6ToE7:
+    def test_e6_coverage_guarantee(self):
+        result = run_experiment("E6", TINY)
+        assert result.rows
+        assert all(row["coverage_ok"] for row in result.rows)
+
+    def test_e7_all_invariants_hold(self):
+        result = run_experiment("E7", TINY)
+        assert result.rows
+        for row in result.rows:
+            assert row["invariants_ok"] == row["trials"]
+
+
+class TestE8ToE10:
+    def test_e8_has_all_algorithms_and_workloads(self):
+        result = run_experiment("E8", TINY)
+        algorithms = {row["algorithm"] for row in result.rows}
+        workloads = {row["workload"] for row in result.rows}
+        assert len(algorithms) >= 6
+        assert len(workloads) >= 4
+        assert all(row["feasible"] for row in result.rows)
+
+    def test_e8_paper_beats_nonpreemptive_on_weighted_trap(self):
+        result = run_experiment("E8", TINY)
+        rows = {
+            (row["workload"], row["algorithm"]): row["ratio"]
+            for row in result.rows
+        }
+        paper = rows[("cheap-then-expensive", "Doubling (paper)")]
+        naive = rows[("cheap-then-expensive", "RejectWhenFull")]
+        assert paper < naive
+
+    def test_e9_columns_present(self):
+        result = run_experiment("E9", TINY)
+        assert result.rows
+        for row in result.rows:
+            assert row["ratio_oracle"] >= 1.0 or row["ratio_oracle"] == pytest.approx(1.0, abs=1e-9)
+            assert row["phases_mean"] >= 0
+
+    def test_e10_series_metadata(self):
+        result = run_experiment("E10", TINY)
+        assert "admission_series" in result.metadata
+        assert "setcover_series" in result.metadata
+        assert all(row["runtime_s"] >= 0 for row in result.rows)

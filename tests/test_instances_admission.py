@@ -1,0 +1,91 @@
+"""Unit tests for AdmissionInstance."""
+
+import pytest
+
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import Request, RequestSequence
+
+
+class TestConstruction:
+    def test_basic_properties(self, star_instance):
+        assert star_instance.num_edges == 7  # hub + 6 leaves
+        assert star_instance.max_capacity == 2
+        assert star_instance.min_capacity == 1
+        assert star_instance.num_requests == 6
+        assert star_instance.parameter_mc() == 14
+
+    def test_capacity_accessor(self, star_instance):
+        assert star_instance.capacity("hub") == 2
+
+    def test_requests_referencing_unknown_edges_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionInstance({"a": 1}, [Request(0, {"a", "missing"}, 1.0)])
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionInstance({"a": 0}, [Request(0, {"a"}, 1.0)])
+
+    def test_accepts_plain_request_iterable(self):
+        instance = AdmissionInstance({"a": 1}, [Request(0, {"a"}, 1.0)])
+        assert isinstance(instance.requests, RequestSequence)
+
+    def test_is_unit_cost(self, star_instance, weighted_instance):
+        assert star_instance.is_unit_cost()
+        assert not weighted_instance.is_unit_cost()
+
+
+class TestFeasibility:
+    def test_accepting_all_when_under_capacity(self, free_instance):
+        report = free_instance.check_feasible(free_instance.requests.ids())
+        assert report.feasible
+        assert bool(report)
+
+    def test_overload_detected(self, overload_instance):
+        report = overload_instance.check_feasible(overload_instance.requests.ids())
+        assert not report.feasible
+        edge, load, cap = report.violations[0]
+        assert edge == "e0"
+        assert load == 5
+        assert cap == 2
+
+    def test_accepting_within_capacity_is_feasible(self, overload_instance):
+        report = overload_instance.check_feasible([0, 1])
+        assert report.feasible
+
+    def test_rejection_cost(self, weighted_instance):
+        assert weighted_instance.rejection_cost([1]) == 1.0
+        assert weighted_instance.rejection_cost([0, 1]) == 11.0
+        assert weighted_instance.rejection_cost([]) == 0.0
+
+
+class TestBounds:
+    def test_max_excess(self, overload_instance):
+        assert overload_instance.max_excess() == 3
+
+    def test_total_excess(self, star_instance):
+        # hub sees 6 requests with capacity 2 -> excess 4; leaves are fine.
+        assert star_instance.total_excess() == 4
+
+    def test_lower_bound_rejections(self, star_instance, free_instance):
+        assert star_instance.lower_bound_rejections() == 4
+        assert free_instance.lower_bound_rejections() == 0
+
+
+class TestMisc:
+    def test_restrict_to_prefix(self, star_instance):
+        prefix = star_instance.restrict_to_prefix(3)
+        assert prefix.num_requests == 3
+        assert prefix.num_edges == star_instance.num_edges
+
+    def test_describe_mentions_sizes(self, star_instance):
+        text = star_instance.describe()
+        assert "m=7" in text
+        assert "unweighted" in text
+
+    def test_edges_order_stable(self, star_instance):
+        assert star_instance.edges()[0] == "hub"
+
+    def test_capacities_returns_copy(self, star_instance):
+        caps = star_instance.capacities
+        caps["hub"] = 99
+        assert star_instance.capacity("hub") == 2

@@ -1,0 +1,108 @@
+"""Tests for the canonical instances and the JSON serialisation round-trip."""
+
+import pytest
+
+from repro.instances import canonical, serialize
+from repro.offline import solve_admission_ilp, solve_set_multicover_ilp
+
+
+class TestCanonicalAdmission:
+    """The canonical instances have the optima their docstrings claim."""
+
+    def test_single_edge_overload_optimum(self):
+        instance = canonical.single_edge_overload(extra=3, capacity=2)
+        assert solve_admission_ilp(instance).cost == pytest.approx(3.0)
+
+    def test_two_edge_chain_optimum(self):
+        assert solve_admission_ilp(canonical.two_edge_chain()).cost == pytest.approx(1.0)
+
+    def test_star_congestion_optimum(self):
+        instance = canonical.star_congestion(leaves=5, capacity=2)
+        assert solve_admission_ilp(instance).cost == pytest.approx(3.0)
+
+    def test_disjoint_paths_optimum_is_zero(self):
+        instance = canonical.disjoint_paths_no_rejection(paths=4)
+        assert solve_admission_ilp(instance).cost == 0.0
+
+    def test_triangle_weighted_optimum(self):
+        assert solve_admission_ilp(canonical.triangle_weighted()).cost == pytest.approx(1.0)
+
+
+class TestCanonicalSetCover:
+    def test_small_set_cover_optimum(self):
+        instance = canonical.small_set_cover()
+        opt = solve_set_multicover_ilp(instance.system, instance.demands())
+        assert opt.cost == pytest.approx(2.0)
+
+    def test_repetition_set_cover_optimum(self):
+        instance = canonical.repetition_set_cover()
+        opt = solve_set_multicover_ilp(instance.system, instance.demands())
+        assert opt.cost == pytest.approx(3.0)
+
+    def test_nested_set_cover_optimum_is_one(self):
+        instance = canonical.nested_set_cover(levels=5)
+        opt = solve_set_multicover_ilp(instance.system, instance.demands())
+        assert opt.cost == pytest.approx(1.0)
+
+    def test_nested_levels_validated(self):
+        assert canonical.nested_set_cover(levels=3).system.num_sets == 3
+
+
+class TestSerializationAdmission:
+    def test_round_trip_preserves_structure(self, weighted_instance):
+        payload = serialize.admission_to_dict(weighted_instance)
+        rebuilt = serialize.admission_from_dict(payload)
+        assert rebuilt.capacities == weighted_instance.capacities
+        assert rebuilt.num_requests == weighted_instance.num_requests
+        assert rebuilt.requests.cost_by_id() == weighted_instance.requests.cost_by_id()
+
+    def test_round_trip_preserves_optimum(self, star_instance):
+        rebuilt = serialize.admission_from_dict(serialize.admission_to_dict(star_instance))
+        assert solve_admission_ilp(rebuilt).cost == solve_admission_ilp(star_instance).cost
+
+    def test_file_round_trip(self, tmp_path, chain_instance):
+        path = tmp_path / "instance.json"
+        serialize.dump_admission(chain_instance, str(path))
+        rebuilt = serialize.load_admission(str(path))
+        assert rebuilt.num_requests == chain_instance.num_requests
+
+    def test_tuple_edge_ids_round_trip(self):
+        from repro.instances.admission import AdmissionInstance
+        from repro.instances.request import Request
+
+        instance = AdmissionInstance(
+            {("u", "v"): 1}, [Request(0, {("u", "v")}, 1.0)], name="tuple-edges"
+        )
+        rebuilt = serialize.admission_from_dict(serialize.admission_to_dict(instance))
+        assert ("u", "v") in rebuilt.capacities
+
+    def test_wrong_kind_rejected(self, small_cover_instance):
+        payload = serialize.setcover_to_dict(small_cover_instance)
+        with pytest.raises(ValueError):
+            serialize.admission_from_dict(payload)
+
+
+class TestSerializationSetCover:
+    def test_round_trip_preserves_structure(self, small_cover_instance):
+        payload = serialize.setcover_to_dict(small_cover_instance)
+        rebuilt = serialize.setcover_from_dict(payload)
+        assert rebuilt.system.num_sets == small_cover_instance.system.num_sets
+        assert rebuilt.arrivals == small_cover_instance.arrivals
+        assert rebuilt.demands() == small_cover_instance.demands()
+
+    def test_file_round_trip(self, tmp_path, repetition_instance):
+        path = tmp_path / "cover.json"
+        serialize.dump_setcover(repetition_instance, str(path))
+        rebuilt = serialize.load_setcover(str(path))
+        assert rebuilt.max_repetitions() == 3
+
+    def test_wrong_kind_rejected(self, star_instance):
+        payload = serialize.admission_to_dict(star_instance)
+        with pytest.raises(ValueError):
+            serialize.setcover_from_dict(payload)
+
+    def test_unsupported_id_type_raises(self):
+        from repro.instances.serialize import _encode_id
+
+        with pytest.raises(TypeError):
+            _encode_id(object())

@@ -1,0 +1,127 @@
+"""Unit tests for the Request / RequestSequence data model."""
+
+import pytest
+
+from repro.instances.request import Decision, DecisionKind, Request, RequestSequence
+
+
+class TestRequest:
+    def test_edges_coerced_to_frozenset(self):
+        req = Request(0, ["a", "b", "a"], 1.0)
+        assert req.edges == frozenset({"a", "b"})
+        assert req.num_edges == 2
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Request(0, frozenset(), 1.0)
+
+    def test_non_positive_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Request(0, frozenset({"a"}), 0.0)
+        with pytest.raises(ValueError):
+            Request(0, frozenset({"a"}), -2.0)
+
+    def test_uses(self):
+        req = Request(1, frozenset({"a", "b"}), 1.0)
+        assert req.uses("a")
+        assert not req.uses("c")
+
+    def test_with_cost_returns_new_request(self):
+        req = Request(1, frozenset({"a"}), 1.0, tag="t")
+        other = req.with_cost(5.0)
+        assert other.cost == 5.0
+        assert other.request_id == 1
+        assert other.tag == "t"
+        assert req.cost == 1.0
+
+    def test_frozen(self):
+        req = Request(0, frozenset({"a"}), 1.0)
+        with pytest.raises(Exception):
+            req.cost = 2.0
+
+
+class TestDecision:
+    def test_rejection_classification(self):
+        assert Decision(0, DecisionKind.REJECT).is_rejection()
+        assert Decision(0, DecisionKind.PREEMPT, at_request=5).is_rejection()
+        assert not Decision(0, DecisionKind.ACCEPT).is_rejection()
+
+
+class TestRequestSequence:
+    def test_len_iter_getitem(self, simple_requests):
+        assert len(simple_requests) == 3
+        assert [r.request_id for r in simple_requests] == [0, 1, 2]
+        assert simple_requests[1].cost == 2.5
+
+    def test_slice_returns_sequence(self, simple_requests):
+        prefix = simple_requests[:2]
+        assert isinstance(prefix, RequestSequence)
+        assert len(prefix) == 2
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            RequestSequence([Request(0, {"a"}, 1.0), Request(0, {"b"}, 1.0)])
+
+    def test_by_id_and_ids(self, simple_requests):
+        assert simple_requests.by_id(2).cost == 4.0
+        assert simple_requests.ids() == [0, 1, 2]
+        with pytest.raises(KeyError):
+            simple_requests.by_id(99)
+
+    def test_total_and_extreme_costs(self, simple_requests):
+        assert simple_requests.total_cost() == pytest.approx(7.5)
+        assert simple_requests.max_cost() == 4.0
+        assert simple_requests.min_cost() == 1.0
+
+    def test_empty_sequence_costs(self):
+        empty = RequestSequence([])
+        assert empty.total_cost() == 0.0
+        assert empty.max_cost() == 0.0
+        assert empty.min_cost() == 0.0
+
+    def test_edges_union(self, simple_requests):
+        assert simple_requests.edges() == frozenset({"a", "b"})
+
+    def test_requests_on_edge(self, simple_requests):
+        on_a = simple_requests.requests_on_edge("a")
+        assert [r.request_id for r in on_a] == [0, 1]
+
+    def test_edge_load(self, simple_requests):
+        assert simple_requests.edge_load() == {"a": 2, "b": 2}
+
+    def test_is_unit_cost(self, simple_requests):
+        assert not simple_requests.is_unit_cost()
+        unit = RequestSequence([Request(0, {"a"}, 1.0), Request(1, {"a"}, 1.0)])
+        assert unit.is_unit_cost()
+
+    def test_cost_by_id(self, simple_requests):
+        assert simple_requests.cost_by_id() == {0: 1.0, 1: 2.5, 2: 4.0}
+
+    def test_filter(self, simple_requests):
+        expensive = simple_requests.filter(lambda r: r.cost > 2.0)
+        assert expensive.ids() == [1, 2]
+
+    def test_concatenate(self):
+        a = RequestSequence([Request(0, {"x"}, 1.0)])
+        b = RequestSequence([Request(1, {"x"}, 1.0)])
+        combined = a.concatenate(b)
+        assert combined.ids() == [0, 1]
+
+    def test_concatenate_duplicate_ids_rejected(self):
+        a = RequestSequence([Request(0, {"x"}, 1.0)])
+        with pytest.raises(ValueError):
+            a.concatenate(a)
+
+    def test_from_edge_lists(self):
+        seq = RequestSequence.from_edge_lists([["a"], ["a", "b"]], costs=[1.0, 2.0], tags=["t", None])
+        assert len(seq) == 2
+        assert seq[0].tag == "t"
+        assert seq[1].edges == frozenset({"a", "b"})
+
+    def test_from_edge_lists_defaults(self):
+        seq = RequestSequence.from_edge_lists([["a"], ["b"]])
+        assert seq.is_unit_cost()
+
+    def test_from_edge_lists_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RequestSequence.from_edge_lists([["a"]], costs=[1.0, 2.0])

@@ -1,0 +1,103 @@
+"""Unit tests for SetSystem and SetCoverInstance."""
+
+import pytest
+
+from repro.instances.setcover import CoverAssignment, SetCoverInstance, SetSystem
+
+
+class TestSetSystem:
+    def test_basic_counts(self, simple_system):
+        assert simple_system.num_sets == 3
+        assert simple_system.num_elements == 4
+
+    def test_members_and_costs(self, simple_system):
+        assert simple_system.members("A") == frozenset({1, 2})
+        assert simple_system.cost("A") == 1.0
+        assert simple_system.is_unit_cost()
+
+    def test_sets_containing(self, simple_system):
+        assert simple_system.sets_containing(2) == frozenset({"A", "B"})
+        assert simple_system.degree(3) == 2
+
+    def test_sets_containing_unknown_element(self, simple_system):
+        with pytest.raises(KeyError):
+            simple_system.sets_containing(99)
+
+    def test_max_degree(self, simple_system):
+        assert simple_system.max_degree() == 2
+
+    def test_total_cost(self, simple_system):
+        assert simple_system.total_cost() == 3.0
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            SetSystem({})
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            SetSystem({"A": []})
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            SetSystem({"A": {1}}, {"A": -1.0})
+
+    def test_cost_for_unknown_set_rejected(self):
+        with pytest.raises(ValueError):
+            SetSystem({"A": {1}}, {"B": 1.0})
+
+    def test_explicit_ground_set_allows_isolated_elements(self):
+        system = SetSystem({"A": {1}}, elements=[1, 2])
+        assert system.num_elements == 2
+        assert system.degree(2) == 0
+
+    def test_explicit_ground_set_must_cover_members(self):
+        with pytest.raises(ValueError):
+            SetSystem({"A": {1, 5}}, elements=[1, 2])
+
+    def test_custom_costs(self):
+        system = SetSystem({"A": {1}, "B": {1}}, {"A": 2.5})
+        assert system.cost("A") == 2.5
+        assert system.cost("B") == 1.0
+        assert not system.is_unit_cost()
+
+    def test_as_dict_copy(self, simple_system):
+        d = simple_system.as_dict()
+        d["A"] = frozenset()
+        assert simple_system.members("A") == frozenset({1, 2})
+
+
+class TestCoverAssignment:
+    def test_covers_respects_multiplicity(self, simple_system):
+        cover = CoverAssignment(chosen=frozenset({"A", "B"}), cost=2.0)
+        assert cover.covers(simple_system, {2: 2})
+        assert not cover.covers(simple_system, {3: 2})
+        assert not cover.covers(simple_system, {4: 1})
+
+
+class TestSetCoverInstance:
+    def test_demands(self, repetition_instance):
+        assert repetition_instance.demands() == {1: 3, 2: 1}
+        assert repetition_instance.max_repetitions() == 3
+
+    def test_prefix_demands(self, repetition_instance):
+        assert repetition_instance.prefix_demands(2) == {1: 1, 2: 1}
+
+    def test_is_feasible(self, repetition_instance, simple_system):
+        assert repetition_instance.is_feasible()
+        infeasible = SetCoverInstance(simple_system, [1, 1, 1])  # degree of 1 is only 1
+        assert not infeasible.is_feasible()
+
+    def test_unknown_arrival_rejected(self, simple_system):
+        with pytest.raises(ValueError):
+            SetCoverInstance(simple_system, [99])
+
+    def test_iter_arrivals_counts_repetitions(self, repetition_instance):
+        ks = [k for _, element, k in repetition_instance.iter_arrivals() if element == 1]
+        assert ks == [1, 2, 3]
+
+    def test_describe(self, repetition_instance):
+        text = repetition_instance.describe()
+        assert "max repetition 3" in text
+
+    def test_num_arrivals(self, small_cover_instance):
+        assert small_cover_instance.num_arrivals == 4

@@ -1,0 +1,182 @@
+"""Tests for the network substrate: graphs, topologies and routing."""
+
+import networkx as nx
+import pytest
+
+from repro.network.graph import CapacitatedGraph
+from repro.network.routing import (
+    k_shortest_paths,
+    random_simple_path,
+    random_source_target,
+    shortest_path_route,
+)
+from repro.network.topologies import (
+    binary_tree_graph,
+    complete_graph,
+    grid_graph,
+    line_graph,
+    random_gnp_graph,
+    random_regular_graph,
+    ring_graph,
+    star_graph,
+)
+
+
+class TestCapacitatedGraph:
+    def test_edges_with_and_without_capacity(self):
+        graph = CapacitatedGraph([("a", "b"), ("b", "c", 5)], default_capacity=2)
+        assert graph.capacity(("a", "b")) == 2
+        assert graph.capacity(("b", "c")) == 5
+        assert graph.num_edges == 2
+        assert graph.max_capacity == 5
+
+    def test_invalid_edges(self):
+        with pytest.raises(ValueError):
+            CapacitatedGraph([])
+        with pytest.raises(ValueError):
+            CapacitatedGraph([("a", "a")])
+        with pytest.raises(ValueError):
+            CapacitatedGraph([("a", "b", 0)])
+        with pytest.raises(ValueError):
+            CapacitatedGraph([("a", "b", 1, 2)])
+
+    def test_path_edges(self):
+        graph = line_graph(5, capacity=1)
+        assert graph.path_edges([0, 1, 2]) == ((0, 1), (1, 2))
+
+    def test_path_edges_rejects_bad_paths(self):
+        graph = line_graph(5)
+        with pytest.raises(ValueError):
+            graph.path_edges([0])
+        with pytest.raises(ValueError):
+            graph.path_edges([0, 1, 0])  # not simple
+        with pytest.raises(ValueError):
+            graph.path_edges([0, 2])  # missing edge
+
+    def test_request_from_path(self):
+        graph = line_graph(4)
+        request = graph.request_from_path(7, [0, 1, 2], cost=3.0, tag="x")
+        assert request.request_id == 7
+        assert request.edges == frozenset({(0, 1), (1, 2)})
+        assert request.path == (0, 1, 2)
+        assert request.tag == "x"
+
+    def test_build_instance(self):
+        graph = line_graph(4, capacity=2)
+        request = graph.request_from_path(0, [0, 1])
+        instance = graph.build_instance([request], name="test")
+        assert instance.num_edges == 3
+        assert instance.max_capacity == 2
+
+    def test_from_networkx_undirected_symmetric(self):
+        undirected = nx.path_graph(3)
+        graph = CapacitatedGraph.from_networkx(undirected, default_capacity=3)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.capacity((0, 1)) == 3
+
+    def test_shortest_path_and_has_path(self):
+        graph = line_graph(5)
+        assert graph.shortest_path(0, 3) == [0, 1, 2, 3]
+        assert graph.has_path(0, 4)
+        assert not graph.has_path(4, 0)  # directed line
+
+    def test_simple_paths(self):
+        graph = complete_graph(4)
+        paths = graph.simple_paths(0, 1, cutoff=2)
+        assert [0, 1] in paths
+
+
+class TestTopologies:
+    def test_line_graph(self):
+        graph = line_graph(6, capacity=3)
+        assert graph.num_edges == 5
+        assert graph.max_capacity == 3
+
+    def test_ring_graph(self):
+        graph = ring_graph(5)
+        assert graph.num_edges == 5
+        assert graph.has_path(0, 4)
+
+    def test_star_graph(self):
+        graph = star_graph(4)
+        assert graph.num_edges == 8  # bidirected spokes
+        assert graph.has_path(1, 2)
+
+    def test_binary_tree_graph(self):
+        graph = binary_tree_graph(depth=2)
+        assert graph.num_vertices == 7
+        assert graph.num_edges == 12  # 6 tree edges, both directions
+
+    def test_grid_graph(self):
+        graph = grid_graph(3, 3)
+        assert graph.num_vertices == 9
+        assert graph.num_edges == 24
+
+    def test_complete_graph(self):
+        graph = complete_graph(4)
+        assert graph.num_edges == 12
+
+    def test_random_gnp_connected(self):
+        graph = random_gnp_graph(10, 0.2, random_state=0)
+        for v in range(1, 10):
+            assert graph.has_path(0, v)
+
+    def test_random_regular(self):
+        graph = random_regular_graph(3, 8, random_state=0)
+        assert graph.num_vertices == 8
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            line_graph(1)
+        with pytest.raises(ValueError):
+            ring_graph(2)
+        with pytest.raises(ValueError):
+            star_graph(0)
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+        with pytest.raises(ValueError):
+            random_gnp_graph(5, 1.5)
+        with pytest.raises(ValueError):
+            random_regular_graph(3, 5)
+
+
+class TestRouting:
+    def test_shortest_path_route(self):
+        graph = grid_graph(3, 3)
+        path = shortest_path_route(graph, (0, 0), (2, 2))
+        assert path[0] == (0, 0)
+        assert path[-1] == (2, 2)
+        assert len(path) == 5
+
+    def test_random_source_target_connected(self, rng):
+        graph = grid_graph(3, 3)
+        source, target = random_source_target(graph, rng)
+        assert source != target
+        assert graph.has_path(source, target)
+
+    def test_random_source_target_needs_two_vertices(self, rng):
+        graph = CapacitatedGraph([("a", "b")])
+        source, target = random_source_target(graph, rng, require_path=False)
+        assert {source, target} == {"a", "b"}
+
+    def test_random_simple_path_valid(self, rng):
+        graph = grid_graph(4, 4)
+        path = random_simple_path(graph, (0, 0), (3, 3), rng)
+        assert path[0] == (0, 0)
+        assert path[-1] == (3, 3)
+        assert len(set(path)) == len(path)
+        # Every consecutive pair must be an edge.
+        graph.path_edges(path)
+
+    def test_k_shortest_paths(self):
+        graph = grid_graph(3, 3)
+        paths = k_shortest_paths(graph, (0, 0), (2, 2), k=3)
+        assert 1 <= len(paths) <= 3
+        assert all(p[0] == (0, 0) and p[-1] == (2, 2) for p in paths)
+        assert len(paths[0]) <= len(paths[-1])
+
+    def test_k_shortest_paths_validates_k(self):
+        graph = grid_graph(2, 2)
+        with pytest.raises(ValueError):
+            k_shortest_paths(graph, (0, 0), (1, 1), k=0)

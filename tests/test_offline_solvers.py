@@ -1,0 +1,169 @@
+"""Tests for the offline comparators (LP, ILP, greedy) on both problems."""
+
+import pytest
+
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import Request
+from repro.instances.setcover import SetSystem
+from repro.offline import (
+    best_greedy,
+    greedy_accept_by_cost,
+    greedy_accept_by_density,
+    greedy_set_multicover,
+    solve_admission_ilp,
+    solve_admission_lp,
+    solve_set_multicover_ilp,
+    solve_set_multicover_lp,
+)
+from repro.workloads import overloaded_edge_adversary, random_setcover_instance, single_edge_workload
+
+
+class TestAdmissionLP:
+    def test_zero_when_no_congestion(self, free_instance):
+        assert solve_admission_lp(free_instance).cost == pytest.approx(0.0)
+
+    def test_matches_excess_on_single_edge(self, overload_instance):
+        assert solve_admission_lp(overload_instance).cost == pytest.approx(3.0)
+
+    def test_fractions_respect_capacity(self, star_instance):
+        solution = solve_admission_lp(star_instance)
+        accepted = {
+            e: sum(
+                1.0 - solution.fractions[r.request_id]
+                for r in star_instance.requests
+                if e in r.edges
+            )
+            for e in star_instance.edges()
+        }
+        for edge, total in accepted.items():
+            assert total <= star_instance.capacity(edge) + 1e-6
+
+    def test_lower_bound_on_ilp(self):
+        instance = overloaded_edge_adversary(10, 2, random_state=1)
+        lp = solve_admission_lp(instance)
+        ilp = solve_admission_ilp(instance)
+        assert lp.cost <= ilp.cost + 1e-6
+
+    def test_weighted_prefers_rejecting_cheap(self, weighted_instance):
+        solution = solve_admission_lp(weighted_instance)
+        assert solution.cost == pytest.approx(1.0)
+        assert solution.fractions[1] == pytest.approx(1.0)
+        assert solution.fractions[0] == pytest.approx(0.0)
+
+    def test_empty_instance(self):
+        instance = AdmissionInstance({"a": 1}, [])
+        assert solve_admission_lp(instance).cost == 0.0
+
+    def test_rejected_support(self, overload_instance):
+        solution = solve_admission_lp(overload_instance)
+        assert len(solution.rejected_support()) >= 3
+
+
+class TestAdmissionILP:
+    def test_exact_on_canonical(self, star_instance, chain_instance):
+        assert solve_admission_ilp(star_instance).cost == pytest.approx(4.0)
+        assert solve_admission_ilp(chain_instance).cost == pytest.approx(1.0)
+
+    def test_solution_is_feasible_partition(self, adversarial_instance):
+        solution = solve_admission_ilp(adversarial_instance)
+        report = adversarial_instance.check_feasible(solution.accepted_ids)
+        assert report.feasible
+        assert solution.accepted_ids | solution.rejected_ids == frozenset(
+            adversarial_instance.requests.ids()
+        )
+        assert solution.cost == pytest.approx(
+            adversarial_instance.rejection_cost(solution.rejected_ids)
+        )
+
+    def test_empty_instance(self):
+        instance = AdmissionInstance({"a": 3}, [])
+        solution = solve_admission_ilp(instance)
+        assert solution.cost == 0.0
+        assert solution.num_rejections == 0
+
+    def test_weighted_instance(self, weighted_instance):
+        solution = solve_admission_ilp(weighted_instance)
+        assert solution.rejected_ids == frozenset({1})
+
+
+class TestAdmissionGreedy:
+    def test_greedy_feasible_and_upper_bound(self):
+        instance = single_edge_workload(8, 40, capacity=2, concentration=1.2, random_state=0)
+        opt = solve_admission_ilp(instance)
+        for solver in (greedy_accept_by_cost, greedy_accept_by_density, best_greedy):
+            solution = solver(instance)
+            assert instance.check_feasible(solution.accepted_ids).feasible
+            assert solution.cost >= opt.cost - 1e-9
+
+    def test_greedy_by_cost_protects_expensive(self, weighted_instance):
+        solution = greedy_accept_by_cost(weighted_instance)
+        assert solution.rejected_ids == frozenset({1})
+
+    def test_best_greedy_picks_minimum(self):
+        instance = AdmissionInstance(
+            {"a": 1, "b": 1},
+            [
+                Request(0, {"a", "b"}, 3.0),
+                Request(1, {"a"}, 2.0),
+                Request(2, {"b"}, 2.0),
+            ],
+        )
+        best = best_greedy(instance)
+        assert best.cost <= greedy_accept_by_cost(instance).cost
+        assert best.cost <= greedy_accept_by_density(instance).cost
+
+
+class TestSetMulticover:
+    def test_exact_on_canonical(self, small_cover_instance, repetition_instance):
+        assert solve_set_multicover_ilp(
+            small_cover_instance.system, small_cover_instance.demands()
+        ).cost == pytest.approx(2.0)
+        assert solve_set_multicover_ilp(
+            repetition_instance.system, repetition_instance.demands()
+        ).cost == pytest.approx(3.0)
+
+    def test_chosen_sets_cover_demands(self, random_cover_instance):
+        demands = random_cover_instance.demands()
+        solution = solve_set_multicover_ilp(random_cover_instance.system, demands)
+        for element, demand in demands.items():
+            covering = random_cover_instance.system.sets_containing(element) & solution.chosen
+            assert len(covering) >= demand
+
+    def test_infeasible_demand_raises(self, simple_system):
+        with pytest.raises(ValueError):
+            solve_set_multicover_ilp(simple_system, {1: 5})
+        with pytest.raises(ValueError):
+            solve_set_multicover_lp(simple_system, {1: 5})
+        with pytest.raises(ValueError):
+            greedy_set_multicover(simple_system, {1: 5})
+
+    def test_zero_demand(self, simple_system):
+        assert solve_set_multicover_ilp(simple_system, {}).cost == 0.0
+        assert solve_set_multicover_lp(simple_system, {}).cost == 0.0
+        assert greedy_set_multicover(simple_system, {}).cost == 0.0
+
+    def test_lp_lower_bounds_ilp(self, random_cover_instance):
+        demands = random_cover_instance.demands()
+        lp = solve_set_multicover_lp(random_cover_instance.system, demands)
+        ilp = solve_set_multicover_ilp(random_cover_instance.system, demands)
+        assert lp.cost <= ilp.cost + 1e-6
+
+    def test_greedy_upper_bounds_ilp(self, random_cover_instance):
+        demands = random_cover_instance.demands()
+        greedy = greedy_set_multicover(random_cover_instance.system, demands)
+        ilp = solve_set_multicover_ilp(random_cover_instance.system, demands)
+        assert greedy.cost >= ilp.cost - 1e-9
+        # Greedy must also be feasible.
+        for element, demand in demands.items():
+            covering = random_cover_instance.system.sets_containing(element) & greedy.chosen
+            assert len(covering) >= demand
+
+    def test_weighted_multicover_prefers_cheap_sets(self):
+        system = SetSystem({"cheap": {1, 2}, "costly": {1, 2}}, {"cheap": 1.0, "costly": 10.0})
+        solution = solve_set_multicover_ilp(system, {1: 1, 2: 1})
+        assert solution.chosen == frozenset({"cheap"})
+
+    def test_weighted_repetition_needs_both(self):
+        system = SetSystem({"cheap": {1}, "costly": {1}}, {"cheap": 1.0, "costly": 10.0})
+        solution = solve_set_multicover_ilp(system, {1: 2})
+        assert solution.chosen == frozenset({"cheap", "costly"})

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the admission-control algorithms.
+
+The properties mirror the structural claims of the paper that must hold on
+*every* input, not just the workloads we happened to generate:
+
+* every algorithm's accepted set is feasible at all times;
+* the decision partition is complete and consistent;
+* the fractional covering constraints hold after every arrival and weights are
+  monotone;
+* the randomized algorithm never pays less than the per-edge excess lower
+  bound and never rejects anything when there is no congestion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import GreedySwap, KeepExpensive, RejectWhenFull
+from repro.core.doubling import DoublingAdmissionControl
+from repro.core.fractional import FractionalAdmissionControl
+from repro.core.protocols import run_admission
+from repro.core.randomized import RandomizedAdmissionControl
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import Request, RequestSequence
+from repro.analysis.invariants import check_admission_result
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def admission_instances(draw, max_edges: int = 6, max_requests: int = 20, weighted: bool = True):
+    """Random small admission instances (edges, capacities, arbitrary edge-subset requests)."""
+    num_edges = draw(st.integers(min_value=1, max_value=max_edges))
+    edges = [f"e{k}" for k in range(num_edges)]
+    capacities = {
+        e: draw(st.integers(min_value=1, max_value=3)) for e in edges
+    }
+    num_requests = draw(st.integers(min_value=0, max_value=max_requests))
+    requests = []
+    for rid in range(num_requests):
+        size = draw(st.integers(min_value=1, max_value=num_edges))
+        subset = draw(
+            st.lists(st.sampled_from(edges), min_size=size, max_size=size, unique=True)
+        )
+        if weighted:
+            cost = draw(
+                st.floats(min_value=0.1, max_value=50.0, allow_nan=False, allow_infinity=False)
+            )
+        else:
+            cost = 1.0
+        requests.append(Request(rid, frozenset(subset), float(cost)))
+    return AdmissionInstance(capacities, RequestSequence(requests), name="hypothesis")
+
+
+class TestFeasibilityProperties:
+    @SETTINGS
+    @given(instance=admission_instances(), seed=st.integers(min_value=0, max_value=10**6))
+    def test_randomized_always_feasible_and_consistent(self, instance, seed):
+        algo = RandomizedAdmissionControl.for_instance(instance, random_state=seed)
+        for request in instance.requests:
+            algo.process(request)
+            assert algo.is_feasible()
+        result = algo.result()
+        assert check_admission_result(instance, result).ok
+
+    @SETTINGS
+    @given(instance=admission_instances(), seed=st.integers(min_value=0, max_value=10**6))
+    def test_doubling_always_feasible_and_consistent(self, instance, seed):
+        algo = DoublingAdmissionControl.for_instance(instance, random_state=seed)
+        result = run_admission(algo, instance)
+        assert result.feasible
+        assert check_admission_result(instance, result).ok
+
+    @SETTINGS
+    @given(instance=admission_instances(weighted=False))
+    def test_baselines_always_feasible(self, instance):
+        for factory in (RejectWhenFull, KeepExpensive, GreedySwap):
+            algo = factory.for_instance(instance)
+            result = run_admission(algo, instance)
+            assert check_admission_result(instance, result).ok, factory.__name__
+
+
+class TestLowerBoundProperties:
+    @SETTINGS
+    @given(instance=admission_instances(weighted=False), seed=st.integers(min_value=0, max_value=100))
+    def test_rejections_at_least_max_excess(self, instance, seed):
+        algo = RandomizedAdmissionControl.for_instance(instance, random_state=seed)
+        result = run_admission(algo, instance)
+        assert result.num_rejections >= instance.lower_bound_rejections()
+
+    @SETTINGS
+    @given(instance=admission_instances(), seed=st.integers(min_value=0, max_value=100))
+    def test_no_congestion_implies_no_rejection(self, instance, seed):
+        if instance.max_excess() > 0:
+            return  # property only applies to congestion-free instances
+        algo = RandomizedAdmissionControl.for_instance(instance, random_state=seed)
+        result = run_admission(algo, instance)
+        assert result.rejection_cost == 0.0
+
+
+class TestFractionalProperties:
+    @SETTINGS
+    @given(instance=admission_instances(weighted=False))
+    def test_covering_constraints_and_monotone_weights(self, instance):
+        algo = FractionalAdmissionControl.for_instance(instance)
+        previous = {}
+        for request in instance.requests:
+            algo.process(request)
+            assert algo.check_invariants() == []
+            weights = algo.weight_state.weights()
+            for rid, old in previous.items():
+                assert weights[rid] >= old - 1e-12
+            previous = weights
+
+    @SETTINGS
+    @given(instance=admission_instances(weighted=False))
+    def test_fractional_cost_at_most_total_cost(self, instance):
+        algo = FractionalAdmissionControl.for_instance(instance)
+        algo.process_sequence(instance.requests)
+        assert algo.fractional_cost() <= instance.requests.total_cost() + 1e-9
+
+    @SETTINGS
+    @given(
+        instance=admission_instances(weighted=True),
+        alpha=st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+    )
+    def test_cost_classes_partition_requests(self, instance, alpha):
+        algo = FractionalAdmissionControl.for_instance(instance, alpha=alpha, unweighted=False)
+        algo.process_sequence(instance.requests)
+        result = algo.run_result()
+        assert result.num_small + result.num_big + result.num_normal == instance.num_requests
+        assert algo.check_invariants() == []

@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis) for the set-cover algorithms.
+
+Properties:
+
+* the bicriteria algorithm always meets its (1 - eps) k coverage target, never
+  lets the potential exceed n^2, and never increases it during an augmentation;
+* the reduction-based solver always produces a full multi-cover;
+* the offline greedy / ILP / LP obey the expected cost ordering
+  (LP <= ILP <= greedy <= buy-everything).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.bicriteria import BicriteriaOnlineSetCover
+from repro.core.protocols import run_setcover
+from repro.core.setcover_reduction import OnlineSetCoverViaAdmissionControl
+from repro.instances.setcover import SetCoverInstance, SetSystem
+from repro.offline import (
+    greedy_set_multicover,
+    solve_set_multicover_ilp,
+    solve_set_multicover_lp,
+)
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def setcover_instances(draw, max_elements: int = 8, max_sets: int = 6, max_arrivals: int = 15):
+    """Random small set systems plus feasible arrival sequences with repetitions."""
+    num_elements = draw(st.integers(min_value=1, max_value=max_elements))
+    num_sets = draw(st.integers(min_value=1, max_value=max_sets))
+    elements = list(range(num_elements))
+    sets = {}
+    for s in range(num_sets):
+        size = draw(st.integers(min_value=1, max_value=num_elements))
+        members = draw(
+            st.lists(st.sampled_from(elements), min_size=size, max_size=size, unique=True)
+        )
+        sets[f"S{s}"] = members
+    # Guarantee every element is in at least one set so arrivals can be feasible.
+    for j in elements:
+        if not any(j in members for members in sets.values()):
+            owner = draw(st.sampled_from(sorted(sets)))
+            sets[owner] = list(set(sets[owner]) | {j})
+    system = SetSystem(sets)
+
+    num_arrivals = draw(st.integers(min_value=0, max_value=max_arrivals))
+    counts = {j: 0 for j in elements}
+    arrivals = []
+    for _ in range(num_arrivals):
+        candidates = [j for j in elements if counts[j] < system.degree(j)]
+        if not candidates:
+            break
+        j = draw(st.sampled_from(candidates))
+        counts[j] += 1
+        arrivals.append(j)
+    return SetCoverInstance(system, arrivals, name="hypothesis")
+
+
+class TestBicriteriaProperties:
+    @SETTINGS
+    @given(instance=setcover_instances(), eps=st.sampled_from([0.1, 0.25, 0.5]))
+    def test_coverage_target_met_at_every_step(self, instance, eps):
+        algo = BicriteriaOnlineSetCover(instance.system, eps=eps)
+        demands = {}
+        for element in instance.arrivals:
+            algo.process_element(element)
+            demands[element] = demands.get(element, 0) + 1
+            for e, k in demands.items():
+                assert algo.coverage(e) >= (1 - eps) * k - 1e-9
+
+    @SETTINGS
+    @given(instance=setcover_instances(), eps=st.sampled_from([0.1, 0.3]))
+    def test_potential_invariants(self, instance, eps):
+        algo = BicriteriaOnlineSetCover(instance.system, eps=eps)
+        run_setcover(algo, instance)
+        assert algo.max_potential_seen <= max(algo.n, 2) ** 2 + 1e-6
+        for trace in algo.traces:
+            assert trace.potential_after <= trace.potential_before * (1 + 1e-9) + 1e-9
+            assert len(trace.sets_from_selection) <= algo.selection_rounds
+
+    @SETTINGS
+    @given(instance=setcover_instances())
+    def test_cost_never_exceeds_whole_family(self, instance):
+        algo = BicriteriaOnlineSetCover(instance.system, eps=0.2)
+        run_setcover(algo, instance)
+        assert algo.cost() <= instance.system.total_cost() + 1e-9
+
+
+class TestReductionProperties:
+    @SETTINGS
+    @given(instance=setcover_instances(), seed=st.integers(min_value=0, max_value=10**6))
+    def test_reduction_always_satisfies_demands(self, instance, seed):
+        solver = OnlineSetCoverViaAdmissionControl(instance.system, random_state=seed)
+        result = run_setcover(solver, instance)
+        for element, demand in instance.demands().items():
+            assert result.coverage[element] >= demand
+        assert result.extra["admission_feasible"]
+
+
+class TestOfflineOrderingProperties:
+    @SETTINGS
+    @given(instance=setcover_instances())
+    def test_lp_ilp_greedy_ordering(self, instance):
+        demands = instance.demands()
+        lp = solve_set_multicover_lp(instance.system, demands)
+        ilp = solve_set_multicover_ilp(instance.system, demands)
+        greedy = greedy_set_multicover(instance.system, demands)
+        assert lp.cost <= ilp.cost + 1e-6
+        assert ilp.cost <= greedy.cost + 1e-6
+        assert greedy.cost <= instance.system.total_cost() + 1e-9
+
+    @SETTINGS
+    @given(instance=setcover_instances())
+    def test_ilp_solution_is_feasible(self, instance):
+        demands = instance.demands()
+        solution = solve_set_multicover_ilp(instance.system, demands)
+        for element, demand in demands.items():
+            covering = instance.system.sets_containing(element) & solution.chosen
+            assert len(covering) >= demand

@@ -1,0 +1,143 @@
+"""Unit tests for repro.utils.mathx."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.mathx import (
+    ceil_log2,
+    clamp,
+    geometric_mean,
+    harmonic_number,
+    is_power_of_two,
+    ln_guarded,
+    log2_guarded,
+    safe_ratio,
+)
+
+
+class TestLog2Guarded:
+    def test_large_values_match_log2(self):
+        assert log2_guarded(1024) == pytest.approx(10.0)
+
+    def test_small_values_clamped_to_minimum(self):
+        assert log2_guarded(1.0) == 1.0
+        assert log2_guarded(0.5) == 1.0
+        assert log2_guarded(0.0) == 1.0
+
+    def test_custom_minimum(self):
+        assert log2_guarded(2.0, minimum=0.0) == pytest.approx(1.0)
+        assert log2_guarded(1.0, minimum=0.0) == 0.0
+
+    def test_values_between_two_and_four(self):
+        assert log2_guarded(3.0) == pytest.approx(math.log2(3.0))
+
+
+class TestLnGuarded:
+    def test_matches_natural_log_for_large_values(self):
+        assert ln_guarded(math.e**3) == pytest.approx(3.0)
+
+    def test_clamped_below(self):
+        assert ln_guarded(1.0) == 1.0
+        assert ln_guarded(0.01) == 1.0
+
+
+class TestCeilLog2:
+    def test_exact_powers(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(8) == 3
+
+    def test_non_powers_round_up(self):
+        assert ceil_log2(3) == 2
+        assert ceil_log2(9) == 4
+
+    def test_values_below_one(self):
+        assert ceil_log2(0.25) == 0
+
+
+class TestSafeRatio:
+    def test_normal_division(self):
+        assert safe_ratio(6.0, 3.0) == 2.0
+
+    def test_zero_over_zero_defaults_to_one(self):
+        assert safe_ratio(0.0, 0.0) == 1.0
+
+    def test_zero_over_zero_custom(self):
+        assert safe_ratio(0.0, 0.0, zero_over_zero=0.0) == 0.0
+
+    def test_positive_over_zero_is_infinite(self):
+        assert math.isinf(safe_ratio(1.0, 0.0))
+
+
+class TestHarmonicNumber:
+    def test_small_values_exact(self):
+        assert harmonic_number(1) == pytest.approx(1.0)
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_zero_and_negative(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(-3) == 0.0
+
+    def test_asymptotic_branch_close_to_exact(self):
+        exact = sum(1.0 / k for k in range(1, 501))
+        assert harmonic_number(500) == pytest.approx(exact, rel=1e-6)
+
+    def test_monotone(self):
+        assert harmonic_number(10) < harmonic_number(11)
+
+
+class TestClamp:
+    def test_inside_range(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below_and_above(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)
+
+
+class TestGeometricMean:
+    def test_constant_sequence(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_one(self):
+        assert geometric_mean([]) == 1.0
+
+    def test_non_positive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(64)
+
+    def test_non_powers(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+
+class TestProperties:
+    @given(st.floats(min_value=1.0, max_value=1e12))
+    def test_log2_guarded_at_least_minimum(self, x):
+        assert log2_guarded(x) >= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1e6), st.floats(min_value=1e-6, max_value=1e6))
+    def test_safe_ratio_non_negative(self, a, b):
+        assert safe_ratio(a, b) >= 0.0
+
+    @given(st.integers(min_value=1, max_value=10000))
+    def test_harmonic_number_bounds(self, n):
+        h = harmonic_number(n)
+        assert math.log(n) < h <= math.log(n) + 1.0 + 1e-9

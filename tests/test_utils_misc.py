@@ -1,0 +1,110 @@
+"""Unit tests for repro.utils.timing, repro.utils.logging and repro.utils.validation."""
+
+import io
+import logging
+import time
+
+import pytest
+
+from repro.utils.logging import configure_logging, get_logger
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestTimer:
+    def test_section_records_total_and_count(self):
+        timer = Timer()
+        with timer.section("work"):
+            pass
+        with timer.section("work"):
+            pass
+        assert timer.counts["work"] == 2
+        assert timer.total("work") >= 0.0
+
+    def test_mean_of_untimed_section_is_zero(self):
+        assert Timer().mean("nothing") == 0.0
+
+    def test_summary_contains_section_names(self):
+        timer = Timer()
+        with timer.section("alpha"):
+            pass
+        assert "alpha" in timer.summary()
+
+    def test_exception_still_records(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            with timer.section("boom"):
+                raise RuntimeError("x")
+        assert timer.counts["boom"] == 1
+
+
+class TestTimed:
+    def test_returns_value_and_duration(self):
+        wrapped = timed(lambda x: x * 2)
+        value, duration = wrapped(21)
+        assert value == 42
+        assert duration >= 0.0
+
+
+class TestLogging:
+    def test_get_logger_prefixes_namespace(self):
+        assert get_logger("core.fractional").name == "repro.core.fractional"
+        assert get_logger("repro.analysis").name == "repro.analysis"
+
+    def test_configure_logging_attaches_single_handler(self):
+        stream = io.StringIO()
+        configure_logging(logging.INFO, stream=stream)
+        configure_logging(logging.INFO, stream=stream)
+        logger = logging.getLogger("repro")
+        assert len(logger.handlers) == 1
+        get_logger("test").info("hello")
+        assert "hello" in stream.getvalue()
+
+
+class TestValidation:
+    def test_check_positive_accepts_and_returns_float(self):
+        assert check_positive(3, "x") == 3.0
+
+    def test_check_positive_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+        with pytest.raises(ValueError):
+            check_positive(-1.5, "x")
+
+    def test_check_positive_rejects_non_numbers(self):
+        with pytest.raises(TypeError):
+            check_positive("3", "x")
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+    def test_check_integer(self):
+        assert check_integer(4, "k") == 4
+        with pytest.raises(TypeError):
+            check_integer(4.5, "k")
+        with pytest.raises(ValueError):
+            check_integer(1, "k", minimum=2)
+        with pytest.raises(TypeError):
+            check_integer(True, "k")
+
+    def test_check_in_range(self):
+        assert check_in_range(0.3, "x", 0.0, 1.0) == 0.3
+        with pytest.raises(ValueError):
+            check_in_range(2.0, "x", 0.0, 1.0)
+        with pytest.raises(TypeError):
+            check_in_range("a", "x", 0.0, 1.0)

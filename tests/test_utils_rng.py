@@ -1,0 +1,87 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, derive_seed, spawn_generators, stable_seed
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9, size=10)
+        b = as_generator(2).integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_generators(0, 2)
+        assert not np.array_equal(a.integers(0, 10**9, 10), b.integers(0, 10**9, 10))
+
+    def test_reproducible_from_same_master(self):
+        first = [g.integers(0, 10**9) for g in spawn_generators(99, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_generators(99, 3)]
+        assert first == second
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(5), 3)
+        assert len(gens) == 3
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed(1, "abc", 2.5) == stable_seed(1, "abc", 2.5)
+
+    def test_different_inputs_differ(self):
+        assert stable_seed(1, "a") != stable_seed(1, "b")
+
+    def test_within_31_bits(self):
+        for parts in [(0,), ("x", 1, 2), (tuple(range(10)),)]:
+            seed = stable_seed(*parts)
+            assert 0 <= seed < 2**31
+
+    def test_usable_as_numpy_seed(self):
+        gen = np.random.default_rng(stable_seed("workload", 3))
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestDeriveSeed:
+    def test_deterministic_for_int(self):
+        assert derive_seed(7, salt=3) == derive_seed(7, salt=3)
+
+    def test_salt_changes_value(self):
+        assert derive_seed(7, salt=1) != derive_seed(7, salt=2)
+
+    def test_non_negative(self):
+        assert derive_seed(123, salt=0) >= 0

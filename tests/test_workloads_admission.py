@@ -1,0 +1,161 @@
+"""Tests for admission-control workload generators (random + adversarial)."""
+
+import numpy as np
+import pytest
+
+from repro.network.topologies import grid_graph
+from repro.offline import solve_admission_ilp
+from repro.workloads import (
+    benefit_objective_trap,
+    bimodal_costs,
+    cheap_then_expensive_adversary,
+    hotspot_workload,
+    line_interval_workload,
+    lognormal_costs,
+    long_vs_short_adversary,
+    overloaded_edge_adversary,
+    pareto_costs,
+    random_path_workload,
+    repeated_overload_adversary,
+    single_edge_workload,
+    uniform_costs,
+    unit_costs,
+)
+
+
+class TestCostSamplers:
+    def test_unit_costs(self):
+        assert np.all(unit_costs(5) == 1.0)
+
+    def test_uniform_costs_in_range(self, rng):
+        costs = uniform_costs(100, 2.0, 3.0, random_state=rng)
+        assert costs.shape == (100,)
+        assert np.all((costs >= 2.0) & (costs <= 3.0))
+
+    def test_pareto_costs_above_scale(self, rng):
+        costs = pareto_costs(100, shape=2.0, scale=1.5, random_state=rng)
+        assert np.all(costs >= 1.5)
+
+    def test_lognormal_costs_positive(self, rng):
+        assert np.all(lognormal_costs(50, random_state=rng) > 0)
+
+    def test_bimodal_costs_two_levels(self, rng):
+        costs = bimodal_costs(200, 1.0, 10.0, 0.5, random_state=rng)
+        assert set(np.unique(costs)) <= {1.0, 10.0}
+        assert (costs == 10.0).sum() > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            uniform_costs(5, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            pareto_costs(5, shape=-1.0)
+        with pytest.raises(ValueError):
+            bimodal_costs(5, expensive_fraction=2.0)
+        with pytest.raises(ValueError):
+            unit_costs(-1)
+
+
+class TestRandomWorkloads:
+    def test_random_path_workload_valid(self, rng):
+        graph = grid_graph(3, 3, capacity=2)
+        instance = random_path_workload(graph, 20, random_state=rng)
+        assert instance.num_requests == 20
+        assert instance.max_capacity == 2
+        # All requests reference edges of the graph.
+        for request in instance.requests:
+            for edge in request.edges:
+                assert edge in instance.capacities
+
+    def test_random_path_workload_reproducible(self):
+        graph = grid_graph(3, 3)
+        a = random_path_workload(graph, 10, random_state=5)
+        b = random_path_workload(graph, 10, random_state=5)
+        assert [r.edges for r in a.requests] == [r.edges for r in b.requests]
+
+    def test_random_path_workload_with_random_paths(self, rng):
+        graph = grid_graph(3, 3)
+        instance = random_path_workload(graph, 10, shortest_paths=False, random_state=rng)
+        assert instance.num_requests == 10
+
+    def test_single_edge_workload(self, rng):
+        instance = single_edge_workload(10, 50, capacity=2, concentration=1.5, random_state=rng)
+        assert instance.num_edges == 10
+        assert all(r.num_edges == 1 for r in instance.requests)
+
+    def test_single_edge_workload_concentration_skews_load(self):
+        instance = single_edge_workload(20, 400, concentration=2.0, random_state=0)
+        load = instance.requests.edge_load()
+        assert load.get("e0", 0) > load.get("e19", 0)
+
+    def test_hotspot_workload_creates_congestion(self, rng):
+        graph = grid_graph(3, 3, capacity=1)
+        instance = hotspot_workload(graph, 40, num_hotspots=1, hotspot_fraction=1.0, random_state=rng)
+        assert instance.max_excess() > 0
+
+    def test_line_interval_workload(self, rng):
+        instance = line_interval_workload(10, 30, capacity=2, random_state=rng)
+        assert instance.num_edges == 9
+        assert instance.num_requests == 30
+
+    def test_cost_sampler_validation(self, rng):
+        graph = grid_graph(2, 2)
+        with pytest.raises(ValueError):
+            random_path_workload(graph, 5, cost_sampler=lambda n, r: np.zeros(n), random_state=rng)
+        with pytest.raises(ValueError):
+            random_path_workload(graph, 5, cost_sampler=lambda n, r: np.ones(n + 1), random_state=rng)
+
+    def test_generator_parameter_validation(self, rng):
+        with pytest.raises(ValueError):
+            single_edge_workload(0, 5)
+        with pytest.raises(ValueError):
+            line_interval_workload(1, 5)
+        graph = grid_graph(2, 2)
+        with pytest.raises(ValueError):
+            hotspot_workload(graph, 5, hotspot_fraction=1.5, random_state=rng)
+
+
+class TestAdversarialWorkloads:
+    def test_overloaded_edge_adversary_requires_rejections(self):
+        instance = overloaded_edge_adversary(10, 2, num_hot_edges=2, overload_factor=3.0, random_state=0)
+        opt = solve_admission_ilp(instance)
+        # Each hot edge sees 6 single-edge requests for capacity 2 (plus decoys).
+        assert opt.cost >= 8.0
+        assert instance.num_edges == 10
+
+    def test_overloaded_edge_adversary_validation(self):
+        with pytest.raises(ValueError):
+            overloaded_edge_adversary(4, 1, num_hot_edges=5)
+
+    def test_cheap_then_expensive_gap(self):
+        instance = cheap_then_expensive_adversary(4, 2, expensive_cost=50.0)
+        opt = solve_admission_ilp(instance)
+        # OPT rejects the cheap requests only: 2 per edge.
+        assert opt.cost == pytest.approx(8.0)
+
+    def test_long_vs_short_structure(self):
+        instance = long_vs_short_adversary(6, capacity=1)
+        assert instance.requests[0].num_edges == 6
+        opt = solve_admission_ilp(instance)
+        assert opt.cost == pytest.approx(1.0)
+
+    def test_benefit_trap_optimum_small(self):
+        instance = benefit_objective_trap(4, 3, capacity=1)
+        opt = solve_admission_ilp(instance)
+        assert opt.cost <= 4 * 3 + 4
+        assert opt.cost > 0
+
+    def test_repeated_overload(self):
+        instance = repeated_overload_adversary(capacity=2, num_waves=3, random_state=1)
+        opt = solve_admission_ilp(instance)
+        # 3 waves of 4 requests through capacity 2 -> reject 12 - 2 = 10.
+        assert opt.cost == pytest.approx(10.0)
+
+    def test_adversaries_validate_parameters(self):
+        with pytest.raises(ValueError):
+            cheap_then_expensive_adversary(0, 1)
+        with pytest.raises(ValueError):
+            long_vs_short_adversary(0)
+        with pytest.raises(ValueError):
+            benefit_objective_trap(0, 1)
+        with pytest.raises(ValueError):
+            repeated_overload_adversary(0, 1)

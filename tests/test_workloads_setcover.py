@@ -1,0 +1,120 @@
+"""Tests for set-cover workload generators (random + adversarial)."""
+
+import pytest
+
+from repro.baselines import CheapestSetOnline
+from repro.instances.setcover import SetCoverInstance
+from repro.offline import solve_set_multicover_ilp
+from repro.workloads import (
+    adaptive_uncovered_adversary,
+    disjoint_blocks_instance,
+    nested_family_instance,
+    random_arrivals,
+    random_set_system,
+    random_setcover_instance,
+    regular_set_system,
+    repetition_heavy_arrivals,
+    repetition_stress_instance,
+)
+
+
+class TestRandomSetSystems:
+    def test_every_element_covered(self):
+        system = random_set_system(30, 8, 0.1, random_state=0)
+        assert system.num_elements == 30
+        assert all(system.degree(e) >= 1 for e in system.elements())
+
+    def test_no_empty_sets(self):
+        system = random_set_system(5, 10, 0.0, random_state=1)
+        assert all(len(system.members(sid)) >= 1 for sid in system.set_ids())
+
+    def test_costs_applied(self):
+        system = random_set_system(10, 4, 0.5, costs=[1, 2, 3, 4], random_state=0)
+        assert system.cost("S3") == 4.0
+
+    def test_costs_length_checked(self):
+        with pytest.raises(ValueError):
+            random_set_system(10, 4, 0.5, costs=[1, 2], random_state=0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_set_system(0, 5)
+        with pytest.raises(ValueError):
+            random_set_system(5, 5, membership_probability=1.5)
+
+    def test_regular_system_degrees(self):
+        system = regular_set_system(20, 10, element_degree=3, random_state=0)
+        assert all(system.degree(e) == 3 for e in system.elements())
+
+    def test_regular_system_validation(self):
+        with pytest.raises(ValueError):
+            regular_set_system(10, 5, element_degree=6)
+
+
+class TestArrivalGenerators:
+    def test_random_arrivals_feasible(self):
+        system = random_set_system(20, 8, 0.3, random_state=2)
+        arrivals = random_arrivals(system, 60, random_state=2)
+        instance = SetCoverInstance(system, arrivals)
+        assert instance.is_feasible()
+
+    def test_random_arrivals_respect_max_repetitions(self):
+        system = random_set_system(10, 8, 0.5, random_state=3)
+        arrivals = random_arrivals(system, 40, max_repetitions=1, random_state=3)
+        demands = SetCoverInstance(system, arrivals).demands()
+        assert all(d <= 1 for d in demands.values())
+
+    def test_repetition_heavy_arrivals_feasible_and_repeating(self):
+        system = random_set_system(20, 10, 0.4, random_state=4)
+        arrivals = repetition_heavy_arrivals(system, random_state=4)
+        instance = SetCoverInstance(system, arrivals)
+        assert instance.is_feasible()
+        assert instance.max_repetitions() >= 2
+
+    def test_repetition_fraction_validated(self):
+        system = random_set_system(5, 3, 0.5, random_state=0)
+        with pytest.raises(ValueError):
+            repetition_heavy_arrivals(system, repetition_fraction=0.0)
+
+    def test_random_setcover_instance_convenience(self, random_cover_instance):
+        assert random_cover_instance.system.num_elements == 20
+        assert random_cover_instance.is_feasible()
+
+
+class TestAdversarialSetCover:
+    def test_nested_family_opt_is_one(self):
+        instance = nested_family_instance(6)
+        opt = solve_set_multicover_ilp(instance.system, instance.demands())
+        assert opt.cost == pytest.approx(1.0)
+
+    def test_nested_family_validation(self):
+        with pytest.raises(ValueError):
+            nested_family_instance(0)
+
+    def test_disjoint_blocks_opt_buys_blocks(self):
+        instance = disjoint_blocks_instance(4, 5, blocks_requested=2, random_state=0)
+        opt = solve_set_multicover_ilp(instance.system, instance.demands())
+        assert opt.cost == pytest.approx(2.0)
+
+    def test_repetition_stress_requires_all_sets(self):
+        instance = repetition_stress_instance(degree=5)
+        opt = solve_set_multicover_ilp(instance.system, instance.demands())
+        assert opt.cost == pytest.approx(5.0)
+
+    def test_adaptive_adversary_plays_feasible_sequences(self):
+        system = random_set_system(15, 8, 0.3, random_state=5)
+        instance, algorithm = adaptive_uncovered_adversary(
+            system, lambda s: CheapestSetOnline(s), num_arrivals=25, random_state=5
+        )
+        assert instance.is_feasible()
+        assert instance.num_arrivals <= 25
+        # The algorithm that played the sequence satisfied every demand.
+        for element, demand in instance.demands().items():
+            assert algorithm.coverage(element) >= demand
+
+    def test_adaptive_adversary_without_repetitions(self):
+        system = random_set_system(10, 6, 0.4, random_state=6)
+        instance, _ = adaptive_uncovered_adversary(
+            system, lambda s: CheapestSetOnline(s), num_arrivals=50, allow_repetitions=False, random_state=6
+        )
+        assert instance.max_repetitions() <= 1
