@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench-baseline bench-suite
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# One weight-update micro-benchmark per backend; fails on a >2x regression
+# against benchmarks/baseline_bench.json.
+bench-smoke:
+	$(PYTHON) -m repro bench --quick
+
+# Refresh the committed baseline after an intentional perf change.
+bench-baseline:
+	$(PYTHON) -m repro bench --quick --write-baseline
+
+# The full pytest-benchmark suite (also writes BENCH_engine.json).
+bench-suite:
+	$(PYTHON) -m pytest benchmarks -q

@@ -5,9 +5,22 @@ experiment index (the paper has no tables/figures of its own — see
 EXPERIMENTS.md).  The benchmark measures the wall-clock cost of regenerating
 the experiment's rows and prints the resulting table so the numbers can be
 compared against EXPERIMENTS.md directly from the benchmark output.
+
+Besides the human-readable tables the session also emits a machine-readable
+``BENCH_engine.json`` at the repository root: per-experiment (and per-micro-
+benchmark) wall-clock seconds together with the weight backend that produced
+them, so the performance trajectory can be tracked PR-over-PR with a plain
+``diff``/``jq``.  Set ``REPRO_BENCH_BACKEND=numpy`` to run the whole suite on
+the vectorized backend.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict
 
 import pytest
 
@@ -15,7 +28,15 @@ from repro.experiments import ExperimentConfig
 
 # Benchmarks use the quick grid with a single trial so the whole suite stays
 # in the tens-of-seconds range; EXPERIMENTS.md records fuller runs.
-BENCH_CONFIG = ExperimentConfig(quick=True, num_trials=1, ilp_time_limit=5.0)
+BENCH_CONFIG = ExperimentConfig(
+    quick=True,
+    num_trials=1,
+    ilp_time_limit=5.0,
+    backend=os.environ.get("REPRO_BENCH_BACKEND", "python"),
+)
+
+#: Collected wall-clock records, flushed to BENCH_engine.json at session end.
+_BENCH_RECORDS: Dict[str, Dict[str, Any]] = {}
 
 
 @pytest.fixture(scope="session")
@@ -24,16 +45,43 @@ def bench_config() -> ExperimentConfig:
     return BENCH_CONFIG
 
 
+def record_bench(name: str, seconds: float, backend: str, **extra: Any) -> None:
+    """Record one benchmark's wall clock for the BENCH_engine.json report."""
+    _BENCH_RECORDS[name] = {"seconds": seconds, "backend": backend, **extra}
+
+
+@pytest.fixture(scope="session")
+def bench_recorder():
+    """Fixture handle on :func:`record_bench` for the micro-benchmarks."""
+    return record_bench
+
+
 def run_and_report(benchmark, experiment_id: str, config: ExperimentConfig):
-    """Benchmark one experiment and print its table."""
+    """Benchmark one experiment, print its table, and record its wall clock."""
     from repro.experiments import run_experiment
 
+    start = time.perf_counter()
     result = benchmark.pedantic(
         run_experiment, args=(experiment_id, config), rounds=1, iterations=1, warmup_rounds=0
     )
+    record_bench(experiment_id, time.perf_counter() - start, config.backend)
     print()
     print(result.table())
     for key, value in result.metadata.items():
         if isinstance(value, str):
             print(value)
     return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable per-benchmark report next to the repo root."""
+    if not _BENCH_RECORDS:
+        return
+    payload = {
+        "schema": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "default_backend": BENCH_CONFIG.backend,
+        "benchmarks": dict(sorted(_BENCH_RECORDS.items())),
+    }
+    path = Path(str(session.config.rootpath)) / "BENCH_engine.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -8,17 +8,48 @@ solver's per-element cost, and the offline solvers.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.bicriteria import BicriteriaOnlineSetCover
 from repro.core.fractional import FractionalAdmissionControl
 from repro.core.protocols import run_admission, run_setcover
 from repro.core.randomized import RandomizedAdmissionControl
 from repro.core.setcover_reduction import OnlineSetCoverViaAdmissionControl
+from repro.engine.benchmarking import run_weight_update_bench, weight_update_workload
+from repro.engine.registry import WEIGHT_BACKENDS
 from repro.offline import solve_admission_ilp, solve_admission_lp, solve_set_multicover_ilp
 from repro.workloads import overloaded_edge_adversary, random_setcover_instance, single_edge_workload
 
 ADMISSION_INSTANCE = single_edge_workload(64, 512, capacity=4, concentration=1.3, random_state=0)
 ADVERSARIAL_INSTANCE = overloaded_edge_adversary(64, 4, num_hot_edges=8, random_state=0)
 SETCOVER_INSTANCE = random_setcover_instance(80, 32, 160, random_state=0)
+
+#: Canonical weight-update stress workload (>= 1000 edges, alive sets in the
+#: thousands on the hot edges) — the same one ``python -m repro bench`` gates.
+WEIGHT_UPDATE_WORKLOAD = weight_update_workload(quick=True)
+
+
+@pytest.mark.parametrize("backend", WEIGHT_BACKENDS.keys())
+def test_bench_weight_update_backend(benchmark, backend, bench_recorder):
+    """Per-backend cost of the multiplicative weight-update hot loop.
+
+    The acceptance target for the vectorized backend is >= 3x over the scalar
+    reference on this workload; compare the two parametrized runs (or run
+    ``make bench-smoke``, which prints the speedup directly).
+    """
+
+    def run():
+        return run_weight_update_bench(backend, WEIGHT_UPDATE_WORKLOAD)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    bench_recorder(
+        f"weight_update[{backend}]",
+        result.seconds,
+        backend,
+        augmentations=result.augmentations,
+    )
+    assert result.augmentations > 0
+    assert result.fractional_cost > 0.0
 
 
 def test_bench_fractional_weight_mechanism(benchmark):

@@ -18,6 +18,25 @@ Quick start
 >>> result = run_admission(algo, instance)
 >>> result.feasible
 True
+
+Execution engine (migration note)
+---------------------------------
+Since the engine refactor the multiplicative weight mechanism lives in
+:mod:`repro.engine.backends` behind the ``WeightBackend`` protocol:
+
+* ``repro.core.weights.FractionalWeightState`` is now an alias of
+  ``repro.engine.backends.PythonWeightBackend`` — existing imports keep
+  working unchanged, as do ``ArrivalOutcome`` / ``AugmentationRecord``;
+* every core algorithm accepts ``backend="numpy"`` (or an
+  :class:`~repro.engine.config.EngineConfig`) to run on the vectorized
+  NumPy backend, e.g.
+  ``RandomizedAdmissionControl.for_instance(instance, backend="numpy")``;
+* algorithms, backends and experiments resolve by string key through
+  :mod:`repro.engine.registry`, and
+  :class:`~repro.engine.runtime.SimulationEngine` /
+  :func:`~repro.analysis.trials.run_admission_trials` (with ``jobs=N``)
+  provide the registry-driven runtime and parallel trial execution.  See
+  ARCHITECTURE.md for the layering.
 """
 
 from repro.core import (
@@ -35,6 +54,13 @@ from repro.core import (
     run_admission,
     run_setcover,
 )
+from repro.engine import (
+    EngineConfig,
+    NumpyWeightBackend,
+    PythonWeightBackend,
+    SimulationEngine,
+    WeightBackend,
+)
 from repro.instances import (
     AdmissionInstance,
     Decision,
@@ -45,7 +71,7 @@ from repro.instances import (
     SetSystem,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdmissionResult",
@@ -61,6 +87,11 @@ __all__ = [
     "SetCoverResult",
     "run_admission",
     "run_setcover",
+    "EngineConfig",
+    "NumpyWeightBackend",
+    "PythonWeightBackend",
+    "SimulationEngine",
+    "WeightBackend",
     "AdmissionInstance",
     "Decision",
     "DecisionKind",

@@ -1,10 +1,16 @@
-"""Multi-seed trial runner.
+"""Multi-seed trial runner with parallel execution.
 
 Randomized algorithms (and randomized workloads) need several independent runs
 before a competitive ratio means anything.  :func:`run_admission_trials` /
 :func:`run_setcover_trials` run ``(workload seed, algorithm seed)`` pairs and
 aggregate the resulting :class:`~repro.analysis.competitive.CompetitiveRecord`
 objects into a :class:`TrialSummary`.
+
+Every trial's seed pair is derived from the master seed *before* dispatch
+(:func:`repro.engine.executor.derive_seed_pairs`, which matches the historical
+``spawn_generators`` derivation exactly), so the summary is bit-identical
+whether trials run serially (``jobs=1``), on a thread pool, or — when the
+factories are picklable module-level callables — across processes.
 """
 
 from __future__ import annotations
@@ -21,9 +27,10 @@ from repro.analysis.competitive import (
 )
 from repro.analysis.stats import SummaryStats, summarize
 from repro.core.protocols import run_admission, run_setcover
+from repro.engine.executor import derive_seed_pairs, execute
 from repro.instances.admission import AdmissionInstance
 from repro.instances.setcover import SetCoverInstance
-from repro.utils.rng import spawn_generators
+from repro.utils.rng import as_generator
 
 __all__ = ["TrialSummary", "run_admission_trials", "run_setcover_trials"]
 
@@ -85,6 +92,82 @@ class TrialSummary:
         }
 
 
+@dataclass
+class _TrialSpec:
+    """One self-contained trial: factories plus pre-derived seeds.
+
+    The spec is what crosses the executor boundary, so it carries everything a
+    worker needs and nothing it must share: the instance and algorithm
+    factories, the two seeds (picklable ``SeedSequence`` children or ints),
+    and the offline-evaluation knobs.
+    """
+
+    kind: str  # "admission" | "setcover"
+    instance_factory: Callable
+    algorithm_factory: Callable
+    instance_seed: Any
+    algo_seed: Any
+    offline: str
+    randomized_bound: bool
+    bicriteria_bound: bool
+    ilp_time_limit: Optional[float]
+
+
+def _run_trial(spec: _TrialSpec) -> CompetitiveRecord:
+    """Execute one trial (worker function; module-level so it can pickle)."""
+    instance = spec.instance_factory(as_generator(spec.instance_seed))
+    algorithm = spec.algorithm_factory(instance, as_generator(spec.algo_seed))
+    if spec.kind == "admission":
+        result = run_admission(algorithm, instance)
+        return evaluate_admission_run(
+            instance,
+            result,
+            offline=spec.offline,
+            randomized_bound=spec.randomized_bound,
+            ilp_time_limit=spec.ilp_time_limit,
+        )
+    result = run_setcover(algorithm, instance)
+    return evaluate_setcover_run(
+        instance,
+        result,
+        offline=spec.offline,
+        bicriteria_bound=spec.bicriteria_bound,
+        ilp_time_limit=spec.ilp_time_limit,
+    )
+
+
+def _run_trial_suite(
+    kind: str,
+    instance_factory: Callable,
+    algorithm_factory: Callable,
+    *,
+    num_trials: int,
+    random_state: Any,
+    label: str,
+    offline: str,
+    randomized_bound: bool,
+    bicriteria_bound: bool,
+    ilp_time_limit: Optional[float],
+    jobs: int,
+) -> TrialSummary:
+    specs = [
+        _TrialSpec(
+            kind=kind,
+            instance_factory=instance_factory,
+            algorithm_factory=algorithm_factory,
+            instance_seed=instance_seed,
+            algo_seed=algo_seed,
+            offline=offline,
+            randomized_bound=randomized_bound,
+            bicriteria_bound=bicriteria_bound,
+            ilp_time_limit=ilp_time_limit,
+        )
+        for instance_seed, algo_seed in derive_seed_pairs(random_state, num_trials)
+    ]
+    records = execute(_run_trial, specs, jobs=jobs)
+    return TrialSummary(label=label, records=list(records))
+
+
 def run_admission_trials(
     instance_factory: Callable[[np.random.Generator], AdmissionInstance],
     algorithm_factory: Callable[[AdmissionInstance, np.random.Generator], Any],
@@ -95,29 +178,28 @@ def run_admission_trials(
     offline: str = "ilp",
     randomized_bound: bool = True,
     ilp_time_limit: Optional[float] = 30.0,
+    jobs: int = 1,
 ) -> TrialSummary:
     """Run several independent admission-control trials.
 
     ``instance_factory(rng)`` builds a (possibly random) instance; the
     ``algorithm_factory(instance, rng)`` builds the online algorithm, seeded
-    independently of the instance.
+    independently of the instance.  ``jobs > 1`` fans the trials out over the
+    engine executor without changing any result.
     """
-    summary = TrialSummary(label=label)
-    generators = spawn_generators(random_state, 2 * num_trials)
-    for t in range(num_trials):
-        instance_rng, algo_rng = generators[2 * t], generators[2 * t + 1]
-        instance = instance_factory(instance_rng)
-        algorithm = algorithm_factory(instance, algo_rng)
-        result = run_admission(algorithm, instance)
-        record = evaluate_admission_run(
-            instance,
-            result,
-            offline=offline,
-            randomized_bound=randomized_bound,
-            ilp_time_limit=ilp_time_limit,
-        )
-        summary.records.append(record)
-    return summary
+    return _run_trial_suite(
+        "admission",
+        instance_factory,
+        algorithm_factory,
+        num_trials=num_trials,
+        random_state=random_state,
+        label=label,
+        offline=offline,
+        randomized_bound=randomized_bound,
+        bicriteria_bound=False,
+        ilp_time_limit=ilp_time_limit,
+        jobs=jobs,
+    )
 
 
 def run_setcover_trials(
@@ -130,21 +212,21 @@ def run_setcover_trials(
     offline: str = "ilp",
     bicriteria_bound: bool = False,
     ilp_time_limit: Optional[float] = 30.0,
+    jobs: int = 1,
 ) -> TrialSummary:
     """Run several independent set-cover trials (same structure as admission)."""
-    summary = TrialSummary(label=label)
-    generators = spawn_generators(random_state, 2 * num_trials)
-    for t in range(num_trials):
-        instance_rng, algo_rng = generators[2 * t], generators[2 * t + 1]
-        instance = instance_factory(instance_rng)
-        algorithm = algorithm_factory(instance, algo_rng)
-        result = run_setcover(algorithm, instance)
-        record = evaluate_setcover_run(
-            instance,
-            result,
-            offline=offline,
-            bicriteria_bound=bicriteria_bound,
-            ilp_time_limit=ilp_time_limit,
-        )
-        summary.records.append(record)
-    return summary
+    return _run_trial_suite(
+        "setcover",
+        instance_factory,
+        algorithm_factory,
+        num_trials=num_trials,
+        random_state=random_state,
+        label=label,
+        offline=offline,
+        # The randomized_bound flag only applies to admission evaluation; keep
+        # the unused value False so it never leaks a wrong default.
+        randomized_bound=False,
+        bicriteria_bound=bicriteria_bound,
+        ilp_time_limit=ilp_time_limit,
+        jobs=jobs,
+    )

@@ -1,10 +1,17 @@
-"""Online baselines the paper's algorithms are compared against (experiment E8)."""
+"""Online baselines the paper's algorithms are compared against (experiment E8).
+
+Importing this package also registers every baseline in the engine's
+algorithm registries (:data:`repro.engine.registry.ADMISSION_ALGORITHMS` /
+:data:`repro.engine.registry.SETCOVER_ALGORITHMS`), so experiments and the CLI
+can resolve them by key next to the paper's algorithms.
+"""
 
 from repro.baselines.exponential_benefit import ExponentialBenefitAdmission
 from repro.baselines.greedy_preemptive import GreedySwap, KeepExpensive
 from repro.baselines.nonpreemptive import RejectWhenFull
 from repro.baselines.setcover_online import CheapestSetOnline, GreedyDensityOnline, RandomSetOnline
 from repro.baselines.threshold import ThresholdPreemption
+from repro.engine.registry import ADMISSION_ALGORITHMS, SETCOVER_ALGORITHMS
 
 __all__ = [
     "ExponentialBenefitAdmission",
@@ -16,3 +23,37 @@ __all__ = [
     "RandomSetOnline",
     "ThresholdPreemption",
 ]
+
+
+def _register_admission_baseline(key, cls):
+    """Register a deterministic admission baseline under ``key``.
+
+    Baselines ignore the weight backend (they have no weight mechanism) and
+    the random state (they are deterministic); the builder still accepts both
+    so every registry entry shares the uniform signature.
+    """
+
+    @ADMISSION_ALGORITHMS.register(key)
+    def _build(instance, *, random_state=None, backend=None, _cls=cls, **kwargs):
+        return _cls.for_instance(instance, **kwargs)
+
+
+def _register_setcover_baseline(key, cls, *, randomized=False):
+    """Register a set-cover baseline under ``key``."""
+
+    @SETCOVER_ALGORITHMS.register(key)
+    def _build(instance, *, random_state=None, backend=None, _cls=cls, **kwargs):
+        if randomized:
+            kwargs.setdefault("random_state", random_state)
+        return _cls.for_instance(instance, **kwargs)
+
+
+_register_admission_baseline("reject-when-full", RejectWhenFull)
+_register_admission_baseline("keep-expensive", KeepExpensive)
+_register_admission_baseline("greedy-swap", GreedySwap)
+_register_admission_baseline("threshold", ThresholdPreemption)
+_register_admission_baseline("exponential-benefit", ExponentialBenefitAdmission)
+
+_register_setcover_baseline("cheapest-set", CheapestSetOnline)
+_register_setcover_baseline("greedy-density", GreedyDensityOnline)
+_register_setcover_baseline("random-set", RandomSetOnline, randomized=True)

@@ -1,37 +1,58 @@
 """Command-line interface for the reproduction.
 
-Exposes the experiment harness and a couple of quick demos without writing any
-Python::
+Exposes the experiment harness, the engine's benchmark gate and a couple of
+quick demos without writing any Python::
 
     python -m repro list                      # list the E1..E10 experiments
     python -m repro run E4 --quick            # regenerate one experiment table
-    python -m repro run all --quick           # regenerate every experiment
+    python -m repro run all --quick --jobs 4  # every experiment, 4 workers
+    python -m repro run E3 --backend numpy    # vectorized weight backend
     python -m repro demo admission            # small end-to-end admission demo
     python -m repro demo setcover             # small end-to-end set-cover demo
+    python -m repro bench --quick             # micro-benchmark per backend + gate
 
 The CLI prints exactly the tables recorded in EXPERIMENTS.md (on the chosen
-grid) so results can be regenerated and diffed from a shell.
+grid) so results can be regenerated and diffed from a shell.  ``--backend``
+selects the weight-mechanism backend every algorithm is built with, and
+``--jobs`` fans experiments / trials out over the engine executor; neither
+changes any reported number.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
-from typing import List, Optional, Sequence
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis import evaluate_admission_run, evaluate_setcover_run, format_records
-from repro.baselines import KeepExpensive, RejectWhenFull
-from repro.core import (
-    BicriteriaOnlineSetCover,
-    DoublingAdmissionControl,
-    OnlineSetCoverViaAdmissionControl,
-    run_admission,
-    run_setcover,
+from repro.core import run_admission, run_setcover
+from repro.engine.benchmarking import (
+    REGRESSION_FACTOR,
+    compare_to_baseline,
+    default_baseline_path,
+    run_weight_update_bench,
+    weight_update_workload,
+)
+from repro.engine.executor import execute
+from repro.engine.registry import WEIGHT_BACKENDS
+from repro.engine.runtime import (
+    ensure_builtin_registrations,
+    make_admission_algorithm,
+    make_setcover_algorithm,
 )
 from repro.experiments import ExperimentConfig, all_experiments, run_experiment
 from repro.workloads import overloaded_edge_adversary, random_setcover_instance
 
 __all__ = ["main", "build_parser"]
+
+
+def _backend_choices() -> List[str]:
+    ensure_builtin_registrations()
+    return WEIGHT_BACKENDS.keys()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
         "to minimize rejections and online set cover with repetitions.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    backends = _backend_choices()
 
     subparsers.add_parser("list", help="list the available experiments (E1..E10)")
 
@@ -53,10 +75,39 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--ilp-time-limit", type=float, default=20.0, help="time limit (s) for exact offline solves"
     )
+    run_parser.add_argument(
+        "--backend", choices=backends, default="python",
+        help="weight-mechanism backend used by every algorithm (default: python)",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel workers for experiments and trials (1 = serial, 0 = all cores)",
+    )
 
     demo_parser = subparsers.add_parser("demo", help="run a small end-to-end demo")
     demo_parser.add_argument("problem", choices=["admission", "setcover"], help="which demo to run")
     demo_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    demo_parser.add_argument(
+        "--backend", choices=backends, default="python",
+        help="weight-mechanism backend used by the paper's algorithms",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the weight-update micro-benchmark per backend and gate regressions"
+    )
+    bench_parser.add_argument("--quick", action="store_true", help="smaller benchmark workload")
+    bench_parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline JSON to compare against (default: benchmarks/baseline_bench.json)",
+    )
+    bench_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the measured numbers to the baseline file instead of gating",
+    )
+    bench_parser.add_argument(
+        "--requests", type=int, default=None,
+        help="override the workload's request count (testing hook)",
+    )
 
     return parser
 
@@ -71,19 +122,37 @@ def _cmd_list(out) -> int:
     return 0
 
 
+def _experiment_job(item: Tuple[str, ExperimentConfig]):
+    """Run one experiment (module-level so the process pool can pickle it)."""
+    experiment_id, config = item
+    return run_experiment(experiment_id, config)
+
+
 def _cmd_run(args, out) -> int:
     config = ExperimentConfig(
         quick=args.quick,
         seed=args.seed,
         num_trials=args.trials,
         ilp_time_limit=args.ilp_time_limit,
+        backend=args.backend,
+        jobs=args.jobs,
     )
     if args.experiment.lower() == "all":
         ids = sorted(all_experiments(), key=lambda e: int(e[1:]))
     else:
         ids = [args.experiment.upper()]
-    for experiment_id in ids:
-        result = run_experiment(experiment_id, config)
+    if len(ids) > 1 and config.engine.effective_jobs > 1:
+        # Fan whole experiments out across processes; each worker runs its
+        # trials serially so the cores are not oversubscribed.
+        worker_config = dataclasses.replace(config, jobs=1)
+        results = execute(
+            _experiment_job,
+            [(experiment_id, worker_config) for experiment_id in ids],
+            jobs=config.engine.effective_jobs,
+        )
+    else:
+        results = [run_experiment(experiment_id, config) for experiment_id in ids]
+    for result in results:
         print(result.table(), file=out)
         for value in result.metadata.values():
             if isinstance(value, str):
@@ -97,23 +166,81 @@ def _cmd_demo(args, out) -> int:
         instance = overloaded_edge_adversary(16, 2, num_hot_edges=3, random_state=args.seed)
         print(instance.describe(), file=out)
         records = []
-        paper = DoublingAdmissionControl.for_instance(instance, random_state=args.seed)
+        paper = make_admission_algorithm(
+            "doubling", instance, random_state=args.seed, backend=args.backend
+        )
         records.append(evaluate_admission_run(instance, run_admission(paper, instance)))
-        for baseline in (RejectWhenFull, KeepExpensive):
-            algo = baseline.for_instance(instance)
+        for baseline_key in ("reject-when-full", "keep-expensive"):
+            algo = make_admission_algorithm(baseline_key, instance)
             records.append(evaluate_admission_run(instance, run_admission(algo, instance)))
         print(format_records(records, title="Admission control vs offline optimum"), file=out)
     else:
         instance = random_setcover_instance(30, 14, 55, random_state=args.seed)
         print(instance.describe(), file=out)
         records = []
-        reduction = OnlineSetCoverViaAdmissionControl(instance.system, random_state=args.seed)
+        reduction = make_setcover_algorithm(
+            "reduction", instance, random_state=args.seed, backend=args.backend
+        )
         records.append(evaluate_setcover_run(instance, run_setcover(reduction, instance)))
-        bicriteria = BicriteriaOnlineSetCover(instance.system, eps=0.2)
+        bicriteria = make_setcover_algorithm(
+            "bicriteria", instance, eps=0.2, backend=args.backend
+        )
         records.append(
             evaluate_setcover_run(instance, run_setcover(bicriteria, instance), bicriteria_bound=True)
         )
         print(format_records(records, title="Online set cover with repetitions vs offline optimum"), file=out)
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    workload = weight_update_workload(quick=args.quick)
+    if args.requests is not None:
+        workload = dataclasses.replace(workload, num_requests=args.requests)
+    results = []
+    for backend in _backend_choices():
+        result = run_weight_update_bench(backend, workload)
+        results.append(result)
+        print(
+            f"weight_update[{result.backend}]: {result.seconds:.3f}s "
+            f"({result.augmentations} augmentations, "
+            f"fractional cost {result.fractional_cost:.1f})",
+            file=out,
+        )
+    by_backend = {r.backend: r.seconds for r in results}
+    if "python" in by_backend and "numpy" in by_backend and by_backend["numpy"] > 0:
+        print(
+            f"numpy speedup over python: {by_backend['python'] / by_backend['numpy']:.2f}x",
+            file=out,
+        )
+
+    baseline_path = args.baseline or default_baseline_path()
+    if args.write_baseline:
+        payload = {
+            "schema": 1,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "workload": dataclasses.asdict(workload),
+            "benchmarks": {f"{r.name}[{r.backend}]": r.seconds for r in results},
+        }
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline written to {baseline_path}", file=out)
+        return 0
+
+    lines, failures = compare_to_baseline(results, baseline_path)
+    for line in lines:
+        print(line, file=out)
+    if failures:
+        print(
+            f"FAIL: {len(failures)} benchmark(s) regressed beyond {REGRESSION_FACTOR:.1f}x",
+            file=out,
+        )
+        print(
+            "note: the baseline is absolute wall clock from the machine that wrote it; "
+            "on different hardware refresh it with `make bench-baseline` before gating",
+            file=out,
+        )
+        return 1
+    print("benchmark gate passed", file=out)
     return 0
 
 
@@ -128,6 +255,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_run(args, out)
     if args.command == "demo":
         return _cmd_demo(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

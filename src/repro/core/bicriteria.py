@@ -38,7 +38,16 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
+import numpy as np
+
+try:  # scipy ships with the offline solvers; degrade gracefully without it.
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - scipy is a hard dep of repro.offline
+    _sparse = None
+
 from repro.core.protocols import InfeasibleArrivalError, OnlineSetCoverAlgorithm
+from repro.engine.backends import BackendSpec, resolve_backend_name
+from repro.engine.registry import SETCOVER_ALGORITHMS
 from repro.instances.setcover import ElementId, SetCoverInstance, SetId, SetSystem
 from repro.utils.validation import check_in_range
 
@@ -78,6 +87,14 @@ class BicriteriaOnlineSetCover(OnlineSetCoverAlgorithm):
     track_potentials:
         Record an :class:`AugmentationTrace` per augmentation (cheap; on by
         default so experiments can verify Lemma 6).
+    backend:
+        Execution backend selected via an
+        :class:`~repro.engine.config.EngineConfig` or a backend name.  With
+        ``"numpy"`` the set weights live in a contiguous array and the
+        multiplicative update, element weights and the Lemma-6 potential are
+        evaluated as vectorized operations over a precomputed element-set
+        incidence; ``"python"`` (the default) keeps the scalar dict-based
+        reference path.
     """
 
     def __init__(
@@ -88,6 +105,7 @@ class BicriteriaOnlineSetCover(OnlineSetCoverAlgorithm):
         on_infeasible: str = "raise",
         allow_weighted: bool = False,
         track_potentials: bool = True,
+        backend: BackendSpec = None,
         name: Optional[str] = None,
     ):
         super().__init__(system, name=name)
@@ -109,8 +127,37 @@ class BicriteriaOnlineSetCover(OnlineSetCoverAlgorithm):
         #: number of selection rounds in step 2c (the paper's ``2 log n``).
         self.selection_rounds = max(1, math.ceil(2.0 * math.log(self._nn)))
 
-        #: set weights ``w_S`` (initialised to ``1/(2m)``).
-        self._w: Dict[SetId, float] = {sid: 1.0 / (2.0 * self.m) for sid in system.set_ids()}
+        self.backend = resolve_backend_name(backend)
+        self._vectorized = self.backend == "numpy"
+        if self._vectorized:
+            # Contiguous set-weight vector plus the element-set incidence as
+            # index arrays: step 2a becomes one fancy-indexed multiply and the
+            # element weight / potential sums become array reductions.
+            self._set_order: List[SetId] = list(system.set_ids())
+            self._set_index: Dict[SetId, int] = {sid: k for k, sid in enumerate(self._set_order)}
+            self._wv = np.full(self.m, 1.0 / (2.0 * self.m), dtype=np.float64)
+            self._element_order: List[ElementId] = list(system.elements())
+            self._elem_sets: Dict[ElementId, np.ndarray] = {
+                j: np.fromiter(
+                    (self._set_index[sid] for sid in system.sets_containing(j)),
+                    dtype=np.intp,
+                    count=system.degree(j),
+                )
+                for j in self._element_order
+            }
+            self._w: Dict[SetId, float] = {}
+            self._incidence = None
+            lengths = [self._elem_sets[j].shape[0] for j in self._element_order]
+            if _sparse is not None and sum(lengths):
+                rows = np.repeat(np.arange(len(self._element_order), dtype=np.intp), lengths)
+                cols = np.concatenate([self._elem_sets[j] for j in self._element_order])
+                self._incidence = _sparse.csr_matrix(
+                    (np.ones(rows.shape[0]), (rows, cols)),
+                    shape=(len(self._element_order), self.m),
+                )
+        else:
+            #: set weights ``w_S`` (initialised to ``1/(2m)``).
+            self._w = {sid: 1.0 / (2.0 * self.m) for sid in system.set_ids()}
 
         # Diagnostics.
         self.num_augmentations = 0
@@ -122,14 +169,41 @@ class BicriteriaOnlineSetCover(OnlineSetCoverAlgorithm):
     # -- potentials ---------------------------------------------------------------
     def set_weight(self, set_id: SetId) -> float:
         """Current weight ``w_S`` of a set."""
+        if self._vectorized:
+            return float(self._wv[self._set_index[set_id]])
         return self._w[set_id]
+
+    def set_weights(self) -> Dict[SetId, float]:
+        """Copy of all set weights (backend-independent view)."""
+        if self._vectorized:
+            return {sid: float(self._wv[k]) for k, sid in enumerate(self._set_order)}
+        return dict(self._w)
 
     def element_weight(self, element: ElementId) -> float:
         """``w_j = sum_{S ni j} w_S``."""
+        if self._vectorized:
+            return float(self._wv[self._elem_sets[element]].sum())
         return sum(self._w[sid] for sid in self.system.sets_containing(element))
 
     def potential(self) -> float:
         """The Lemma-6 potential ``Phi = sum_j n^{2 (w_j - cover_j)}``."""
+        if self._vectorized:
+            if not self._element_order:
+                return 0.0
+            if self._incidence is not None:
+                wj = self._incidence @ self._wv
+            else:
+                wj = np.fromiter(
+                    (self._wv[self._elem_sets[j]].sum() for j in self._element_order),
+                    dtype=np.float64,
+                    count=len(self._element_order),
+                )
+            cover = np.fromiter(
+                (self._coverage[j] for j in self._element_order),
+                dtype=np.float64,
+                count=len(self._element_order),
+            )
+            return float((float(self._nn) ** (2.0 * (wj - cover))).sum())
         total = 0.0
         for element in self.system.elements():
             exponent = 2.0 * (self.element_weight(element) - self._coverage[element])
@@ -165,10 +239,22 @@ class BicriteriaOnlineSetCover(OnlineSetCoverAlgorithm):
 
         # Step 2a: multiplicative weight update for sets not yet in the cover.
         deltas: Dict[SetId, float] = {}
-        for sid in candidates:
-            old = self._w[sid]
-            self._w[sid] = old * (1.0 + 1.0 / (2.0 * k))
-            deltas[sid] = self._w[sid] - old
+        if self._vectorized:
+            if candidates:
+                cand_idx = np.fromiter(
+                    (self._set_index[sid] for sid in candidates),
+                    dtype=np.intp,
+                    count=len(candidates),
+                )
+                old = self._wv[cand_idx].copy()
+                updated = old * (1.0 + 1.0 / (2.0 * k))
+                self._wv[cand_idx] = updated
+                deltas = dict(zip(candidates, (updated - old).tolist()))
+        else:
+            for sid in candidates:
+                old = self._w[sid]
+                self._w[sid] = old * (1.0 + 1.0 / (2.0 * k))
+                deltas[sid] = self._w[sid] - old
 
         # Snapshot the pre-2b coverage of every affected element: the
         # pessimistic estimator of step 2c is expressed relative to it.
@@ -181,7 +267,7 @@ class BicriteriaOnlineSetCover(OnlineSetCoverAlgorithm):
         # Step 2b: buy every set whose weight reached 1.
         threshold_purchases: List[SetId] = []
         for sid in candidates:
-            if self._w[sid] >= 1.0 and sid not in self._chosen:
+            if self.set_weight(sid) >= 1.0 and sid not in self._chosen:
                 self._purchase(sid)
                 threshold_purchases.append(sid)
                 self.num_threshold_purchases += 1
@@ -315,3 +401,9 @@ class BicriteriaOnlineSetCover(OnlineSetCoverAlgorithm):
     def for_instance(cls, instance: SetCoverInstance, eps: float = 0.1, **kwargs) -> "BicriteriaOnlineSetCover":
         """Construct the algorithm for a concrete instance's set system."""
         return cls(instance.system, eps=eps, **kwargs)
+
+
+@SETCOVER_ALGORITHMS.register("bicriteria")
+def _build_bicriteria(instance, *, random_state=None, backend=None, **kwargs):
+    """Registry builder: the deterministic Section-5 bicriteria algorithm."""
+    return BicriteriaOnlineSetCover.for_instance(instance, backend=backend, **kwargs)

@@ -31,6 +31,8 @@ from typing import Dict, Iterable, List, Mapping, Optional
 from repro.core.fractional import FractionalAdmissionControl, FractionalDecision, FractionalRunResult
 from repro.core.randomized import RandomizedAdmissionControl
 from repro.core.protocols import AdmissionResult
+from repro.engine.backends import BackendSpec
+from repro.engine.registry import ADMISSION_ALGORITHMS
 from repro.instances.admission import AdmissionInstance
 from repro.instances.request import Decision, EdgeId, Request, RequestSequence
 from repro.utils.mathx import log2_guarded
@@ -122,6 +124,7 @@ class DoublingFractionalAdmissionControl:
         threshold_factor: float = 4.0,
         force_accept_tags: Iterable[str] = (),
         unweighted: bool = False,
+        backend: BackendSpec = None,
         name: Optional[str] = None,
     ):
         self._capacities = {e: int(c) for e, c in capacities.items()}
@@ -131,6 +134,7 @@ class DoublingFractionalAdmissionControl:
             alpha=None,
             force_accept_tags=force_accept_tags,
             unweighted=unweighted,
+            backend=backend,
         )
         self.schedule = AlphaSchedule(
             m=len(self._capacities),
@@ -213,6 +217,7 @@ class DoublingAdmissionControl:
         random_state: RandomState = None,
         force_accept_tags: Iterable[str] = (),
         overload_guard: bool = False,
+        backend: BackendSpec = None,
         name: Optional[str] = None,
     ):
         self._capacities = {e: int(c) for e, c in capacities.items()}
@@ -225,6 +230,7 @@ class DoublingAdmissionControl:
             random_state=random_state,
             force_accept_tags=force_accept_tags,
             overload_guard=overload_guard,
+            backend=backend,
             name=name,
         )
         self.schedule = AlphaSchedule(
@@ -271,3 +277,11 @@ class DoublingAdmissionControl:
         if "weighted" not in kwargs:
             kwargs["weighted"] = not instance.is_unit_cost()
         return cls(instance.capacities, **kwargs)
+
+
+@ADMISSION_ALGORITHMS.register("doubling")
+def _build_doubling(instance, *, random_state=None, backend=None, **kwargs):
+    """Registry builder: randomized algorithm + guess-and-double alpha estimation."""
+    return DoublingAdmissionControl.for_instance(
+        instance, random_state=random_state, backend=backend, **kwargs
+    )

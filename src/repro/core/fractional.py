@@ -29,7 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
-from repro.core.weights import ArrivalOutcome, FractionalWeightState
+from repro.core.weights import ArrivalOutcome, WeightBackend, make_weight_backend
+from repro.engine.backends import BackendSpec, resolve_backend_name
+from repro.engine.registry import ADMISSION_ALGORITHMS
 from repro.instances.admission import AdmissionInstance
 from repro.instances.request import EdgeId, Request, RequestSequence
 from repro.utils.validation import check_positive
@@ -103,6 +105,10 @@ class FractionalAdmissionControl:
     unweighted:
         Set to True to assert that all costs are 1 and use ``g = 1`` (the
         ``O(log c)`` configuration of Theorem 2).
+    backend:
+        Weight-mechanism backend: a registered name (``"python"``,
+        ``"numpy"``), an :class:`~repro.engine.config.EngineConfig`, or
+        ``None`` for the scalar reference backend.
     """
 
     def __init__(
@@ -113,6 +119,7 @@ class FractionalAdmissionControl:
         g: Optional[float] = None,
         force_accept_tags: Iterable[str] = (),
         unweighted: bool = False,
+        backend: BackendSpec = None,
         name: Optional[str] = None,
     ):
         self._original_capacities: Dict[EdgeId, int] = {e: int(c) for e, c in capacities.items()}
@@ -135,8 +142,9 @@ class FractionalAdmissionControl:
         else:
             self.g = 2.0 * self.m * self.c
 
-        self._weights = FractionalWeightState(
-            self._original_capacities, g=self.g, max_capacity=self.c
+        self.backend = resolve_backend_name(backend)
+        self._weights: WeightBackend = make_weight_backend(
+            backend, self._original_capacities, g=self.g, max_capacity=self.c
         )
 
         # Bookkeeping in *original* cost units.
@@ -269,7 +277,7 @@ class FractionalAdmissionControl:
         return self._weights.total_augmentations
 
     @property
-    def weight_state(self) -> FractionalWeightState:
+    def weight_state(self) -> WeightBackend:
         """The underlying weight mechanism (read-only use recommended)."""
         return self._weights
 
@@ -314,3 +322,9 @@ class FractionalAdmissionControl:
         for request in requests:
             self.process(request)
         return self.run_result()
+
+
+@ADMISSION_ALGORITHMS.register("fractional")
+def _build_fractional(instance, *, random_state=None, backend=None, **kwargs):
+    """Registry builder: the (deterministic) fractional algorithm of Section 2."""
+    return FractionalAdmissionControl.for_instance(instance, backend=backend, **kwargs)

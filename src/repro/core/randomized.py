@@ -38,6 +38,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.fractional import CostClass, FractionalAdmissionControl, FractionalDecision
 from repro.core.protocols import OnlineAdmissionAlgorithm
+from repro.engine.backends import BackendSpec
+from repro.engine.registry import ADMISSION_ALGORITHMS
 from repro.instances.admission import AdmissionInstance
 from repro.instances.request import Decision, DecisionKind, EdgeId, Request
 from repro.utils.mathx import log2_guarded
@@ -71,6 +73,9 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
         Enable the ``|REQ_e| >= 4mc^2`` bulk-rejection guard from Section 3.
     g:
         Normalised cost-ratio bound forwarded to the shadow.
+    backend:
+        Weight-mechanism backend forwarded to the fractional shadow
+        (``"python"``, ``"numpy"``, an ``EngineConfig``, or ``None``).
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
         force_accept_tags: Iterable[str] = (),
         overload_guard: bool = False,
         g: Optional[float] = None,
+        backend: BackendSpec = None,
         name: Optional[str] = None,
     ):
         super().__init__(capacities, name=name)
@@ -116,7 +122,9 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
             g=g,
             force_accept_tags=self.force_accept_tags,
             unweighted=not self.weighted,
+            backend=backend,
         )
+        self.backend = self._shadow.backend
         # Edges already bulk-rejected by the overload guard.
         self._guarded_edges: Set[EdgeId] = set()
         # Requests accepted permanently (R_big / forced): never preempted by rounding.
@@ -323,3 +331,11 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
         if "weighted" not in kwargs:
             kwargs["weighted"] = not instance.is_unit_cost()
         return cls(instance.capacities, **kwargs)
+
+
+@ADMISSION_ALGORITHMS.register("randomized")
+def _build_randomized(instance, *, random_state=None, backend=None, **kwargs):
+    """Registry builder: the randomized algorithm of Section 3."""
+    return RandomizedAdmissionControl.for_instance(
+        instance, random_state=random_state, backend=backend, **kwargs
+    )

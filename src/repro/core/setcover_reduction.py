@@ -36,6 +36,8 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional,
 from repro.core.doubling import DoublingAdmissionControl
 from repro.core.protocols import OnlineAdmissionAlgorithm, OnlineSetCoverAlgorithm
 from repro.core.randomized import RandomizedAdmissionControl
+from repro.engine.backends import BackendSpec
+from repro.engine.registry import SETCOVER_ALGORITHMS
 from repro.instances.admission import AdmissionInstance
 from repro.instances.request import EdgeId, Request, RequestSequence
 from repro.instances.setcover import ElementId, SetCoverInstance, SetId, SetSystem
@@ -137,6 +139,9 @@ class OnlineSetCoverViaAdmissionControl(OnlineSetCoverAlgorithm):
     weighted:
         ``None`` (default) infers from the set costs; ``True`` forces the
         weighted configuration.
+    backend:
+        Weight-mechanism backend forwarded to the admission algorithm
+        (``"python"``, ``"numpy"``, an ``EngineConfig``, or ``None``).
     """
 
     def __init__(
@@ -147,6 +152,7 @@ class OnlineSetCoverViaAdmissionControl(OnlineSetCoverAlgorithm):
         random_state: RandomState = None,
         rounding_constant: Optional[float] = None,
         weighted: Optional[bool] = None,
+        backend: BackendSpec = None,
         name: Optional[str] = None,
     ):
         super().__init__(system, name=name or "SetCoverViaAdmission")
@@ -164,6 +170,7 @@ class OnlineSetCoverViaAdmissionControl(OnlineSetCoverAlgorithm):
                 rounding_constant=rounding_constant,
                 random_state=random_state,
                 force_accept_tags={PHASE2_TAG},
+                backend=backend,
             )
         elif algorithm == "doubling":
             self._admission = DoublingAdmissionControl(
@@ -172,6 +179,7 @@ class OnlineSetCoverViaAdmissionControl(OnlineSetCoverAlgorithm):
                 rounding_constant=rounding_constant,
                 random_state=random_state,
                 force_accept_tags={PHASE2_TAG},
+                backend=backend,
             )
         else:
             raise ValueError(f"unknown algorithm spec {algorithm!r}")
@@ -230,3 +238,11 @@ class OnlineSetCoverViaAdmissionControl(OnlineSetCoverAlgorithm):
     def for_instance(cls, instance: SetCoverInstance, **kwargs) -> "OnlineSetCoverViaAdmissionControl":
         """Construct the reduction solver for a concrete instance's set system."""
         return cls(instance.system, **kwargs)
+
+
+@SETCOVER_ALGORITHMS.register("reduction")
+def _build_reduction(instance, *, random_state=None, backend=None, **kwargs):
+    """Registry builder: online set cover via the Section-4 admission reduction."""
+    return OnlineSetCoverViaAdmissionControl.for_instance(
+        instance, random_state=random_state, backend=backend, **kwargs
+    )

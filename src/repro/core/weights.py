@@ -1,342 +1,48 @@
 """The multiplicative weight mechanism shared by the Section 2 and 3 algorithms.
 
-The fractional algorithm of Section 2 maintains a weight ``f_i`` for every
-request ``r_i`` (the fraction of the request that has been rejected).  When a
-request arrives, the algorithm looks at every edge on its path and, while the
-covering constraint
+.. note:: **Moved** — the mechanism now lives in :mod:`repro.engine.backends`
+   behind the :class:`~repro.engine.backends.WeightBackend` protocol, with two
+   implementations: the scalar reference code that used to be defined here
+   (now :class:`~repro.engine.backends.PythonWeightBackend`) and the
+   vectorized :class:`~repro.engine.backends.NumpyWeightBackend`.  This module
+   remains the stable import location for the historical names:
 
-    sum_{i in ALIVE_e} f_i  >=  n_e      with   n_e = |ALIVE_e| - c_e
+   * ``FractionalWeightState`` is an alias of ``PythonWeightBackend`` and
+     behaves exactly as before;
+   * ``ArrivalOutcome`` and ``AugmentationRecord`` re-export unchanged;
+   * new code that wants to choose a backend by name should call
+     :func:`~repro.engine.backends.make_weight_backend` (or pass
+     ``backend="numpy"`` to the algorithms in :mod:`repro.core`).
 
-is violated, performs a *weight augmentation*:
-
-1. every alive request on the edge with weight 0 receives the seed weight
-   ``1 / (g c)``;
-2. every alive request on the edge has its weight multiplied by
-   ``1 + 1 / (n_e * p_i)``;
-3. requests whose weight reached 1 are declared fully rejected ("dead"), which
-   removes them from the alive sets of *all* their edges and thereby lowers the
-   excess ``n_e``.
-
-The randomized algorithm of Section 3 runs the same mechanism as a shadow and
-rounds the weight *increases* into actual preemptions, so the mechanism exposes
-per-arrival weight deltas.
-
-This module implements the mechanism once (:class:`FractionalWeightState`) so
-both algorithms and the invariant checkers in :mod:`repro.analysis` use the
-exact same code path.
+The mechanism itself is unchanged: the fractional algorithm of Section 2
+maintains a weight ``f_i`` per request (the rejected fraction) and, while an
+edge's covering constraint ``sum_{i in ALIVE_e} f_i >= n_e`` is violated,
+seeds zero weights at ``1/(gc)``, multiplies alive weights by
+``1 + 1/(n_e p_i)`` and kills weights that reach 1.  The randomized algorithm
+of Section 3 rounds the per-arrival weight *increases* into preemptions, so
+the mechanism exposes per-arrival deltas via :class:`ArrivalOutcome`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+from repro.engine.backends import (
+    ArrivalOutcome,
+    AugmentationRecord,
+    NumpyWeightBackend,
+    PythonWeightBackend,
+    WeightBackend,
+    make_weight_backend,
+)
 
-from repro.instances.request import EdgeId, Request
-from repro.utils.validation import check_positive
+#: Historical name of the scalar weight mechanism (pre-engine API).
+FractionalWeightState = PythonWeightBackend
 
-__all__ = ["FractionalWeightState", "AugmentationRecord", "ArrivalOutcome"]
-
-
-@dataclass
-class AugmentationRecord:
-    """One weight-augmentation step (paper, Section 2, step 2).
-
-    Attributes
-    ----------
-    edge:
-        The edge whose covering constraint triggered the augmentation.
-    excess:
-        The excess ``n_e`` at the moment of the augmentation.
-    alive_before:
-        Number of alive requests on the edge before the step.
-    seeded:
-        Ids of requests whose weight moved from 0 to the seed value.
-    killed:
-        Ids of requests whose weight reached 1 during this step.
-    triggered_by:
-        Id of the arriving request whose processing caused the step.
-    """
-
-    edge: EdgeId
-    excess: int
-    alive_before: int
-    seeded: Tuple[int, ...]
-    killed: Tuple[int, ...]
-    triggered_by: int
-
-
-@dataclass
-class ArrivalOutcome:
-    """Everything the weight mechanism did while processing one arrival.
-
-    ``deltas`` maps request id to the total weight increase caused by this
-    arrival — exactly the ``delta`` the randomized algorithm's step 3 rounds.
-    """
-
-    request_id: int
-    deltas: Dict[int, float] = field(default_factory=dict)
-    augmentations: List[AugmentationRecord] = field(default_factory=list)
-    newly_dead: Set[int] = field(default_factory=set)
-
-    @property
-    def num_augmentations(self) -> int:
-        """Number of weight-augmentation steps performed for this arrival."""
-        return len(self.augmentations)
-
-
-class FractionalWeightState:
-    """Weight bookkeeping for the fractional admission-control algorithm.
-
-    Parameters
-    ----------
-    capacities:
-        Effective capacities per edge.  These may be lower than the instance's
-        original capacities when requests have been permanently accepted
-        (the ``R_big`` preprocessing or the set-cover reduction's element
-        requests) — see :meth:`decrease_capacity`.
-    g:
-        Upper bound on the (normalised) cost ratio; the seed weight for a
-        request that first becomes positive is ``1 / (g * c)`` where ``c`` is
-        the maximum capacity (paper, step 2a).
-    max_capacity:
-        ``c`` in the seed-weight formula; defaults to the maximum of
-        ``capacities`` and is kept fixed even if capacities later decrease so
-        the seed weight is stable over the run.
-    """
-
-    def __init__(
-        self,
-        capacities: Mapping[EdgeId, int],
-        g: float,
-        max_capacity: Optional[int] = None,
-    ):
-        self._capacity: Dict[EdgeId, int] = {e: int(c) for e, c in capacities.items()}
-        for edge, cap in self._capacity.items():
-            if cap < 0:
-                raise ValueError(f"capacity of edge {edge!r} must be >= 0, got {cap}")
-        self.g = check_positive(g, "g")
-        if max_capacity is None:
-            max_capacity = max(self._capacity.values(), default=1)
-        self.max_capacity = max(int(max_capacity), 1)
-        self.seed_weight = 1.0 / (self.g * self.max_capacity)
-
-        # Request state.
-        self._weights: Dict[int, float] = {}
-        self._costs: Dict[int, float] = {}
-        self._edges_of: Dict[int, Tuple[EdgeId, ...]] = {}
-        self._dead: Set[int] = set()
-
-        # Per-edge alive request ids (only edges that have seen requests).
-        self._alive_on_edge: Dict[EdgeId, Set[int]] = {}
-        self._requests_on_edge: Dict[EdgeId, Set[int]] = {}
-
-        # Counters for Lemma 1 style diagnostics.
-        self.total_augmentations = 0
-        self._history: List[AugmentationRecord] = []
-
-    # -- registration -----------------------------------------------------------
-    def register(self, request_id: int, edges: Iterable[EdgeId], cost: float) -> None:
-        """Register a new request with weight 0 (paper: ``f_i = 0`` initially)."""
-        if request_id in self._weights:
-            raise ValueError(f"request {request_id} already registered")
-        cost = check_positive(cost, "cost")
-        edges = tuple(edges)
-        for e in edges:
-            if e not in self._capacity:
-                raise ValueError(f"request {request_id} uses unknown edge {e!r}")
-        self._weights[request_id] = 0.0
-        self._costs[request_id] = cost
-        self._edges_of[request_id] = edges
-        for e in edges:
-            self._requests_on_edge.setdefault(e, set()).add(request_id)
-            self._alive_on_edge.setdefault(e, set()).add(request_id)
-
-    def decrease_capacity(self, edge: EdgeId, amount: int = 1) -> None:
-        """Permanently reserve capacity on ``edge`` (used by ``R_big`` handling).
-
-        The effective capacity never drops below zero; requesting a decrease
-        past zero is recorded as an inconsistency (the caller's guess of
-        ``alpha`` was too small) but does not raise, so the doubling wrapper
-        can observe the overflow through the cost blow-up instead of crashing.
-        """
-        if edge not in self._capacity:
-            raise ValueError(f"unknown edge {edge!r}")
-        self._capacity[edge] = max(0, self._capacity[edge] - amount)
-
-    # -- queries -----------------------------------------------------------------
-    def weight(self, request_id: int) -> float:
-        """Current weight ``f_i``."""
-        return self._weights[request_id]
-
-    def cost_of(self, request_id: int) -> float:
-        """The (normalised) cost the request was registered with."""
-        return self._costs[request_id]
-
-    def weights(self) -> Dict[int, float]:
-        """Copy of all weights."""
-        return dict(self._weights)
-
-    def is_dead(self, request_id: int) -> bool:
-        """True if the request has been fully rejected fractionally (``f_i >= 1``)."""
-        return request_id in self._dead
-
-    def alive_requests(self, edge: EdgeId) -> Set[int]:
-        """``ALIVE_e`` — alive request ids whose paths contain ``edge``."""
-        return set(self._alive_on_edge.get(edge, set()))
-
-    def requests_on(self, edge: EdgeId) -> Set[int]:
-        """``REQ_e`` — all registered request ids whose paths contain ``edge``."""
-        return set(self._requests_on_edge.get(edge, set()))
-
-    def capacity(self, edge: EdgeId) -> int:
-        """Current effective capacity of ``edge``."""
-        return self._capacity[edge]
-
-    def excess(self, edge: EdgeId) -> int:
-        """``n_e = |ALIVE_e| - c_e`` (may be negative)."""
-        return len(self._alive_on_edge.get(edge, set())) - self._capacity[edge]
-
-    def alive_weight_sum(self, edge: EdgeId) -> float:
-        """``sum_{i in ALIVE_e} f_i``."""
-        alive = self._alive_on_edge.get(edge, set())
-        return sum(self._weights[i] for i in alive)
-
-    def constraint_satisfied(self, edge: EdgeId) -> bool:
-        """True if the covering constraint of ``edge`` currently holds."""
-        n_e = self.excess(edge)
-        if n_e <= 0:
-            return True
-        return self.alive_weight_sum(edge) >= n_e
-
-    def fractional_cost(self) -> float:
-        """``sum_i min(f_i, 1) * p_i`` over every registered request."""
-        return sum(min(w, 1.0) * self._costs[i] for i, w in self._weights.items())
-
-    def fractional_rejections(self) -> Dict[int, float]:
-        """Mapping request id -> rejected fraction ``min(f_i, 1)``."""
-        return {i: min(w, 1.0) for i, w in self._weights.items()}
-
-    def history(self) -> List[AugmentationRecord]:
-        """All augmentation records in chronological order."""
-        return list(self._history)
-
-    # -- the mechanism -------------------------------------------------------------
-    def _kill(self, request_id: int) -> None:
-        """Mark a request as fully rejected and remove it from all alive sets."""
-        self._dead.add(request_id)
-        for e in self._edges_of[request_id]:
-            self._alive_on_edge[e].discard(request_id)
-
-    def _augment_once(self, edge: EdgeId, triggered_by: int) -> AugmentationRecord:
-        """Perform one weight augmentation for ``edge`` (paper steps 2a–2c)."""
-        alive = self._alive_on_edge.get(edge, set())
-        n_e = len(alive) - self._capacity[edge]
-        seeded: List[int] = []
-        killed: List[int] = []
-        # Step 2a: seed zero weights.
-        for rid in alive:
-            if self._weights[rid] == 0.0:
-                self._weights[rid] = self.seed_weight
-                seeded.append(rid)
-        # Step 2b: multiplicative update.  n_e is the excess *before* the update
-        # (alive membership has not changed in step 2a).
-        for rid in alive:
-            factor = 1.0 + 1.0 / (n_e * self._costs[rid])
-            self._weights[rid] *= factor
-        # Step 2c: update ALIVE_e (and the other edges of newly dead requests).
-        for rid in list(alive):
-            if self._weights[rid] >= 1.0:
-                self._kill(rid)
-                killed.append(rid)
-        record = AugmentationRecord(
-            edge=edge,
-            excess=n_e,
-            alive_before=len(alive),
-            seeded=tuple(seeded),
-            killed=tuple(killed),
-            triggered_by=triggered_by,
-        )
-        self.total_augmentations += 1
-        self._history.append(record)
-        return record
-
-    def restore_edge(self, edge: EdgeId, triggered_by: int, outcome: ArrivalOutcome) -> None:
-        """Run weight augmentations on ``edge`` until its constraint holds."""
-        while True:
-            n_e = self.excess(edge)
-            if n_e <= 0 or self.alive_weight_sum(edge) >= n_e:
-                break
-            before = {rid: self._weights[rid] for rid in self._alive_on_edge[edge]}
-            record = self._augment_once(edge, triggered_by)
-            outcome.augmentations.append(record)
-            outcome.newly_dead.update(record.killed)
-            for rid, old in before.items():
-                delta = self._weights[rid] - old
-                if delta > 0:
-                    outcome.deltas[rid] = outcome.deltas.get(rid, 0.0) + delta
-
-    def process_arrival(self, request_id: int, edges: Iterable[EdgeId], cost: float) -> ArrivalOutcome:
-        """Register an arriving request and restore all its edges' constraints.
-
-        Returns an :class:`ArrivalOutcome` with the per-request weight deltas
-        and the augmentation records — everything the fractional and randomized
-        algorithms need.
-        """
-        self.register(request_id, edges, cost)
-        outcome = ArrivalOutcome(request_id=request_id)
-        # "The following is performed for all the edges e of the path of r_i,
-        #  in an arbitrary order."  We use the registration order of the edges.
-        for e in self._edges_of[request_id]:
-            self.restore_edge(e, request_id, outcome)
-        return outcome
-
-    def process_capacity_reduction(self, edge: EdgeId, triggered_by: int, amount: int = 1) -> ArrivalOutcome:
-        """Reduce an edge's capacity and restore its covering constraint.
-
-        This models a permanently accepted request occupying the edge (the
-        ``R_big`` preprocessing and the phase-2 element requests of the
-        set-cover reduction): the edge can now host one fewer alive request, so
-        weight augmentations may be needed immediately.
-        """
-        self.decrease_capacity(edge, amount)
-        outcome = ArrivalOutcome(request_id=triggered_by)
-        self.restore_edge(edge, triggered_by, outcome)
-        return outcome
-
-    # -- invariants (used by tests and analysis) --------------------------------------
-    def check_invariants(self) -> List[str]:
-        """Return a list of violated invariants (empty when everything holds).
-
-        Checked invariants:
-
-        * weights are non-negative and only ever in ``{0} ∪ [seed, 2]``,
-        * dead requests have weight >= 1,
-        * every edge's covering constraint holds,
-        * alive sets only contain registered, non-dead requests.
-        """
-        problems: List[str] = []
-        # A weight is multiplied at most once after reaching 1, by a factor of
-        # at most 1 + 1/p_i, so it never exceeds 1 + 1/min_cost (which is 2
-        # for the normalised costs the paper uses).
-        min_cost = min(self._costs.values(), default=1.0)
-        weight_cap = 1.0 + 1.0 / min_cost
-        for rid, w in self._weights.items():
-            if w < 0:
-                problems.append(f"request {rid} has negative weight {w}")
-            if 0.0 < w < self.seed_weight * (1.0 - 1e-12):
-                problems.append(f"request {rid} has weight {w} below the seed weight")
-            if w > weight_cap + 1e-9:
-                problems.append(f"request {rid} has weight {w} above {weight_cap}")
-        for rid in self._dead:
-            if self._weights[rid] < 1.0:
-                problems.append(f"dead request {rid} has weight {self._weights[rid]} < 1")
-        for edge in self._requests_on_edge:
-            if not self.constraint_satisfied(edge):
-                problems.append(
-                    f"edge {edge!r} violates covering constraint: "
-                    f"sum={self.alive_weight_sum(edge):.4f} < excess={self.excess(edge)}"
-                )
-            for rid in self._alive_on_edge.get(edge, set()):
-                if rid in self._dead:
-                    problems.append(f"dead request {rid} still alive on edge {edge!r}")
-        return problems
+__all__ = [
+    "FractionalWeightState",
+    "AugmentationRecord",
+    "ArrivalOutcome",
+    "WeightBackend",
+    "PythonWeightBackend",
+    "NumpyWeightBackend",
+    "make_weight_backend",
+]

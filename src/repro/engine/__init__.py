@@ -1,0 +1,73 @@
+"""Pluggable execution engine: backends, registries, runtime, executor.
+
+The engine is the seam between *what* the paper's algorithms compute and *how*
+the library executes it:
+
+* :mod:`repro.engine.registry` — string-keyed registries for weight backends,
+  admission/set-cover algorithms and experiments (strict duplicate handling,
+  self-describing lookup errors).
+* :mod:`repro.engine.backends` — the multiplicative-weight mechanism behind
+  the :class:`~repro.engine.backends.WeightBackend` protocol, as scalar
+  reference code (:class:`~repro.engine.backends.PythonWeightBackend`) and as
+  vectorized NumPy kernels (:class:`~repro.engine.backends.NumpyWeightBackend`).
+* :mod:`repro.engine.runtime` — :class:`~repro.engine.runtime.SimulationEngine`,
+  which builds algorithms from registry keys, streams instances (optionally
+  batching same-timestep arrivals) and collects results with timings.
+* :mod:`repro.engine.executor` — the parallel trial executor with
+  deterministic per-trial seed derivation.
+* :mod:`repro.engine.config` — :class:`~repro.engine.config.EngineConfig`,
+  the ``--backend`` / ``--jobs`` knobs as one picklable object.
+"""
+
+from repro.engine.backends import (
+    ArrivalOutcome,
+    AugmentationRecord,
+    NumpyWeightBackend,
+    PythonWeightBackend,
+    WeightBackend,
+    make_weight_backend,
+    resolve_backend_name,
+)
+from repro.engine.config import EngineConfig
+from repro.engine.executor import derive_seed_pairs, execute
+from repro.engine.registry import (
+    ADMISSION_ALGORITHMS,
+    EXPERIMENTS,
+    SETCOVER_ALGORITHMS,
+    WEIGHT_BACKENDS,
+    DuplicateKeyError,
+    Registry,
+    RegistryError,
+    UnknownKeyError,
+)
+from repro.engine.runtime import (
+    EngineRun,
+    SimulationEngine,
+    make_admission_algorithm,
+    make_setcover_algorithm,
+)
+
+__all__ = [
+    "ArrivalOutcome",
+    "AugmentationRecord",
+    "NumpyWeightBackend",
+    "PythonWeightBackend",
+    "WeightBackend",
+    "make_weight_backend",
+    "resolve_backend_name",
+    "EngineConfig",
+    "derive_seed_pairs",
+    "execute",
+    "ADMISSION_ALGORITHMS",
+    "EXPERIMENTS",
+    "SETCOVER_ALGORITHMS",
+    "WEIGHT_BACKENDS",
+    "DuplicateKeyError",
+    "Registry",
+    "RegistryError",
+    "UnknownKeyError",
+    "EngineRun",
+    "SimulationEngine",
+    "make_admission_algorithm",
+    "make_setcover_algorithm",
+]

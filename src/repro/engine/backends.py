@@ -1,0 +1,717 @@
+"""Weight-mechanism backends: the paper's multiplicative-weight update, twice.
+
+The fractional algorithm of Section 2 maintains a weight ``f_i`` for every
+request ``r_i`` (the fraction of the request that has been rejected).  When a
+request arrives, the algorithm looks at every edge on its path and, while the
+covering constraint
+
+    sum_{i in ALIVE_e} f_i  >=  n_e      with   n_e = |ALIVE_e| - c_e
+
+is violated, performs a *weight augmentation*:
+
+1. every alive request on the edge with weight 0 receives the seed weight
+   ``1 / (g c)``;
+2. every alive request on the edge has its weight multiplied by
+   ``1 + 1 / (n_e * p_i)``;
+3. requests whose weight reached 1 are declared fully rejected ("dead"), which
+   removes them from the alive sets of *all* their edges and thereby lowers the
+   excess ``n_e``.
+
+This module implements the mechanism behind the :class:`WeightBackend`
+protocol, twice:
+
+* :class:`PythonWeightBackend` — the scalar reference implementation (the code
+  that used to live in ``repro/core/weights.py`` as ``FractionalWeightState``).
+  Dict-of-floats storage, one Python statement per paper step; this is the
+  ground truth every other backend is tested against.
+* :class:`NumpyWeightBackend` — keeps per-request weights and costs in
+  contiguous ``float64`` arrays and per-edge alive sets as index vectors, so
+  the seed / multiply / kill steps of an augmentation are three vectorized
+  operations.  The elementwise arithmetic is the same IEEE-754 double
+  arithmetic the scalar backend performs, so the two backends agree to
+  floating-point rounding (the cross-backend equivalence suite pins them to
+  within 1e-9, and in practice they are bit-identical on the weights).
+
+Both backends register themselves in
+:data:`repro.engine.registry.WEIGHT_BACKENDS`; algorithms resolve a backend by
+name through :func:`make_weight_backend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.engine.config import EngineConfig
+from repro.engine.registry import WEIGHT_BACKENDS
+from repro.instances.request import EdgeId
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "AugmentationRecord",
+    "ArrivalOutcome",
+    "WeightBackend",
+    "PythonWeightBackend",
+    "NumpyWeightBackend",
+    "BackendSpec",
+    "make_weight_backend",
+    "resolve_backend_name",
+]
+
+#: Anything an algorithm accepts where a backend choice is expected.
+BackendSpec = Union[None, str, EngineConfig]
+
+
+@dataclass
+class AugmentationRecord:
+    """One weight-augmentation step (paper, Section 2, step 2).
+
+    Attributes
+    ----------
+    edge:
+        The edge whose covering constraint triggered the augmentation.
+    excess:
+        The excess ``n_e`` at the moment of the augmentation.
+    alive_before:
+        Number of alive requests on the edge before the step.
+    seeded:
+        Ids of requests whose weight moved from 0 to the seed value.
+    killed:
+        Ids of requests whose weight reached 1 during this step.
+    triggered_by:
+        Id of the arriving request whose processing caused the step.
+    """
+
+    edge: EdgeId
+    excess: int
+    alive_before: int
+    seeded: Tuple[int, ...]
+    killed: Tuple[int, ...]
+    triggered_by: int
+
+
+@dataclass
+class ArrivalOutcome:
+    """Everything the weight mechanism did while processing one arrival.
+
+    ``deltas`` maps request id to the total weight increase caused by this
+    arrival — exactly the ``delta`` the randomized algorithm's step 3 rounds.
+    """
+
+    request_id: int
+    deltas: Dict[int, float] = field(default_factory=dict)
+    augmentations: List[AugmentationRecord] = field(default_factory=list)
+    newly_dead: Set[int] = field(default_factory=set)
+
+    @property
+    def num_augmentations(self) -> int:
+        """Number of weight-augmentation steps performed for this arrival."""
+        return len(self.augmentations)
+
+
+class WeightBackend:
+    """Shared skeleton and protocol of the weight-mechanism backends.
+
+    Subclasses own the storage and implement the primitive operations
+    (:meth:`register`, :meth:`restore_edge`, the state queries); this base
+    class provides the parameter validation, the arrival-level orchestration
+    shared by all backends, and a storage-agnostic invariant checker.
+
+    Parameters
+    ----------
+    capacities:
+        Effective capacities per edge.  These may be lower than the instance's
+        original capacities when requests have been permanently accepted
+        (the ``R_big`` preprocessing or the set-cover reduction's element
+        requests) — see :meth:`decrease_capacity`.
+    g:
+        Upper bound on the (normalised) cost ratio; the seed weight for a
+        request that first becomes positive is ``1 / (g * c)`` where ``c`` is
+        the maximum capacity (paper, step 2a).
+    max_capacity:
+        ``c`` in the seed-weight formula; defaults to the maximum of
+        ``capacities`` and is kept fixed even if capacities later decrease so
+        the seed weight is stable over the run.
+    """
+
+    #: Registry key of the backend; subclasses override.
+    name = "abstract"
+
+    def __init__(
+        self,
+        capacities: Mapping[EdgeId, int],
+        g: float,
+        max_capacity: Optional[int] = None,
+    ):
+        self._capacity: Dict[EdgeId, int] = {e: int(c) for e, c in capacities.items()}
+        for edge, cap in self._capacity.items():
+            if cap < 0:
+                raise ValueError(f"capacity of edge {edge!r} must be >= 0, got {cap}")
+        self.g = check_positive(g, "g")
+        if max_capacity is None:
+            max_capacity = max(self._capacity.values(), default=1)
+        self.max_capacity = max(int(max_capacity), 1)
+        self.seed_weight = 1.0 / (self.g * self.max_capacity)
+
+        # Counters for Lemma 1 style diagnostics.
+        self.total_augmentations = 0
+        self._history: List[AugmentationRecord] = []
+
+    # -- primitives every backend implements ---------------------------------------
+    def register(self, request_id: int, edges: Iterable[EdgeId], cost: float) -> None:
+        """Register a new request with weight 0 (paper: ``f_i = 0`` initially)."""
+        raise NotImplementedError
+
+    def restore_edge(self, edge: EdgeId, triggered_by: int, outcome: ArrivalOutcome) -> None:
+        """Run weight augmentations on ``edge`` until its constraint holds."""
+        raise NotImplementedError
+
+    def weight(self, request_id: int) -> float:
+        """Current weight ``f_i``."""
+        raise NotImplementedError
+
+    def cost_of(self, request_id: int) -> float:
+        """The (normalised) cost the request was registered with."""
+        raise NotImplementedError
+
+    def weights(self) -> Dict[int, float]:
+        """Copy of all weights, in registration order."""
+        raise NotImplementedError
+
+    def is_dead(self, request_id: int) -> bool:
+        """True if the request has been fully rejected fractionally (``f_i >= 1``)."""
+        raise NotImplementedError
+
+    def edges_of(self, request_id: int) -> Tuple[EdgeId, ...]:
+        """The edges the request was registered with."""
+        raise NotImplementedError
+
+    def alive_requests(self, edge: EdgeId) -> Set[int]:
+        """``ALIVE_e`` — alive request ids whose paths contain ``edge``."""
+        raise NotImplementedError
+
+    def requests_on(self, edge: EdgeId) -> Set[int]:
+        """``REQ_e`` — all registered request ids whose paths contain ``edge``."""
+        raise NotImplementedError
+
+    def alive_count(self, edge: EdgeId) -> int:
+        """``|ALIVE_e|``."""
+        raise NotImplementedError
+
+    def alive_weight_sum(self, edge: EdgeId) -> float:
+        """``sum_{i in ALIVE_e} f_i``."""
+        raise NotImplementedError
+
+    def edges_seen(self) -> Iterable[EdgeId]:
+        """Edges on which at least one request was registered."""
+        raise NotImplementedError
+
+    # -- shared bookkeeping ----------------------------------------------------------
+    def capacity(self, edge: EdgeId) -> int:
+        """Current effective capacity of ``edge``."""
+        return self._capacity[edge]
+
+    def decrease_capacity(self, edge: EdgeId, amount: int = 1) -> None:
+        """Permanently reserve capacity on ``edge`` (used by ``R_big`` handling).
+
+        The effective capacity never drops below zero; requesting a decrease
+        past zero is recorded as an inconsistency (the caller's guess of
+        ``alpha`` was too small) but does not raise, so the doubling wrapper
+        can observe the overflow through the cost blow-up instead of crashing.
+        """
+        if edge not in self._capacity:
+            raise ValueError(f"unknown edge {edge!r}")
+        self._capacity[edge] = max(0, self._capacity[edge] - amount)
+
+    def excess(self, edge: EdgeId) -> int:
+        """``n_e = |ALIVE_e| - c_e`` (may be negative)."""
+        return self.alive_count(edge) - self._capacity[edge]
+
+    def constraint_satisfied(self, edge: EdgeId) -> bool:
+        """True if the covering constraint of ``edge`` currently holds."""
+        n_e = self.excess(edge)
+        if n_e <= 0:
+            return True
+        return self.alive_weight_sum(edge) >= n_e
+
+    def fractional_cost(self) -> float:
+        """``sum_i min(f_i, 1) * p_i`` over every registered request."""
+        return sum(min(w, 1.0) * self.cost_of(i) for i, w in self.weights().items())
+
+    def fractional_rejections(self) -> Dict[int, float]:
+        """Mapping request id -> rejected fraction ``min(f_i, 1)``."""
+        return {i: min(w, 1.0) for i, w in self.weights().items()}
+
+    def history(self) -> List[AugmentationRecord]:
+        """All augmentation records in chronological order."""
+        return list(self._history)
+
+    # -- the arrival-level mechanism (shared) ----------------------------------------
+    def process_arrival(self, request_id: int, edges: Iterable[EdgeId], cost: float) -> ArrivalOutcome:
+        """Register an arriving request and restore all its edges' constraints.
+
+        Returns an :class:`ArrivalOutcome` with the per-request weight deltas
+        and the augmentation records — everything the fractional and randomized
+        algorithms need.
+        """
+        self.register(request_id, edges, cost)
+        outcome = ArrivalOutcome(request_id=request_id)
+        # "The following is performed for all the edges e of the path of r_i,
+        #  in an arbitrary order."  We use the registration order of the edges.
+        for e in self.edges_of(request_id):
+            self.restore_edge(e, request_id, outcome)
+        return outcome
+
+    def process_capacity_reduction(self, edge: EdgeId, triggered_by: int, amount: int = 1) -> ArrivalOutcome:
+        """Reduce an edge's capacity and restore its covering constraint.
+
+        This models a permanently accepted request occupying the edge (the
+        ``R_big`` preprocessing and the phase-2 element requests of the
+        set-cover reduction): the edge can now host one fewer alive request, so
+        weight augmentations may be needed immediately.
+        """
+        self.decrease_capacity(edge, amount)
+        outcome = ArrivalOutcome(request_id=triggered_by)
+        self.restore_edge(edge, triggered_by, outcome)
+        return outcome
+
+    # -- invariants (used by tests and analysis) ---------------------------------------
+    def check_invariants(self) -> List[str]:
+        """Return a list of violated invariants (empty when everything holds).
+
+        Checked invariants:
+
+        * weights are non-negative and only ever in ``{0} ∪ [seed, 2]``,
+        * dead requests have weight >= 1,
+        * every edge's covering constraint holds,
+        * alive sets only contain registered, non-dead requests.
+        """
+        problems: List[str] = []
+        all_weights = self.weights()
+        # A weight is multiplied at most once after reaching 1, by a factor of
+        # at most 1 + 1/p_i, so it never exceeds 1 + 1/min_cost (which is 2
+        # for the normalised costs the paper uses).
+        min_cost = min((self.cost_of(rid) for rid in all_weights), default=1.0)
+        weight_cap = 1.0 + 1.0 / min_cost
+        for rid, w in all_weights.items():
+            if w < 0:
+                problems.append(f"request {rid} has negative weight {w}")
+            if 0.0 < w < self.seed_weight * (1.0 - 1e-12):
+                problems.append(f"request {rid} has weight {w} below the seed weight")
+            if w > weight_cap + 1e-9:
+                problems.append(f"request {rid} has weight {w} above {weight_cap}")
+            if self.is_dead(rid) and w < 1.0:
+                problems.append(f"dead request {rid} has weight {w} < 1")
+        for edge in self.edges_seen():
+            if not self.constraint_satisfied(edge):
+                problems.append(
+                    f"edge {edge!r} violates covering constraint: "
+                    f"sum={self.alive_weight_sum(edge):.4f} < excess={self.excess(edge)}"
+                )
+            for rid in self.alive_requests(edge):
+                if self.is_dead(rid):
+                    problems.append(f"dead request {rid} still alive on edge {edge!r}")
+        return problems
+
+
+@WEIGHT_BACKENDS.register("python")
+class PythonWeightBackend(WeightBackend):
+    """Scalar reference backend (the paper's pseudocode, one statement per step)."""
+
+    name = "python"
+
+    def __init__(
+        self,
+        capacities: Mapping[EdgeId, int],
+        g: float,
+        max_capacity: Optional[int] = None,
+    ):
+        super().__init__(capacities, g, max_capacity)
+        # Request state.
+        self._weights: Dict[int, float] = {}
+        self._costs: Dict[int, float] = {}
+        self._edges_of: Dict[int, Tuple[EdgeId, ...]] = {}
+        self._dead: Set[int] = set()
+
+        # Per-edge alive request ids (only edges that have seen requests).
+        self._alive_on_edge: Dict[EdgeId, Set[int]] = {}
+        self._requests_on_edge: Dict[EdgeId, Set[int]] = {}
+
+    # -- registration -----------------------------------------------------------
+    def register(self, request_id: int, edges: Iterable[EdgeId], cost: float) -> None:
+        if request_id in self._weights:
+            raise ValueError(f"request {request_id} already registered")
+        cost = check_positive(cost, "cost")
+        edges = tuple(edges)
+        for e in edges:
+            if e not in self._capacity:
+                raise ValueError(f"request {request_id} uses unknown edge {e!r}")
+        self._weights[request_id] = 0.0
+        self._costs[request_id] = cost
+        self._edges_of[request_id] = edges
+        for e in edges:
+            self._requests_on_edge.setdefault(e, set()).add(request_id)
+            self._alive_on_edge.setdefault(e, set()).add(request_id)
+
+    # -- queries -----------------------------------------------------------------
+    def weight(self, request_id: int) -> float:
+        return self._weights[request_id]
+
+    def cost_of(self, request_id: int) -> float:
+        return self._costs[request_id]
+
+    def weights(self) -> Dict[int, float]:
+        return dict(self._weights)
+
+    def is_dead(self, request_id: int) -> bool:
+        return request_id in self._dead
+
+    def edges_of(self, request_id: int) -> Tuple[EdgeId, ...]:
+        return self._edges_of[request_id]
+
+    def alive_requests(self, edge: EdgeId) -> Set[int]:
+        return set(self._alive_on_edge.get(edge, set()))
+
+    def requests_on(self, edge: EdgeId) -> Set[int]:
+        return set(self._requests_on_edge.get(edge, set()))
+
+    def alive_count(self, edge: EdgeId) -> int:
+        return len(self._alive_on_edge.get(edge, set()))
+
+    def alive_weight_sum(self, edge: EdgeId) -> float:
+        alive = self._alive_on_edge.get(edge, set())
+        return sum(self._weights[i] for i in alive)
+
+    def edges_seen(self) -> Iterable[EdgeId]:
+        return self._requests_on_edge.keys()
+
+    def fractional_cost(self) -> float:
+        return sum(min(w, 1.0) * self._costs[i] for i, w in self._weights.items())
+
+    # -- the mechanism -------------------------------------------------------------
+    def _kill(self, request_id: int) -> None:
+        """Mark a request as fully rejected and remove it from all alive sets."""
+        self._dead.add(request_id)
+        for e in self._edges_of[request_id]:
+            self._alive_on_edge[e].discard(request_id)
+
+    def _augment_once(self, edge: EdgeId, triggered_by: int) -> AugmentationRecord:
+        """Perform one weight augmentation for ``edge`` (paper steps 2a–2c)."""
+        alive = self._alive_on_edge.get(edge, set())
+        # `alive` is a live reference that step 2c's kills shrink; capture the
+        # pre-step count now so the record reports what its field name says.
+        alive_before = len(alive)
+        n_e = alive_before - self._capacity[edge]
+        seeded: List[int] = []
+        killed: List[int] = []
+        # Step 2a: seed zero weights.
+        for rid in alive:
+            if self._weights[rid] == 0.0:
+                self._weights[rid] = self.seed_weight
+                seeded.append(rid)
+        # Step 2b: multiplicative update.  n_e is the excess *before* the update
+        # (alive membership has not changed in step 2a).
+        for rid in alive:
+            factor = 1.0 + 1.0 / (n_e * self._costs[rid])
+            self._weights[rid] *= factor
+        # Step 2c: update ALIVE_e (and the other edges of newly dead requests).
+        for rid in list(alive):
+            if self._weights[rid] >= 1.0:
+                self._kill(rid)
+                killed.append(rid)
+        record = AugmentationRecord(
+            edge=edge,
+            excess=n_e,
+            alive_before=alive_before,
+            seeded=tuple(seeded),
+            killed=tuple(killed),
+            triggered_by=triggered_by,
+        )
+        self.total_augmentations += 1
+        self._history.append(record)
+        return record
+
+    def restore_edge(self, edge: EdgeId, triggered_by: int, outcome: ArrivalOutcome) -> None:
+        while True:
+            n_e = self.excess(edge)
+            if n_e <= 0 or self.alive_weight_sum(edge) >= n_e:
+                break
+            before = {rid: self._weights[rid] for rid in self._alive_on_edge[edge]}
+            record = self._augment_once(edge, triggered_by)
+            outcome.augmentations.append(record)
+            outcome.newly_dead.update(record.killed)
+            for rid, old in before.items():
+                delta = self._weights[rid] - old
+                if delta > 0:
+                    outcome.deltas[rid] = outcome.deltas.get(rid, 0.0) + delta
+
+
+@WEIGHT_BACKENDS.register("numpy")
+class NumpyWeightBackend(WeightBackend):
+    """Vectorized backend: contiguous arrays, one NumPy kernel per paper step.
+
+    Storage layout: every registered request gets a dense *slot*; weights,
+    costs and the alive flag live in flat ``float64`` / ``bool`` arrays indexed
+    by slot, and every edge keeps a growable ``intp`` vector of the slots
+    registered on it.  One augmentation is then
+
+    * a gather of the alive slots on the edge,
+    * ``w[w == 0] = seed`` (step 2a),
+    * ``w *= 1 + 1 / (n_e * cost)`` (step 2b),
+    * a scatter back plus a mask for ``w >= 1`` kills (step 2c),
+
+    all elementwise double-precision operations in the same order as the
+    scalar backend, so results match to floating-point rounding.  Edge vectors
+    are compacted lazily once dead slots dominate, keeping the gather
+    proportional to ``|ALIVE_e|`` rather than ``|REQ_e|``.
+    """
+
+    name = "numpy"
+
+    def __init__(
+        self,
+        capacities: Mapping[EdgeId, int],
+        g: float,
+        max_capacity: Optional[int] = None,
+    ):
+        super().__init__(capacities, g, max_capacity)
+        self._ids: List[int] = []  # slot -> request id
+        self._slot: Dict[int, int] = {}  # request id -> slot
+        self._n = 0
+        size = 64
+        self._w = np.zeros(size, dtype=np.float64)
+        self._cost = np.ones(size, dtype=np.float64)
+        self._alive = np.zeros(size, dtype=bool)
+        self._edges_by_id: Dict[int, Tuple[EdgeId, ...]] = {}
+        self._dead: Set[int] = set()
+
+        # Per-edge slot vectors (amortised append, lazily compacted) plus O(1)
+        # alive counters so `excess` never touches an array.
+        self._edge_slots: Dict[EdgeId, np.ndarray] = {}
+        self._edge_used: Dict[EdgeId, int] = {}
+        self._edge_alive: Dict[EdgeId, int] = {}
+        self._edge_requests: Dict[EdgeId, List[int]] = {}
+
+    # -- storage helpers -----------------------------------------------------------
+    def _ensure_slot_capacity(self) -> None:
+        if self._n < self._w.shape[0]:
+            return
+        size = 2 * self._w.shape[0]
+        for attr, fill in (("_w", 0.0), ("_cost", 1.0)):
+            old = getattr(self, attr)
+            grown = np.full(size, fill, dtype=np.float64)
+            grown[: old.shape[0]] = old
+            setattr(self, attr, grown)
+        alive = np.zeros(size, dtype=bool)
+        alive[: self._alive.shape[0]] = self._alive
+        self._alive = alive
+
+    def _edge_append(self, edge: EdgeId, slot: int) -> None:
+        arr = self._edge_slots.get(edge)
+        if arr is None:
+            arr = np.empty(8, dtype=np.intp)
+            self._edge_slots[edge] = arr
+            self._edge_used[edge] = 0
+        used = self._edge_used[edge]
+        if used == arr.shape[0]:
+            # max() guards the used == 0 case: compaction can shrink a fully
+            # dead edge's vector to length zero, and 2 * 0 would never grow.
+            grown = np.empty(max(8, 2 * used), dtype=np.intp)
+            grown[:used] = arr[:used]
+            self._edge_slots[edge] = arr = grown
+        arr[used] = slot
+        self._edge_used[edge] = used + 1
+
+    def _alive_slots(self, edge: EdgeId) -> np.ndarray:
+        """Alive slots on ``edge``, compacting the vector when dead slots dominate."""
+        arr = self._edge_slots.get(edge)
+        if arr is None:
+            return np.empty(0, dtype=np.intp)
+        view = arr[: self._edge_used[edge]]
+        idx = view[self._alive[view]]
+        if idx.shape[0] * 2 < view.shape[0]:
+            # Dead slots never revive, so dropping them is safe and keeps the
+            # next gather proportional to the alive count.
+            compacted = idx.copy()
+            self._edge_slots[edge] = compacted
+            self._edge_used[edge] = compacted.shape[0]
+            return compacted
+        return idx
+
+    # -- registration -----------------------------------------------------------
+    def register(self, request_id: int, edges: Iterable[EdgeId], cost: float) -> None:
+        if request_id in self._slot:
+            raise ValueError(f"request {request_id} already registered")
+        cost = check_positive(cost, "cost")
+        edges = tuple(edges)
+        for e in edges:
+            if e not in self._capacity:
+                raise ValueError(f"request {request_id} uses unknown edge {e!r}")
+        self._ensure_slot_capacity()
+        slot = self._n
+        self._n += 1
+        self._ids.append(request_id)
+        self._slot[request_id] = slot
+        self._w[slot] = 0.0
+        self._cost[slot] = cost
+        self._alive[slot] = True
+        self._edges_by_id[request_id] = edges
+        for e in edges:
+            self._edge_append(e, slot)
+            self._edge_alive[e] = self._edge_alive.get(e, 0) + 1
+            self._edge_requests.setdefault(e, []).append(request_id)
+
+    # -- queries -----------------------------------------------------------------
+    def weight(self, request_id: int) -> float:
+        return float(self._w[self._slot[request_id]])
+
+    def cost_of(self, request_id: int) -> float:
+        return float(self._cost[self._slot[request_id]])
+
+    def weights(self) -> Dict[int, float]:
+        w = self._w
+        return {rid: float(w[slot]) for slot, rid in enumerate(self._ids)}
+
+    def is_dead(self, request_id: int) -> bool:
+        return request_id in self._dead
+
+    def edges_of(self, request_id: int) -> Tuple[EdgeId, ...]:
+        return self._edges_by_id[request_id]
+
+    def alive_requests(self, edge: EdgeId) -> Set[int]:
+        ids = self._ids
+        return {ids[slot] for slot in self._alive_slots(edge).tolist()}
+
+    def requests_on(self, edge: EdgeId) -> Set[int]:
+        return set(self._edge_requests.get(edge, ()))
+
+    def alive_count(self, edge: EdgeId) -> int:
+        return self._edge_alive.get(edge, 0)
+
+    def alive_weight_sum(self, edge: EdgeId) -> float:
+        return float(self._w[self._alive_slots(edge)].sum())
+
+    def edges_seen(self) -> Iterable[EdgeId]:
+        return self._edge_requests.keys()
+
+    def fractional_cost(self) -> float:
+        n = self._n
+        if n == 0:
+            return 0.0
+        w = self._w[:n]
+        return float((np.minimum(w, 1.0) * self._cost[:n]).sum())
+
+    def fractional_rejections(self) -> Dict[int, float]:
+        clipped = np.minimum(self._w[: self._n], 1.0)
+        return {rid: float(clipped[slot]) for slot, rid in enumerate(self._ids)}
+
+    # -- the mechanism -------------------------------------------------------------
+    def _kill_slot(self, slot: int) -> None:
+        request_id = self._ids[slot]
+        self._dead.add(request_id)
+        self._alive[slot] = False
+        for e in self._edges_by_id[request_id]:
+            self._edge_alive[e] -= 1
+
+    def _augment_once(
+        self,
+        edge: EdgeId,
+        triggered_by: int,
+        idx: Optional[np.ndarray] = None,
+        w: Optional[np.ndarray] = None,
+    ) -> AugmentationRecord:
+        """One vectorized weight augmentation (paper steps 2a–2c).
+
+        ``idx`` / ``w`` accept the alive slots and their already-gathered
+        weights so the restore loop does not pay the gather twice.
+        """
+        if idx is None:
+            idx = self._alive_slots(edge)
+        n_e = int(idx.shape[0]) - self._capacity[edge]
+        if w is None:
+            w = self._w[idx]  # gather (a copy)
+        zero_mask = w == 0.0
+        seeded_slots = idx[zero_mask]
+        if seeded_slots.shape[0]:
+            w[zero_mask] = self.seed_weight
+        w *= 1.0 + 1.0 / (n_e * self._cost[idx])
+        self._w[idx] = w  # scatter back
+        killed_slots = idx[w >= 1.0]
+        ids = self._ids
+        killed = tuple(ids[slot] for slot in killed_slots.tolist())
+        for slot in killed_slots.tolist():
+            self._kill_slot(slot)
+        record = AugmentationRecord(
+            edge=edge,
+            excess=n_e,
+            alive_before=int(idx.shape[0]),
+            seeded=tuple(ids[slot] for slot in seeded_slots.tolist()),
+            killed=killed,
+            triggered_by=triggered_by,
+        )
+        self.total_augmentations += 1
+        self._history.append(record)
+        return record
+
+    def restore_edge(self, edge: EdgeId, triggered_by: int, outcome: ArrivalOutcome) -> None:
+        # The alive set only shrinks during a restore, so the slots alive at
+        # the first augmentation cover every slot touched later; one vectorized
+        # before/after difference therefore yields the per-request deltas for
+        # the whole restore (weights never decrease during augmentations).
+        first_idx: Optional[np.ndarray] = None
+        before: Optional[np.ndarray] = None
+        capacity = self._capacity[edge]
+        while True:
+            # O(1) excess check via the per-edge alive counter before paying
+            # for the gather (most edges are under capacity most of the time).
+            if self._edge_alive.get(edge, 0) - capacity <= 0:
+                break
+            idx = self._alive_slots(edge)
+            n_e = int(idx.shape[0]) - capacity
+            w = self._w[idx]  # gather (a copy), reused by _augment_once
+            if float(w.sum()) >= n_e:
+                break
+            if first_idx is None:
+                first_idx = idx.copy()
+                before = w.copy()
+            record = self._augment_once(edge, triggered_by, idx=idx, w=w)
+            outcome.augmentations.append(record)
+            outcome.newly_dead.update(record.killed)
+        if first_idx is not None:
+            diff = self._w[first_idx] - before
+            changed = np.nonzero(diff > 0.0)[0]
+            ids = self._ids
+            deltas = outcome.deltas
+            for k in changed.tolist():
+                rid = ids[int(first_idx[k])]
+                deltas[rid] = deltas.get(rid, 0.0) + float(diff[k])
+
+
+def resolve_backend_name(spec: BackendSpec) -> str:
+    """Normalise a backend spec (``None`` / name / :class:`EngineConfig`) to a name."""
+    if spec is None:
+        return EngineConfig().backend
+    if isinstance(spec, EngineConfig):
+        return spec.backend
+    if isinstance(spec, str):
+        return spec.strip().lower()
+    raise TypeError(f"backend must be None, a name or an EngineConfig, got {spec!r}")
+
+
+def make_weight_backend(
+    spec: BackendSpec,
+    capacities: Mapping[EdgeId, int],
+    *,
+    g: float,
+    max_capacity: Optional[int] = None,
+) -> WeightBackend:
+    """Instantiate the weight backend selected by ``spec``.
+
+    ``spec`` may be ``None`` (the default ``"python"`` reference backend), a
+    registered backend name, or an :class:`EngineConfig` whose ``backend``
+    field names one.
+    """
+    factory = WEIGHT_BACKENDS.get(resolve_backend_name(spec))
+    return factory(capacities, g=g, max_capacity=max_capacity)

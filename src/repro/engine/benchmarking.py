@@ -1,0 +1,157 @@
+"""The engine's micro-benchmarks and the perf-regression gate.
+
+One canonical *weight-update* micro-benchmark exercises the multiplicative
+weight mechanism — the library's hottest loop — on an instance with >= 1000
+edges whose two hot edges accumulate alive sets in the thousands, which is the
+regime the vectorized backend is built for.  The same workload drives:
+
+* ``python -m repro bench`` (the ``make bench-smoke`` target), which runs the
+  benchmark once per registered backend, prints a comparison table, and fails
+  when a backend regresses more than :data:`REGRESSION_FACTOR` x against the
+  committed baseline JSON (``benchmarks/baseline_bench.json``);
+* ``benchmarks/test_bench_micro_core.py``, so pytest-benchmark tracks the same
+  numbers over time.
+
+Keeping the workload in one module guarantees the CLI gate and the pytest
+suite measure the same thing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.backends import make_weight_backend
+from repro.instances.request import EdgeId
+
+__all__ = [
+    "WeightUpdateWorkload",
+    "BenchResult",
+    "weight_update_workload",
+    "run_weight_update_bench",
+    "compare_to_baseline",
+    "REGRESSION_FACTOR",
+    "default_baseline_path",
+]
+
+#: A benchmark fails the gate when it is more than this factor slower than its
+#: committed baseline entry.
+REGRESSION_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class WeightUpdateWorkload:
+    """A deterministic weight-mechanism stress workload.
+
+    ``num_hot`` low-capacity edges receive every request round-robin (their
+    alive sets grow into the thousands), while each request additionally
+    crosses one of the remaining high-capacity cold edges, so the instance has
+    ``num_edges >= 1000`` edges but the augmentation work concentrates where
+    vectorization matters.  Costs are drawn from ``[8, 24]`` so weights grow
+    slowly and requests stay alive long.
+    """
+
+    num_edges: int = 1024
+    num_hot: int = 2
+    num_requests: int = 3000
+    capacity: int = 192
+    seed: int = 7
+    g: float = 64.0
+
+    def capacities(self) -> Dict[EdgeId, int]:
+        """Edge-capacity map: hot edges tight, cold edges effectively infinite."""
+        return {
+            j: self.capacity if j < self.num_hot else self.num_requests + 1
+            for j in range(self.num_edges)
+        }
+
+    def arrivals(self) -> List[Tuple[int, Tuple[int, int], float]]:
+        """Deterministic ``(request_id, edges, cost)`` arrival stream."""
+        rng = np.random.default_rng(self.seed)
+        cold = rng.integers(self.num_hot, self.num_edges, size=self.num_requests)
+        costs = rng.uniform(8.0, 24.0, size=self.num_requests)
+        return [
+            (rid, (rid % self.num_hot, int(cold[rid])), float(costs[rid]))
+            for rid in range(self.num_requests)
+        ]
+
+
+def weight_update_workload(quick: bool = True) -> WeightUpdateWorkload:
+    """The canonical workload: 3k requests at capacity 192 when quick, 3.5k/256 otherwise."""
+    if quick:
+        return WeightUpdateWorkload()
+    return WeightUpdateWorkload(num_requests=3500, capacity=256)
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one micro-benchmark run."""
+
+    name: str
+    backend: str
+    seconds: float
+    augmentations: int
+    fractional_cost: float
+
+
+def run_weight_update_bench(
+    backend: str, workload: Optional[WeightUpdateWorkload] = None
+) -> BenchResult:
+    """Run the weight-update micro-benchmark on one backend and time it."""
+    workload = workload or weight_update_workload(quick=True)
+    capacities = workload.capacities()
+    arrivals = workload.arrivals()
+    start = time.perf_counter()
+    state = make_weight_backend(backend, capacities, g=workload.g)
+    for rid, edges, cost in arrivals:
+        state.process_arrival(rid, edges, cost)
+    seconds = time.perf_counter() - start
+    return BenchResult(
+        name="weight_update",
+        backend=backend,
+        seconds=seconds,
+        augmentations=state.total_augmentations,
+        fractional_cost=state.fractional_cost(),
+    )
+
+
+def default_baseline_path() -> Path:
+    """The committed baseline JSON (repo checkout layout)."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "baseline_bench.json"
+
+
+def compare_to_baseline(
+    results: List[BenchResult], baseline_path: Path
+) -> Tuple[List[str], List[str]]:
+    """Compare bench results to the committed baseline.
+
+    Returns ``(lines, failures)``: human-readable comparison lines and the
+    subset describing benchmarks slower than ``REGRESSION_FACTOR`` x their
+    baseline.  A missing baseline file or missing entry is reported but never
+    fails the gate (fresh machines have no committed numbers for themselves).
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    baseline: Dict[str, float] = {}
+    if baseline_path.exists():
+        data = json.loads(baseline_path.read_text())
+        baseline = {k: float(v) for k, v in data.get("benchmarks", {}).items()}
+    else:
+        lines.append(f"no baseline at {baseline_path}; regression gate skipped")
+    for result in results:
+        key = f"{result.name}[{result.backend}]"
+        base = baseline.get(key)
+        if base is None:
+            lines.append(f"{key}: {result.seconds:.3f}s (no baseline entry)")
+            continue
+        factor = result.seconds / base if base > 0 else float("inf")
+        line = f"{key}: {result.seconds:.3f}s vs baseline {base:.3f}s ({factor:.2f}x)"
+        lines.append(line)
+        if factor > REGRESSION_FACTOR:
+            failures.append(f"{line} — exceeds the {REGRESSION_FACTOR:.1f}x regression gate")
+    return lines, failures

@@ -1,0 +1,74 @@
+"""Engine configuration shared by the CLI, experiments and the runtime.
+
+:class:`EngineConfig` is the one object that travels from the command line
+(``--backend numpy --jobs 4``) down through :class:`repro.experiments.base.
+ExperimentConfig` into algorithm constructors and the trial executor.  It is a
+frozen, picklable dataclass so it can cross process boundaries unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+__all__ = ["EngineConfig", "DEFAULT_BACKEND", "resolve_jobs"]
+
+#: The reference backend: scalar pure-Python, bit-for-bit the paper's pseudocode.
+DEFAULT_BACKEND = "python"
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0``/negative mean "all cores"."""
+    if jobs is None or int(jobs) <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return int(jobs)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the execution engine.
+
+    Attributes
+    ----------
+    backend:
+        Weight-mechanism backend key resolved through
+        :data:`repro.engine.registry.WEIGHT_BACKENDS` (``"python"`` or
+        ``"numpy"``).
+    jobs:
+        Worker count for the parallel trial executor; ``1`` runs serially,
+        ``0`` (or any non-positive value) means one worker per CPU core.
+    batching:
+        How :class:`repro.engine.runtime.SimulationEngine` groups arrivals
+        into batches: ``"none"`` streams one request per batch, ``"tag"``
+        groups consecutive same-tag arrivals (e.g. the set-cover reduction's
+        phase-1 block) so same-timestep arrivals are dispatched together.
+    """
+
+    backend: str = DEFAULT_BACKEND
+    jobs: int = 1
+    batching: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.batching not in ("none", "tag"):
+            raise ValueError(f"batching must be 'none' or 'tag', got {self.batching!r}")
+
+    @property
+    def effective_jobs(self) -> int:
+        """The resolved worker count (non-positive ``jobs`` -> CPU count)."""
+        return resolve_jobs(self.jobs)
+
+    def with_jobs(self, jobs: int) -> "EngineConfig":
+        """Copy of this config with a different worker count."""
+        return replace(self, jobs=jobs)
+
+    @classmethod
+    def resolve(cls, value: Union["EngineConfig", str, None]) -> "EngineConfig":
+        """Coerce ``None`` / a backend name / an existing config into a config."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(backend=value)
+        raise TypeError(f"cannot build an EngineConfig from {value!r}")

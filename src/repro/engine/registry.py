@@ -1,0 +1,163 @@
+"""String-keyed registries wiring algorithms, backends and experiments together.
+
+The execution engine decouples *naming* a component from *importing* it: every
+pluggable piece of the library (weight backends, admission-control algorithms,
+set-cover algorithms, experiments) registers itself under a string key in one
+of the module-level registries below, and the runtime / CLI / experiments
+resolve those keys at run time.  This is what lets ``python -m repro run E3
+--backend numpy`` swap the whole numeric substrate without touching a single
+experiment.
+
+Design rules:
+
+* registering the same key twice raises :class:`DuplicateKeyError` (silent
+  overwrites hid wiring bugs in the pre-registry code);
+* looking up an unknown key raises :class:`UnknownKeyError` whose message
+  lists every known key, so a typo on the command line is a one-glance fix;
+* keys are normalised (case-insensitively by default) so ``"E1"`` and
+  ``"e1"`` are the same experiment and ``"NumPy"`` the same backend.
+
+The registry instances live here, but *registration* happens in the modules
+that define the components (e.g. ``core/fractional.py`` registers
+``"fractional"``).  This module therefore imports nothing from the rest of
+the library and can be imported from anywhere without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = [
+    "Registry",
+    "RegistryError",
+    "DuplicateKeyError",
+    "UnknownKeyError",
+    "WEIGHT_BACKENDS",
+    "ADMISSION_ALGORITHMS",
+    "SETCOVER_ALGORITHMS",
+    "EXPERIMENTS",
+]
+
+T = TypeVar("T")
+
+_MISSING = object()
+
+
+class RegistryError(KeyError):
+    """Base class for registry errors (a :class:`KeyError` for compatibility)."""
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s its argument; keep plain text.
+        return self.args[0] if self.args else ""
+
+
+class DuplicateKeyError(RegistryError):
+    """Raised when a key is registered twice without ``overwrite=True``."""
+
+
+class UnknownKeyError(RegistryError):
+    """Raised when a key is looked up that was never registered."""
+
+
+class Registry(Generic[T]):
+    """A string-keyed registry with strict registration and helpful lookups.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable name of what is stored ("weight backend", "experiment",
+        ...); used in error messages.
+    normalize:
+        Key normalisation applied on both registration and lookup.  Defaults
+        to lower-casing; the experiment registry upper-cases instead so the
+        canonical ids stay ``"E1"`` ... ``"E10"``.
+    """
+
+    def __init__(self, kind: str, *, normalize: Callable[[str], str] = str.lower):
+        self.kind = kind
+        self._normalize = normalize
+        self._entries: Dict[str, T] = {}
+
+    def _key(self, key: str) -> str:
+        if not isinstance(key, str) or not key.strip():
+            raise RegistryError(f"{self.kind} keys must be non-empty strings, got {key!r}")
+        return self._normalize(key.strip())
+
+    def register(self, key: str, value: T = _MISSING, *, overwrite: bool = False):
+        """Register ``value`` under ``key``; usable directly or as a decorator.
+
+        ``@REGISTRY.register("name")`` registers the decorated object and
+        returns it unchanged.  Registering an existing key raises
+        :class:`DuplicateKeyError` unless ``overwrite=True``.
+        """
+        normalized = self._key(key)
+
+        def _store(obj: T) -> T:
+            if normalized in self._entries and not overwrite:
+                raise DuplicateKeyError(
+                    f"{self.kind} {key!r} is already registered "
+                    f"(known: {', '.join(sorted(self._entries))}); "
+                    f"pass overwrite=True to replace it"
+                )
+            self._entries[normalized] = obj
+            return obj
+
+        if value is _MISSING:
+            return _store
+        return _store(value)
+
+    def unregister(self, key: str) -> None:
+        """Remove a key (mainly for tests); unknown keys raise :class:`UnknownKeyError`."""
+        normalized = self._key(key)
+        if normalized not in self._entries:
+            raise UnknownKeyError(f"cannot unregister unknown {self.kind} {key!r}")
+        del self._entries[normalized]
+
+    def get(self, key: str) -> T:
+        """Look up a registered value; unknown keys raise :class:`UnknownKeyError`."""
+        normalized = self._key(key)
+        try:
+            return self._entries[normalized]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none registered>"
+            raise UnknownKeyError(f"unknown {self.kind} {key!r}; known: {known}") from None
+
+    def __contains__(self, key: str) -> bool:
+        try:
+            return self._key(key) in self._entries
+        except RegistryError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def keys(self) -> List[str]:
+        """Sorted registered keys."""
+        return sorted(self._entries)
+
+    def items(self) -> List[Tuple[str, T]]:
+        """Sorted ``(key, value)`` pairs."""
+        return sorted(self._entries.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, keys={self.keys()})"
+
+
+#: Weight-mechanism backends (``"python"``, ``"numpy"``); populated by
+#: :mod:`repro.engine.backends`.
+WEIGHT_BACKENDS: Registry = Registry("weight backend")
+
+#: Online admission-control algorithm builders with the uniform signature
+#: ``build(instance, *, random_state=None, backend=None, **kwargs)``; populated
+#: by :mod:`repro.core` and :mod:`repro.baselines`.
+ADMISSION_ALGORITHMS: Registry = Registry("admission algorithm")
+
+#: Online set-cover algorithm builders, same uniform signature; populated by
+#: :mod:`repro.core` and :mod:`repro.baselines`.
+SETCOVER_ALGORITHMS: Registry = Registry("set-cover algorithm")
+
+#: Experiment runners (``"E1"`` ... ``"E10"``); populated by
+#: :mod:`repro.experiments`.
+EXPERIMENTS: Registry = Registry("experiment", normalize=str.upper)

@@ -1,0 +1,224 @@
+"""The simulation runtime: registry-driven algorithm builds, streaming, timing.
+
+:class:`SimulationEngine` is the one place that knows how to turn a string key
+plus an instance into a running algorithm, how to stream an instance's
+arrivals through it (batching same-timestep arrivals when asked to), and how
+to collect the run's result together with its wall-clock cost.  The CLI, the
+experiments and the benchmark suite all sit on top of it, so "add an
+algorithm" now means "register a builder" rather than "edit three call sites".
+
+Builders have the uniform signature::
+
+    build(instance, *, random_state=None, backend=None, **kwargs) -> algorithm
+
+and are registered in :data:`repro.engine.registry.ADMISSION_ALGORITHMS` /
+:data:`repro.engine.registry.SETCOVER_ALGORITHMS` by the modules that define
+the algorithms.  :func:`make_admission_algorithm` and
+:func:`make_setcover_algorithm` lazily import the built-in algorithm and
+baseline modules, so resolving a key never depends on what the caller happened
+to import first.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.engine.config import EngineConfig
+from repro.engine.registry import ADMISSION_ALGORITHMS, SETCOVER_ALGORITHMS
+
+__all__ = [
+    "SimulationEngine",
+    "EngineRun",
+    "make_admission_algorithm",
+    "make_setcover_algorithm",
+    "ensure_builtin_registrations",
+]
+
+_BUILTINS_LOADED = False
+
+
+def ensure_builtin_registrations() -> None:
+    """Import the modules that register the built-in algorithms and backends.
+
+    Registration happens at import time in ``repro.core`` and
+    ``repro.baselines``; this makes registry lookups independent of the
+    caller's import order.  Idempotent and cheap after the first call.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    import repro.baselines  # noqa: F401  (imported for registration side effect)
+    import repro.core  # noqa: F401  (imported for registration side effect)
+    import repro.engine.backends  # noqa: F401  (imported for registration side effect)
+
+    _BUILTINS_LOADED = True
+
+
+def make_admission_algorithm(
+    key: str,
+    instance,
+    *,
+    random_state=None,
+    backend: Union[str, EngineConfig, None] = None,
+    **kwargs,
+):
+    """Build a registered admission-control algorithm for ``instance``."""
+    ensure_builtin_registrations()
+    build = ADMISSION_ALGORITHMS.get(key)
+    return build(instance, random_state=random_state, backend=backend, **kwargs)
+
+
+def make_setcover_algorithm(
+    key: str,
+    instance,
+    *,
+    random_state=None,
+    backend: Union[str, EngineConfig, None] = None,
+    **kwargs,
+):
+    """Build a registered set-cover algorithm for ``instance``."""
+    ensure_builtin_registrations()
+    build = SETCOVER_ALGORITHMS.get(key)
+    return build(instance, random_state=random_state, backend=backend, **kwargs)
+
+
+@dataclass
+class EngineRun:
+    """Result collection for one engine-driven run.
+
+    Attributes
+    ----------
+    result:
+        The algorithm's own result object
+        (:class:`~repro.core.protocols.AdmissionResult` or
+        :class:`~repro.core.protocols.SetCoverResult`).
+    algorithm:
+        Display name of the algorithm that ran.
+    backend:
+        The weight backend the engine was configured with.
+    seconds:
+        Wall-clock time spent streaming the instance (excludes build time).
+    num_arrivals / num_batches:
+        How many arrivals were streamed and in how many batches.
+    batch_sizes:
+        Size of each dispatched batch, in order.
+    """
+
+    result: Any
+    algorithm: str
+    backend: str
+    seconds: float
+    num_arrivals: int
+    num_batches: int
+    batch_sizes: List[int] = field(default_factory=list)
+
+
+class SimulationEngine:
+    """Registry-driven runtime for online admission-control / set-cover runs.
+
+    Parameters
+    ----------
+    config:
+        An :class:`~repro.engine.config.EngineConfig`, a backend name, or
+        ``None`` for the defaults.  The engine forwards the backend to every
+        algorithm it builds and uses ``config.batching`` to group arrivals.
+    """
+
+    def __init__(self, config: Union[EngineConfig, str, None] = None):
+        self.config = EngineConfig.resolve(config)
+
+    # -- algorithm construction ---------------------------------------------------
+    def build_admission(self, algorithm, instance, *, random_state=None, **kwargs):
+        """Resolve ``algorithm`` (a registry key or an already-built object)."""
+        if isinstance(algorithm, str):
+            return make_admission_algorithm(
+                algorithm,
+                instance,
+                random_state=random_state,
+                backend=self.config.backend,
+                **kwargs,
+            )
+        return algorithm
+
+    def build_setcover(self, algorithm, instance, *, random_state=None, **kwargs):
+        """Resolve ``algorithm`` (a registry key or an already-built object)."""
+        if isinstance(algorithm, str):
+            return make_setcover_algorithm(
+                algorithm,
+                instance,
+                random_state=random_state,
+                backend=self.config.backend,
+                **kwargs,
+            )
+        return algorithm
+
+    # -- instance streaming ----------------------------------------------------------
+    def iter_batches(self, arrivals: Iterable[Any]) -> Iterator[List[Any]]:
+        """Group an arrival stream into dispatch batches.
+
+        With ``batching="none"`` every arrival is its own batch.  With
+        ``batching="tag"`` consecutive arrivals sharing a ``tag`` attribute are
+        dispatched together — the set-cover reduction's phase-1 block and any
+        workload that stamps same-timestep arrivals with a common tag arrive
+        as one batch.  Online order is preserved inside a batch.
+        """
+        if self.config.batching == "none":
+            for arrival in arrivals:
+                yield [arrival]
+            return
+        batch: List[Any] = []
+        current_tag: Any = None
+        for arrival in arrivals:
+            tag = getattr(arrival, "tag", None)
+            if batch and tag != current_tag:
+                yield batch
+                batch = []
+            current_tag = tag
+            batch.append(arrival)
+        if batch:
+            yield batch
+
+    # -- running --------------------------------------------------------------------
+    def run_admission(self, algorithm, instance, *, random_state=None, **kwargs) -> EngineRun:
+        """Build (if needed) and run an admission algorithm over ``instance``."""
+        algo = self.build_admission(algorithm, instance, random_state=random_state, **kwargs)
+        batch_sizes: List[int] = []
+        start = time.perf_counter()
+        for batch in self.iter_batches(instance.requests):
+            batch_sizes.append(len(batch))
+            for request in batch:
+                algo.process(request)
+        seconds = time.perf_counter() - start
+        result = algo.result()
+        return EngineRun(
+            result=result,
+            algorithm=result.algorithm,
+            backend=self.config.backend,
+            seconds=seconds,
+            num_arrivals=sum(batch_sizes),
+            num_batches=len(batch_sizes),
+            batch_sizes=batch_sizes,
+        )
+
+    def run_setcover(self, algorithm, instance, *, random_state=None, **kwargs) -> EngineRun:
+        """Build (if needed) and run a set-cover algorithm over ``instance``."""
+        algo = self.build_setcover(algorithm, instance, random_state=random_state, **kwargs)
+        batch_sizes: List[int] = []
+        start = time.perf_counter()
+        for batch in self.iter_batches(instance.arrivals):
+            batch_sizes.append(len(batch))
+            for element in batch:
+                algo.process_element(element)
+        seconds = time.perf_counter() - start
+        result = algo.result()
+        return EngineRun(
+            result=result,
+            algorithm=result.algorithm,
+            backend=self.config.backend,
+            seconds=seconds,
+            num_arrivals=sum(batch_sizes),
+            num_batches=len(batch_sizes),
+            batch_sizes=batch_sizes,
+        )

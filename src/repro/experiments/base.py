@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.report import format_table
+from repro.engine.config import EngineConfig
+from repro.engine.registry import EXPERIMENTS
 
 __all__ = ["ExperimentConfig", "ExperimentResult", "register", "get_experiment", "all_experiments"]
 
@@ -37,16 +39,30 @@ class ExperimentConfig:
         Independent repetitions per configuration point.
     ilp_time_limit:
         Time limit (seconds) handed to the exact offline solvers.
+    backend:
+        Weight-mechanism backend every experiment builds its algorithms with
+        (``"python"`` or ``"numpy"``); resolved through
+        :data:`repro.engine.registry.WEIGHT_BACKENDS`.
+    jobs:
+        Worker count for the parallel trial executor (``1`` = serial,
+        ``0`` = one worker per core).
     """
 
     quick: bool = True
     seed: int = 20050718  # SPAA 2005 conference date — an arbitrary fixed seed.
     num_trials: int = 3
     ilp_time_limit: float = 20.0
+    backend: str = "python"
+    jobs: int = 1
 
     def scaled_trials(self, full: int) -> int:
         """Number of trials to run: ``num_trials`` when quick, ``full`` otherwise."""
         return self.num_trials if self.quick else full
+
+    @property
+    def engine(self) -> EngineConfig:
+        """The engine view of this configuration (backend + jobs)."""
+        return EngineConfig(backend=self.backend, jobs=self.jobs)
 
 
 @dataclass
@@ -79,24 +95,21 @@ class ExperimentResult:
         return sum(values) / len(values) if values else float("nan")
 
 
-_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
-
-
 def register(experiment_id: str, runner: Callable[..., ExperimentResult]) -> None:
-    """Register an experiment runner under its id (``"E1"`` ... ``"E10"``)."""
-    _REGISTRY[experiment_id.upper()] = runner
+    """Register an experiment runner under its id (``"E1"`` ... ``"E10"``).
+
+    Delegates to the engine's :data:`~repro.engine.registry.EXPERIMENTS`
+    registry; re-registering an id replaces the previous runner (experiments
+    are re-registered when their module reloads).
+    """
+    EXPERIMENTS.register(experiment_id, runner, overwrite=True)
 
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
-    """Look up a registered experiment runner."""
-    try:
-        return _REGISTRY[experiment_id.upper()]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
-        ) from None
+    """Look up a registered experiment runner (:class:`KeyError` if unknown)."""
+    return EXPERIMENTS.get(experiment_id)
 
 
 def all_experiments() -> Dict[str, Callable[..., ExperimentResult]]:
     """All registered experiments keyed by id."""
-    return dict(_REGISTRY)
+    return dict(EXPERIMENTS.items())

@@ -19,8 +19,7 @@ from typing import Optional
 from repro.analysis.ascii_plot import ascii_series_table
 from repro.core.bounds import randomized_admission_bound, set_cover_randomized_bound
 from repro.core.protocols import run_admission, run_setcover
-from repro.core.randomized import RandomizedAdmissionControl
-from repro.core.setcover_reduction import OnlineSetCoverViaAdmissionControl
+from repro.engine.runtime import make_admission_algorithm, make_setcover_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.offline import solve_admission_lp, solve_set_multicover_lp
 from repro.utils.mathx import safe_ratio
@@ -30,6 +29,10 @@ from repro.workloads import overloaded_edge_adversary, random_setcover_instance
 EXPERIMENT_ID = "E10"
 TITLE = "Scaling of measured ratios and wall-clock time"
 VALIDATES = "Growth-rate shape of Theorems 3, 4 and the Section 4 reduction"
+
+#: Algorithm registry keys this experiment resolves through the engine.
+USES_ADMISSION = ("randomized",)
+USES_SETCOVER = ("reduction",)
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
@@ -61,8 +64,12 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         instance = overloaded_edge_adversary(
             num_edges=m, capacity=c, num_hot_edges=max(2, m // 8), overload_factor=3.0, random_state=rng
         )
-        algorithm = RandomizedAdmissionControl.for_instance(
-            instance, weighted=False, random_state=as_generator(stable_seed(config.seed, m, "algo"))
+        algorithm = make_admission_algorithm(
+            "randomized",
+            instance,
+            weighted=False,
+            random_state=as_generator(stable_seed(config.seed, m, "algo")),
+            backend=config.backend,
         )
         start = time.perf_counter()
         online = run_admission(algorithm, instance)
@@ -102,8 +109,11 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             membership_probability=min(0.5, 4.0 / m + 0.1),
             random_state=stable_seed(config.seed, n, m, "e10-sc"),
         )
-        algorithm = OnlineSetCoverViaAdmissionControl(
-            instance.system, random_state=stable_seed(config.seed, n, m, "sc-algo")
+        algorithm = make_setcover_algorithm(
+            "reduction",
+            instance,
+            random_state=stable_seed(config.seed, n, m, "sc-algo"),
+            backend=config.backend,
         )
         start = time.perf_counter()
         online = run_setcover(algorithm, instance)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.bounds import fractional_admission_bound
-from repro.core.fractional import FractionalAdmissionControl
+from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.offline import solve_admission_lp
 from repro.utils.mathx import safe_ratio
@@ -24,6 +24,10 @@ from repro.workloads import overloaded_edge_adversary, pareto_costs, single_edge
 EXPERIMENT_ID = "E1"
 TITLE = "Fractional admission control vs fractional OPT"
 VALIDATES = "Theorem 2 (O(log mc) weighted, O(log c) unweighted)"
+
+#: Algorithm registry keys this experiment resolves through the engine.
+USES_ADMISSION = ("fractional",)
+USES_SETCOVER = ()
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
@@ -63,8 +67,11 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                         random_state=rng,
                     )
                 opt = solve_admission_lp(instance)
-                algo = FractionalAdmissionControl.for_instance(
-                    instance, alpha=max(opt.cost, 1e-9) if weighted else None
+                algo = make_admission_algorithm(
+                    "fractional",
+                    instance,
+                    alpha=max(opt.cost, 1e-9) if weighted else None,
+                    backend=config.backend,
                 )
                 algo.process_sequence(instance.requests)
                 ratios.append(safe_ratio(algo.fractional_cost(), opt.cost))

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.bounds import lemma1_augmentation_bound
-from repro.core.fractional import FractionalAdmissionControl
+from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.offline import solve_admission_lp
 from repro.utils.rng import spawn_generators, stable_seed
@@ -21,6 +21,10 @@ from repro.workloads import overloaded_edge_adversary, single_edge_workload, uni
 EXPERIMENT_ID = "E2"
 TITLE = "Weight-augmentation count vs Lemma 1 bound"
 VALIDATES = "Lemma 1 (at most O(alpha log(gc)) augmentations)"
+
+#: Algorithm registry keys this experiment resolves through the engine.
+USES_ADMISSION = ("fractional",)
+USES_SETCOVER = ()
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
@@ -54,7 +58,9 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             )
             opt = solve_admission_lp(instance)
             alpha = max(opt.cost, 1e-9)
-            algo = FractionalAdmissionControl.for_instance(instance, alpha=alpha)
+            algo = make_admission_algorithm(
+                "fractional", instance, alpha=alpha, backend=config.backend
+            )
             algo.process_sequence(instance.requests)
             bound = lemma1_augmentation_bound(alpha, algo.g, algo.c)
             total_augs += algo.num_augmentations

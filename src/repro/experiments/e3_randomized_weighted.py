@@ -13,7 +13,7 @@ from typing import Optional
 
 from repro.analysis.trials import run_admission_trials
 from repro.core.bounds import randomized_admission_bound
-from repro.core.doubling import DoublingAdmissionControl
+from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.utils.rng import stable_seed
 from repro.workloads import (
@@ -26,6 +26,10 @@ from repro.workloads import (
 EXPERIMENT_ID = "E3"
 TITLE = "Randomized admission control, weighted workloads"
 VALIDATES = "Theorem 3 (O(log^2(mc)) competitive, weighted)"
+
+#: Algorithm registry keys this experiment resolves through the engine.
+USES_ADMISSION = ("doubling",)
+USES_SETCOVER = ()
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
@@ -69,14 +73,15 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         for workload_name, make in workloads.items():
             summary = run_admission_trials(
                 instance_factory=lambda rng, make=make, m=m, c=c: make(m, c, rng),
-                algorithm_factory=lambda instance, rng: DoublingAdmissionControl.for_instance(
-                    instance, weighted=True, random_state=rng
+                algorithm_factory=lambda instance, rng, backend=config.backend: make_admission_algorithm(
+                    "doubling", instance, weighted=True, random_state=rng, backend=backend
                 ),
                 num_trials=trials,
                 random_state=stable_seed(config.seed, m, c, workload_name),
                 label=f"{workload_name} m={m} c={c}",
                 offline="ilp",
                 ilp_time_limit=config.ilp_time_limit,
+                jobs=config.jobs,
             )
             stats = summary.ratio_stats()
             result.rows.append(

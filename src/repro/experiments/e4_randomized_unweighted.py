@@ -11,7 +11,7 @@ from typing import Optional
 
 from repro.analysis.trials import run_admission_trials
 from repro.core.bounds import randomized_admission_bound
-from repro.core.randomized import RandomizedAdmissionControl
+from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.utils.rng import stable_seed
 from repro.workloads import overloaded_edge_adversary, repeated_overload_adversary
@@ -19,6 +19,10 @@ from repro.workloads import overloaded_edge_adversary, repeated_overload_adversa
 EXPERIMENT_ID = "E4"
 TITLE = "Randomized admission control, unweighted workloads"
 VALIDATES = "Theorem 4 (O(log m log c) competitive, unweighted)"
+
+#: Algorithm registry keys this experiment resolves through the engine.
+USES_ADMISSION = ("randomized",)
+USES_SETCOVER = ()
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
@@ -53,8 +57,8 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         for workload_name, make in workloads.items():
             summary = run_admission_trials(
                 instance_factory=lambda rng, make=make, m=m, c=c: make(m, c, rng),
-                algorithm_factory=lambda instance, rng: RandomizedAdmissionControl.for_instance(
-                    instance, weighted=False, random_state=rng
+                algorithm_factory=lambda instance, rng, backend=config.backend: make_admission_algorithm(
+                    "randomized", instance, weighted=False, random_state=rng, backend=backend
                 ),
                 num_trials=trials,
                 random_state=stable_seed(config.seed, m, c, workload_name, "e4"),
@@ -62,6 +66,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                 offline="ilp",
                 randomized_bound=True,
                 ilp_time_limit=config.ilp_time_limit,
+                jobs=config.jobs,
             )
             stats = summary.ratio_stats()
             result.rows.append(

@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro.analysis.trials import run_setcover_trials
 from repro.core.bounds import set_cover_randomized_bound
-from repro.core.setcover_reduction import OnlineSetCoverViaAdmissionControl
+from repro.engine.runtime import make_setcover_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.utils.rng import stable_seed
 from repro.workloads import (
@@ -30,6 +30,10 @@ from repro.workloads.setcover_random import random_set_system
 EXPERIMENT_ID = "E5"
 TITLE = "Online set cover with repetitions via the reduction"
 VALIDATES = "Section 4 reduction; O(log m log n) unweighted / O(log^2(mn)) weighted"
+
+#: Algorithm registry keys this experiment resolves through the engine.
+USES_ADMISSION = ()
+USES_SETCOVER = ("reduction",)
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
@@ -81,14 +85,15 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         for workload_name, make in workloads.items():
             summary = run_setcover_trials(
                 instance_factory=lambda rng, make=make, n=n, m=m: make(n, m, rng),
-                algorithm_factory=lambda instance, rng: OnlineSetCoverViaAdmissionControl(
-                    instance.system, random_state=rng
+                algorithm_factory=lambda instance, rng, backend=config.backend: make_setcover_algorithm(
+                    "reduction", instance, random_state=rng, backend=backend
                 ),
                 num_trials=trials,
                 random_state=stable_seed(config.seed, n, m, workload_name, "e5"),
                 label=f"{workload_name} n={n} m={m}",
                 offline="ilp",
                 ilp_time_limit=config.ilp_time_limit,
+                jobs=config.jobs,
             )
             stats = summary.ratio_stats()
             result.rows.append(

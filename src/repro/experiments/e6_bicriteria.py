@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.bicriteria import BicriteriaOnlineSetCover
 from repro.core.bounds import bicriteria_set_cover_bound
 from repro.core.protocols import run_setcover
+from repro.engine.runtime import make_setcover_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.instances.setcover import SetCoverInstance
 from repro.offline import solve_set_multicover_ilp
@@ -26,6 +26,10 @@ from repro.workloads.setcover_random import random_set_system, repetition_heavy_
 EXPERIMENT_ID = "E6"
 TITLE = "Deterministic bicriteria online set cover"
 VALIDATES = "Theorem 7 (O(log m log n) competitive with (1-eps)k coverage)"
+
+#: Algorithm registry keys this experiment resolves through the engine.
+USES_ADMISSION = ()
+USES_SETCOVER = ("bicriteria",)
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
@@ -59,7 +63,9 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                 system = random_set_system(n, m, min(0.5, 4.0 / m + 0.1), random_state=rng)
                 arrivals = repetition_heavy_arrivals(system, random_state=rng)
                 instance = SetCoverInstance(system, arrivals, name=f"repetition n={n} m={m}")
-                algorithm = BicriteriaOnlineSetCover(system, eps=eps)
+                algorithm = make_setcover_algorithm(
+                    "bicriteria", instance, eps=eps, backend=config.backend
+                )
                 run_setcover(algorithm, instance)
                 opt = solve_set_multicover_ilp(system, instance.demands(), time_limit=config.ilp_time_limit)
                 ratios.append(safe_ratio(algorithm.cost(), opt.cost))

@@ -17,9 +17,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.invariants import check_bicriteria_state, check_fractional_state
-from repro.core.bicriteria import BicriteriaOnlineSetCover
-from repro.core.fractional import FractionalAdmissionControl
 from repro.core.potential import check_lemma1
+from repro.engine.runtime import make_admission_algorithm, make_setcover_algorithm
 from repro.core.protocols import run_setcover
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.instances.setcover import SetCoverInstance
@@ -31,6 +30,10 @@ from repro.workloads.setcover_random import random_set_system, repetition_heavy_
 EXPERIMENT_ID = "E7"
 TITLE = "Potential-function invariants (Lemmas 1, 5 and 6)"
 VALIDATES = "Lemma 1, Lemma 5, Lemma 6"
+
+#: Algorithm registry keys this experiment resolves through the engine.
+USES_ADMISSION = ("fractional",)
+USES_SETCOVER = ("bicriteria",)
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
@@ -58,7 +61,9 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             )
             opt = solve_admission_lp(instance)
             alpha = max(opt.cost, 1e-9)
-            algo = FractionalAdmissionControl.for_instance(instance, alpha=alpha)
+            algo = make_admission_algorithm(
+                "fractional", instance, alpha=alpha, backend=config.backend
+            )
             algo.process_sequence(instance.requests)
             report = check_fractional_state(algo, optimal_cost=alpha)
             invariant_ok += int(report.ok)
@@ -99,7 +104,9 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             system = random_set_system(n, m, min(0.5, 4.0 / m + 0.1), random_state=rng)
             arrivals = repetition_heavy_arrivals(system, random_state=rng)
             instance = SetCoverInstance(system, arrivals)
-            algorithm = BicriteriaOnlineSetCover(system, eps=0.2)
+            algorithm = make_setcover_algorithm(
+                "bicriteria", instance, eps=0.2, backend=config.backend
+            )
             run_setcover(algorithm, instance)
             opt = solve_set_multicover_ilp(system, instance.demands(), time_limit=config.ilp_time_limit)
             report = check_bicriteria_state(algorithm, optimal_cost=opt.cost)

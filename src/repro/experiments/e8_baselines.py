@@ -14,16 +14,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.analysis.competitive import evaluate_admission_run
-from repro.baselines import (
-    ExponentialBenefitAdmission,
-    GreedySwap,
-    KeepExpensive,
-    RejectWhenFull,
-    ThresholdPreemption,
-)
-from repro.core.doubling import DoublingAdmissionControl
 from repro.core.protocols import run_admission
-from repro.core.randomized import RandomizedAdmissionControl
+from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.utils.rng import as_generator, stable_seed
 from repro.workloads import (
@@ -37,6 +29,20 @@ from repro.workloads import (
 EXPERIMENT_ID = "E8"
 TITLE = "Paper's algorithms vs baselines on adversarial workloads"
 VALIDATES = "Section 1 motivation; comparison against BKK-style baselines"
+
+#: Algorithm registry keys this experiment resolves through the engine
+#: (display label -> (registry key, extra kwargs)).
+ALGORITHM_TABLE = {
+    "Doubling (paper)": ("doubling", {}),
+    "Randomized (no alpha)": ("randomized", {}),
+    "RejectWhenFull": ("reject-when-full", {}),
+    "KeepExpensive": ("keep-expensive", {}),
+    "GreedySwap": ("greedy-swap", {}),
+    "ThresholdPreemption": ("threshold", {}),
+    "ExponentialBenefit": ("exponential-benefit", {}),
+}
+USES_ADMISSION = tuple(key for key, _ in ALGORITHM_TABLE.values())
+USES_SETCOVER = ()
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
@@ -58,19 +64,13 @@ def _workloads(config: ExperimentConfig) -> Dict[str, Callable]:
     }
 
 
-def _algorithms():
+def _algorithms(config: ExperimentConfig):
+    """Display label -> factory; every algorithm resolves through the registry."""
     return {
-        "Doubling (paper)": lambda inst, rng: DoublingAdmissionControl.for_instance(
-            inst, random_state=rng
-        ),
-        "Randomized (no alpha)": lambda inst, rng: RandomizedAdmissionControl.for_instance(
-            inst, random_state=rng
-        ),
-        "RejectWhenFull": lambda inst, rng: RejectWhenFull.for_instance(inst),
-        "KeepExpensive": lambda inst, rng: KeepExpensive.for_instance(inst),
-        "GreedySwap": lambda inst, rng: GreedySwap.for_instance(inst),
-        "ThresholdPreemption": lambda inst, rng: ThresholdPreemption.for_instance(inst),
-        "ExponentialBenefit": lambda inst, rng: ExponentialBenefitAdmission.for_instance(inst),
+        label: lambda inst, rng, key=key, extra=extra: make_admission_algorithm(
+            key, inst, random_state=rng, backend=config.backend, **extra
+        )
+        for label, (key, extra) in ALGORITHM_TABLE.items()
     }
 
 
@@ -82,7 +82,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     for workload_name, make in _workloads(config).items():
         rng = as_generator(stable_seed(config.seed, workload_name, "e8"))
         instance = make(rng)
-        for algo_name, factory in _algorithms().items():
+        for algo_name, factory in _algorithms(config).items():
             algo_rng = as_generator(stable_seed(config.seed, workload_name, algo_name, "e8"))
             algorithm = factory(instance, algo_rng)
             record = evaluate_admission_run(

@@ -21,9 +21,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.competitive import evaluate_admission_run
-from repro.core.doubling import DoublingAdmissionControl
 from repro.core.protocols import run_admission
-from repro.core.randomized import RandomizedAdmissionControl
+from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.offline import solve_admission_ilp
 from repro.utils.rng import as_generator, spawn_generators, stable_seed
@@ -32,6 +31,10 @@ from repro.workloads import bimodal_costs, pareto_costs, single_edge_workload
 EXPERIMENT_ID = "E9"
 TITLE = "Guess-and-double vs oracle alpha vs no preprocessing"
 VALIDATES = "Section 2 preprocessing (R_big / R_small, doubling) loses only constants"
+
+#: Algorithm registry keys this experiment resolves through the engine.
+USES_ADMISSION = ("randomized", "doubling")
+USES_SETCOVER = ()
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
@@ -70,17 +73,20 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                 opt = solve_admission_ilp(instance, time_limit=config.ilp_time_limit)
                 alpha = max(opt.cost, 1e-9)
                 configs = {
-                    "oracle": lambda: RandomizedAdmissionControl.for_instance(
-                        instance, weighted=True, alpha=alpha,
+                    "oracle": lambda: make_admission_algorithm(
+                        "randomized", instance, weighted=True, alpha=alpha,
                         random_state=as_generator(stable_seed(config.seed, m, c, cost_name, "oracle")),
+                        backend=config.backend,
                     ),
-                    "doubling": lambda: DoublingAdmissionControl.for_instance(
-                        instance, weighted=True,
+                    "doubling": lambda: make_admission_algorithm(
+                        "doubling", instance, weighted=True,
                         random_state=as_generator(stable_seed(config.seed, m, c, cost_name, "dbl")),
+                        backend=config.backend,
                     ),
-                    "no-classing": lambda: RandomizedAdmissionControl.for_instance(
-                        instance, weighted=True,
+                    "no-classing": lambda: make_admission_algorithm(
+                        "randomized", instance, weighted=True,
                         random_state=as_generator(stable_seed(config.seed, m, c, cost_name, "raw")),
+                        backend=config.backend,
                     ),
                 }
                 for label, factory in configs.items():

@@ -1,0 +1,97 @@
+"""Tests for the parallel trial executor and deterministic seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trials import run_admission_trials
+from repro.engine.executor import derive_seed_pairs, execute, is_picklable
+from repro.utils.rng import spawn_generators
+from repro.workloads import overloaded_edge_adversary
+
+
+def _square(x):  # module-level: picklable, process-pool eligible
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+class TestExecute:
+    def test_serial_matches_map(self):
+        assert execute(_square, range(6), jobs=1) == [0, 1, 4, 9, 16, 25]
+
+    def test_parallel_process_pool_matches_serial(self):
+        assert execute(_square, range(10), jobs=2) == [x * x for x in range(10)]
+
+    def test_parallel_with_closures_falls_back_to_threads(self):
+        offset = 7
+        fn = lambda x: x + offset  # noqa: E731 — closure, not picklable
+        assert not is_picklable(fn)
+        assert execute(fn, range(5), jobs=2) == [7, 8, 9, 10, 11]
+
+    def test_zero_jobs_means_all_cores(self):
+        assert execute(_square, range(4), jobs=0) == [0, 1, 4, 9]
+
+    def test_empty_items(self):
+        assert execute(_square, [], jobs=4) == []
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError):
+            execute(_fail_on_three, range(5), jobs=2)
+        with pytest.raises(ValueError):
+            execute(_fail_on_three, range(5), jobs=1)
+
+
+class TestSeedDerivation:
+    def test_matches_spawn_generators(self):
+        """Trial t's streams equal spawn_generators' children 2t and 2t+1."""
+        pairs = derive_seed_pairs(1234, 4)
+        legacy = spawn_generators(1234, 8)
+        for t, (instance_seed, algo_seed) in enumerate(pairs):
+            expected_inst = legacy[2 * t].integers(0, 1000, size=5)
+            expected_algo = legacy[2 * t + 1].integers(0, 1000, size=5)
+            got_inst = np.random.default_rng(instance_seed).integers(0, 1000, size=5)
+            got_algo = np.random.default_rng(algo_seed).integers(0, 1000, size=5)
+            assert list(expected_inst) == list(got_inst)
+            assert list(expected_algo) == list(got_algo)
+
+    def test_pairs_are_picklable(self):
+        assert is_picklable(derive_seed_pairs(0, 3))
+
+    def test_generator_input_supported(self):
+        pairs = derive_seed_pairs(np.random.default_rng(5), 2)
+        assert len(pairs) == 2
+        assert all(isinstance(s, int) for pair in pairs for s in pair)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed_pairs(0, -1)
+
+
+class TestParallelTrials:
+    def _summary(self, jobs):
+        return run_admission_trials(
+            instance_factory=lambda rng: overloaded_edge_adversary(
+                8, 2, num_hot_edges=2, random_state=rng
+            ),
+            algorithm_factory=lambda instance, rng: __import__(
+                "repro.core.randomized", fromlist=["RandomizedAdmissionControl"]
+            ).RandomizedAdmissionControl.for_instance(instance, random_state=rng),
+            num_trials=4,
+            random_state=777,
+            offline="lp",
+            jobs=jobs,
+        )
+
+    def test_jobs_do_not_change_results(self):
+        """jobs=1 and jobs=3 produce bit-identical trial records."""
+        serial = self._summary(jobs=1)
+        parallel = self._summary(jobs=3)
+        assert serial.num_trials == parallel.num_trials == 4
+        assert serial.ratios() == parallel.ratios()
+        assert [r.online_cost for r in serial.records] == [
+            r.online_cost for r in parallel.records
+        ]

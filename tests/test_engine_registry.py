@@ -1,0 +1,149 @@
+"""Tests for the engine registries and their wiring into the experiments."""
+
+import inspect
+
+import pytest
+
+from repro.engine.registry import (
+    ADMISSION_ALGORITHMS,
+    EXPERIMENTS,
+    SETCOVER_ALGORITHMS,
+    WEIGHT_BACKENDS,
+    DuplicateKeyError,
+    Registry,
+    RegistryError,
+    UnknownKeyError,
+)
+from repro.engine.runtime import ensure_builtin_registrations
+
+
+class TestRegistryBehaviour:
+    def test_register_and_get(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        assert reg.get("a") == 1
+        assert "a" in reg
+        assert len(reg) == 1
+
+    def test_duplicate_key_raises(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        with pytest.raises(DuplicateKeyError) as err:
+            reg.register("a", 2)
+        assert "already registered" in str(err.value)
+        assert "a" in str(err.value)
+        # The original registration survives a failed overwrite attempt.
+        assert reg.get("a") == 1
+
+    def test_duplicate_key_overwrite_opt_in(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        reg.register("a", 2, overwrite=True)
+        assert reg.get("a") == 2
+
+    def test_unknown_key_message_lists_known_keys(self):
+        reg = Registry("gadget")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(UnknownKeyError) as err:
+            reg.get("gamma")
+        message = str(err.value)
+        assert "unknown gadget 'gamma'" in message
+        assert "alpha" in message and "beta" in message
+
+    def test_unknown_key_is_a_keyerror(self):
+        reg = Registry("thing")
+        with pytest.raises(KeyError):
+            reg.get("missing")
+
+    def test_keys_normalised_case_insensitively(self):
+        reg = Registry("thing")
+        reg.register("MiXeD", 7)
+        assert reg.get("mixed") == 7
+        assert reg.get("MIXED") == 7
+
+    def test_decorator_form(self):
+        reg = Registry("builder")
+
+        @reg.register("fn")
+        def build():
+            return 42
+
+        assert reg.get("fn") is build
+
+    def test_bad_keys_rejected(self):
+        reg = Registry("thing")
+        with pytest.raises(RegistryError):
+            reg.register("", 1)
+        with pytest.raises(RegistryError):
+            reg.register(None, 1)  # type: ignore[arg-type]
+
+    def test_unregister(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        reg.unregister("a")
+        assert "a" not in reg
+        with pytest.raises(UnknownKeyError):
+            reg.unregister("a")
+
+
+class TestBuiltinRegistrations:
+    def test_weight_backends_registered(self):
+        ensure_builtin_registrations()
+        assert "python" in WEIGHT_BACKENDS
+        assert "numpy" in WEIGHT_BACKENDS
+
+    def test_paper_algorithms_registered(self):
+        ensure_builtin_registrations()
+        for key in ("fractional", "randomized", "doubling"):
+            assert key in ADMISSION_ALGORITHMS, key
+        for key in ("reduction", "bicriteria"):
+            assert key in SETCOVER_ALGORITHMS, key
+
+    def test_baselines_registered(self):
+        ensure_builtin_registrations()
+        for key in (
+            "reject-when-full",
+            "keep-expensive",
+            "greedy-swap",
+            "threshold",
+            "exponential-benefit",
+        ):
+            assert key in ADMISSION_ALGORITHMS, key
+        for key in ("cheapest-set", "greedy-density", "random-set"):
+            assert key in SETCOVER_ALGORITHMS, key
+
+
+class TestExperimentsResolveViaRegistry:
+    @pytest.fixture(scope="class", autouse=True)
+    def _experiments(self):
+        import repro.experiments  # noqa: F401  (registers E1..E10)
+
+        ensure_builtin_registrations()
+
+    @pytest.mark.parametrize("k", range(1, 11))
+    def test_experiment_in_registry(self, k):
+        assert f"E{k}" in EXPERIMENTS
+
+    @pytest.mark.parametrize("k", range(1, 11))
+    def test_declared_algorithm_keys_resolve(self, k):
+        """Every experiment declares its algorithm keys and they all resolve."""
+        module = inspect.getmodule(EXPERIMENTS.get(f"E{k}"))
+        admission = getattr(module, "USES_ADMISSION")
+        setcover = getattr(module, "USES_SETCOVER")
+        assert admission or setcover, f"E{k} declares no algorithms"
+        for key in admission:
+            assert key in ADMISSION_ALGORITHMS, f"E{k}: {key}"
+            assert callable(ADMISSION_ALGORITHMS.get(key))
+        for key in setcover:
+            assert key in SETCOVER_ALGORITHMS, f"E{k}: {key}"
+            assert callable(SETCOVER_ALGORITHMS.get(key))
+
+    @pytest.mark.parametrize("k", range(1, 11))
+    def test_experiment_builds_through_registry_helpers(self, k):
+        """The experiment source goes through the registry, not direct classes."""
+        module = inspect.getmodule(EXPERIMENTS.get(f"E{k}"))
+        source = inspect.getsource(module)
+        assert "make_admission_algorithm" in source or "make_setcover_algorithm" in source, (
+            f"E{k} does not resolve its algorithms through the engine registry"
+        )
