@@ -1,15 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-baseline bench-suite
+.PHONY: test bench-smoke bench-baseline bench-suite profile
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# One weight-update micro-benchmark per backend; fails on a >2x regression
-# against benchmarks/baseline_bench.json.
+# Weight-update + 10k-request scaling benchmarks per backend; fails on a >2x
+# regression against benchmarks/baseline_bench.json.
 bench-smoke:
 	$(PYTHON) -m repro bench --quick
+
+# cProfile the E3 experiment (the heaviest end-to-end pipeline) and dump the
+# top-20 cumulative entries, so perf work starts from data instead of guesses.
+profile:
+	$(PYTHON) -m cProfile -o .profile_e3.pstats -m repro run E3 --quick --trials 1
+	$(PYTHON) -c "import pstats; pstats.Stats('.profile_e3.pstats').sort_stats('cumulative').print_stats(20)"
 
 # Refresh the committed baseline after an intentional perf change.
 bench-baseline:

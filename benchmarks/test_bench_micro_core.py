@@ -15,7 +15,12 @@ from repro.core.fractional import FractionalAdmissionControl
 from repro.core.protocols import run_admission, run_setcover
 from repro.core.randomized import RandomizedAdmissionControl
 from repro.core.setcover_reduction import OnlineSetCoverViaAdmissionControl
-from repro.engine.benchmarking import run_weight_update_bench, weight_update_workload
+from repro.engine.benchmarking import (
+    run_scaling_bench,
+    run_weight_update_bench,
+    scaling_workload,
+    weight_update_workload,
+)
 from repro.engine.registry import WEIGHT_BACKENDS
 from repro.offline import solve_admission_ilp, solve_admission_lp, solve_set_multicover_ilp
 from repro.workloads import overloaded_edge_adversary, random_setcover_instance, single_edge_workload
@@ -42,11 +47,39 @@ def test_bench_weight_update_backend(benchmark, backend, bench_recorder):
         return run_weight_update_bench(backend, WEIGHT_UPDATE_WORKLOAD)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    # Record the best of two rounds: one-shot wall clocks on a shared machine
+    # are noisy, and the tracked number should reflect the code, not the load.
+    result = min((result, run()), key=lambda r: r.seconds)
     bench_recorder(
         f"weight_update[{backend}]",
         result.seconds,
         backend,
         augmentations=result.augmentations,
+    )
+    assert result.augmentations > 0
+    assert result.fractional_cost > 0.0
+
+
+#: Canonical large-N workload: >= 10k requests through the full compiled
+#: fractional pipeline (intern + CSR + classify + augment), per backend.
+SCALING_WORKLOAD = scaling_workload()
+
+
+@pytest.mark.parametrize("backend", WEIGHT_BACKENDS.keys())
+def test_bench_scaling_10k_backend(benchmark, backend, bench_recorder):
+    """End-to-end cost of the compiled fractional pipeline at 10k requests."""
+
+    def run():
+        return run_scaling_bench(backend, SCALING_WORKLOAD)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    result = min((result, run()), key=lambda r: r.seconds)
+    bench_recorder(
+        f"scaling_10k[{backend}]",
+        result.seconds,
+        backend,
+        augmentations=result.augmentations,
+        requests=SCALING_WORKLOAD.num_requests,
     )
     assert result.augmentations > 0
     assert result.fractional_cost > 0.0

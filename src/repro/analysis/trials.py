@@ -29,6 +29,7 @@ from repro.analysis.stats import SummaryStats, summarize
 from repro.core.protocols import run_admission, run_setcover
 from repro.engine.executor import derive_seed_pairs, execute
 from repro.instances.admission import AdmissionInstance
+from repro.instances.compiled import compile_instance
 from repro.instances.setcover import SetCoverInstance
 from repro.utils.rng import as_generator
 
@@ -111,6 +112,7 @@ class _TrialSpec:
     randomized_bound: bool
     bicriteria_bound: bool
     ilp_time_limit: Optional[float]
+    compile_instances: bool = True
 
 
 def _run_trial(spec: _TrialSpec) -> CompetitiveRecord:
@@ -118,7 +120,12 @@ def _run_trial(spec: _TrialSpec) -> CompetitiveRecord:
     instance = spec.instance_factory(as_generator(spec.instance_seed))
     algorithm = spec.algorithm_factory(instance, as_generator(spec.algo_seed))
     if spec.kind == "admission":
-        result = run_admission(algorithm, instance)
+        compiled = (
+            compile_instance(instance)
+            if spec.compile_instances and hasattr(algorithm, "process_indexed")
+            else None
+        )
+        result = run_admission(algorithm, instance, compiled=compiled)
         return evaluate_admission_run(
             instance,
             result,
@@ -149,6 +156,7 @@ def _run_trial_suite(
     bicriteria_bound: bool,
     ilp_time_limit: Optional[float],
     jobs: int,
+    compile_instances: bool = True,
 ) -> TrialSummary:
     specs = [
         _TrialSpec(
@@ -161,6 +169,7 @@ def _run_trial_suite(
             randomized_bound=randomized_bound,
             bicriteria_bound=bicriteria_bound,
             ilp_time_limit=ilp_time_limit,
+            compile_instances=compile_instances,
         )
         for instance_seed, algo_seed in derive_seed_pairs(random_state, num_trials)
     ]
@@ -179,13 +188,16 @@ def run_admission_trials(
     randomized_bound: bool = True,
     ilp_time_limit: Optional[float] = 30.0,
     jobs: int = 1,
+    compile_instances: bool = True,
 ) -> TrialSummary:
     """Run several independent admission-control trials.
 
     ``instance_factory(rng)`` builds a (possibly random) instance; the
     ``algorithm_factory(instance, rng)`` builds the online algorithm, seeded
     independently of the instance.  ``jobs > 1`` fans the trials out over the
-    engine executor without changing any result.
+    engine executor without changing any result.  ``compile_instances`` (the
+    default) compiles each trial instance once and streams it through the
+    algorithm's indexed fast path — also without changing any result.
     """
     return _run_trial_suite(
         "admission",
@@ -199,6 +211,7 @@ def run_admission_trials(
         bicriteria_bound=False,
         ilp_time_limit=ilp_time_limit,
         jobs=jobs,
+        compile_instances=compile_instances,
     )
 
 

@@ -34,7 +34,9 @@ from repro.engine.benchmarking import (
     REGRESSION_FACTOR,
     compare_to_baseline,
     default_baseline_path,
+    run_scaling_bench,
     run_weight_update_bench,
+    scaling_workload,
     weight_update_workload,
 )
 from repro.engine.executor import execute
@@ -83,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="parallel workers for experiments and trials (1 = serial, 0 = all cores)",
     )
+    run_parser.add_argument(
+        "--no-compile", action="store_true",
+        help="disable the compiled-instance fast path (A/B timing; results are identical)",
+    )
+    run_parser.add_argument(
+        "--no-record", action="store_true",
+        help="skip per-arrival weight-mechanism diagnostics where no algorithm consumes them",
+    )
 
     demo_parser = subparsers.add_parser("demo", help="run a small end-to-end demo")
     demo_parser.add_argument("problem", choices=["admission", "setcover"], help="which demo to run")
@@ -106,7 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--requests", type=int, default=None,
-        help="override the workload's request count (testing hook)",
+        help="override the weight-update workload's request count (testing hook)",
+    )
+    bench_parser.add_argument(
+        "--scaling-requests", type=int, default=None,
+        help="override the scaling workload's request count (testing hook)",
     )
 
     return parser
@@ -136,6 +150,8 @@ def _cmd_run(args, out) -> int:
         ilp_time_limit=args.ilp_time_limit,
         backend=args.backend,
         jobs=args.jobs,
+        compile=not args.no_compile,
+        record=not args.no_record,
     )
     if args.experiment.lower() == "all":
         ids = sorted(all_experiments(), key=lambda e: int(e[1:]))
@@ -196,6 +212,9 @@ def _cmd_bench(args, out) -> int:
     workload = weight_update_workload(quick=args.quick)
     if args.requests is not None:
         workload = dataclasses.replace(workload, num_requests=args.requests)
+    scaling = scaling_workload()
+    if args.scaling_requests is not None:
+        scaling = dataclasses.replace(scaling, num_requests=args.scaling_requests)
     results = []
     for backend in _backend_choices():
         result = run_weight_update_bench(backend, workload)
@@ -206,7 +225,16 @@ def _cmd_bench(args, out) -> int:
             f"fractional cost {result.fractional_cost:.1f})",
             file=out,
         )
-    by_backend = {r.backend: r.seconds for r in results}
+    for backend in _backend_choices():
+        result = run_scaling_bench(backend, scaling)
+        results.append(result)
+        print(
+            f"scaling_10k[{result.backend}]: {result.seconds:.3f}s "
+            f"({scaling.num_requests} requests end-to-end, "
+            f"{result.augmentations} augmentations)",
+            file=out,
+        )
+    by_backend = {r.backend: r.seconds for r in results if r.name == "weight_update"}
     if "python" in by_backend and "numpy" in by_backend and by_backend["numpy"] > 0:
         print(
             f"numpy speedup over python: {by_backend['python'] / by_backend['numpy']:.2f}x",
@@ -218,7 +246,10 @@ def _cmd_bench(args, out) -> int:
         payload = {
             "schema": 1,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "workload": dataclasses.asdict(workload),
+            "workloads": {
+                "weight_update": dataclasses.asdict(workload),
+                "scaling_10k": dataclasses.asdict(scaling),
+            },
             "benchmarks": {f"{r.name}[{r.backend}]": r.seconds for r in results},
         }
         baseline_path.parent.mkdir(parents=True, exist_ok=True)

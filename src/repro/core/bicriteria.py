@@ -136,6 +136,8 @@ class BicriteriaOnlineSetCover(OnlineSetCoverAlgorithm):
             self._set_order: List[SetId] = list(system.set_ids())
             self._set_index: Dict[SetId, int] = {sid: k for k, sid in enumerate(self._set_order)}
             self._wv = np.full(self.m, 1.0 / (2.0 * self.m), dtype=np.float64)
+            #: dense chosen mask so candidate selection never hashes set ids.
+            self._chosen_mask = np.zeros(self.m, dtype=bool)
             self._element_order: List[ElementId] = list(system.elements())
             self._elem_sets: Dict[ElementId, np.ndarray] = {
                 j: np.fromiter(
@@ -165,6 +167,13 @@ class BicriteriaOnlineSetCover(OnlineSetCoverAlgorithm):
         self.num_selection_purchases = 0
         self.max_potential_seen = self.potential()
         self.traces: List[AugmentationTrace] = []
+
+    def _purchase(self, set_id: SetId) -> bool:
+        """Buy a set, keeping the vectorized chosen mask in sync."""
+        bought = super()._purchase(set_id)
+        if bought and self._vectorized:
+            self._chosen_mask[self._set_index[set_id]] = True
+        return bought
 
     # -- potentials ---------------------------------------------------------------
     def set_weight(self, set_id: SetId) -> float:
@@ -234,23 +243,24 @@ class BicriteriaOnlineSetCover(OnlineSetCoverAlgorithm):
     def _augment(self, element: ElementId, k: int) -> Set[SetId]:
         """Perform one weight augmentation (steps 2a–2c) for ``element``."""
         potential_before = self.potential() if self.track_potentials else 0.0
-        containing = self.system.sets_containing(element)
-        candidates = [sid for sid in containing if sid not in self._chosen]
 
         # Step 2a: multiplicative weight update for sets not yet in the cover.
         deltas: Dict[SetId, float] = {}
         if self._vectorized:
+            # Compiled path: the element's containing sets are a precomputed
+            # index vector and the chosen mask is dense, so candidate
+            # selection and the update never hash a set id.
+            member_idx = self._elem_sets[element]
+            cand_idx = member_idx[~self._chosen_mask[member_idx]]
+            candidates = [self._set_order[j] for j in cand_idx.tolist()]
             if candidates:
-                cand_idx = np.fromiter(
-                    (self._set_index[sid] for sid in candidates),
-                    dtype=np.intp,
-                    count=len(candidates),
-                )
-                old = self._wv[cand_idx].copy()
+                old = self._wv[cand_idx]
                 updated = old * (1.0 + 1.0 / (2.0 * k))
                 self._wv[cand_idx] = updated
                 deltas = dict(zip(candidates, (updated - old).tolist()))
         else:
+            containing = self.system.sets_containing(element)
+            candidates = [sid for sid in containing if sid not in self._chosen]
             for sid in candidates:
                 old = self._w[sid]
                 self._w[sid] = old * (1.0 + 1.0 / (2.0 * k))

@@ -26,7 +26,7 @@ impossible without rewriting history, and the effect is a constant factor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.core.fractional import FractionalAdmissionControl, FractionalDecision, FractionalRunResult
 from repro.core.randomized import RandomizedAdmissionControl
@@ -34,6 +34,7 @@ from repro.core.protocols import AdmissionResult
 from repro.engine.backends import BackendSpec
 from repro.engine.registry import ADMISSION_ALGORITHMS
 from repro.instances.admission import AdmissionInstance
+from repro.instances.compiled import CompiledInstance
 from repro.instances.request import Decision, EdgeId, Request, RequestSequence
 from repro.utils.mathx import log2_guarded
 from repro.utils.rng import RandomState
@@ -109,6 +110,21 @@ class AlphaSchedule:
         return len(self.phase_alphas)
 
 
+def _process_with_schedule(schedule, capacities, inner, request, process_inner):
+    """The one observe → process → maybe-double sandwich both wrappers share.
+
+    ``process_inner`` is a thunk invoking the wrapped algorithm (per-request
+    or compiled-indexed); keeping the guess-update ordering in a single place
+    guarantees the compiled and uncompiled paths can never diverge.
+    """
+    if schedule.observe_request(request, capacities):
+        inner.update_alpha(schedule.alpha)
+    decision = process_inner()
+    if schedule.maybe_double(inner.fractional_cost()):
+        inner.update_alpha(schedule.alpha)
+    return decision
+
+
 class DoublingFractionalAdmissionControl:
     """Fractional algorithm with online estimation of ``alpha``.
 
@@ -125,6 +141,7 @@ class DoublingFractionalAdmissionControl:
         force_accept_tags: Iterable[str] = (),
         unweighted: bool = False,
         backend: BackendSpec = None,
+        record: Optional[bool] = None,
         name: Optional[str] = None,
     ):
         self._capacities = {e: int(c) for e, c in capacities.items()}
@@ -135,6 +152,7 @@ class DoublingFractionalAdmissionControl:
             force_accept_tags=force_accept_tags,
             unweighted=unweighted,
             backend=backend,
+            record=record,
         )
         self.schedule = AlphaSchedule(
             m=len(self._capacities),
@@ -154,15 +172,26 @@ class DoublingFractionalAdmissionControl:
 
     def process(self, request: Request) -> FractionalDecision:
         """Process one request, updating the guess before and after."""
-        if self.schedule.observe_request(request, self._capacities):
-            self._inner.update_alpha(self.schedule.alpha)
-        decision = self._inner.process(request)
-        if self.schedule.maybe_double(self._inner.fractional_cost()):
-            self._inner.update_alpha(self.schedule.alpha)
-        return decision
+        return _process_with_schedule(
+            self.schedule, self._capacities, self._inner, request,
+            lambda: self._inner.process(request),
+        )
 
-    def process_sequence(self, requests: RequestSequence | Iterable[Request]) -> FractionalRunResult:
-        """Process a whole sequence and return the run summary."""
+    def process_indexed(self, compiled: CompiledInstance, i: int) -> FractionalDecision:
+        """Compiled fast path of :meth:`process` (same guess updates)."""
+        return _process_with_schedule(
+            self.schedule, self._capacities, self._inner, compiled.request(i),
+            lambda: self._inner.process_indexed(compiled, i),
+        )
+
+    def process_sequence(
+        self, requests: Union["CompiledInstance", RequestSequence, Iterable[Request]]
+    ) -> FractionalRunResult:
+        """Process a whole sequence (compiled or not) and return the run summary."""
+        if isinstance(requests, CompiledInstance):
+            for i in range(requests.num_requests):
+                self.process_indexed(requests, i)
+            return self.run_result()
         for request in requests:
             self.process(request)
         return self.run_result()
@@ -251,12 +280,17 @@ class DoublingAdmissionControl:
 
     def process(self, request: Request) -> Decision:
         """Process one request, updating the guess before and after."""
-        if self.schedule.observe_request(request, self._capacities):
-            self._inner.update_alpha(self.schedule.alpha)
-        decision = self._inner.process(request)
-        if self.schedule.maybe_double(self._inner.fractional_cost()):
-            self._inner.update_alpha(self.schedule.alpha)
-        return decision
+        return _process_with_schedule(
+            self.schedule, self._capacities, self._inner, request,
+            lambda: self._inner.process(request),
+        )
+
+    def process_indexed(self, compiled: CompiledInstance, i: int) -> Decision:
+        """Compiled fast path of :meth:`process` (same guess updates)."""
+        return _process_with_schedule(
+            self.schedule, self._capacities, self._inner, compiled.request(i),
+            lambda: self._inner.process_indexed(compiled, i),
+        )
 
     def result(self) -> AdmissionResult:
         """Result of the wrapped algorithm, annotated with the doubling diagnostics."""

@@ -27,12 +27,15 @@ unweighted case and inside the guess-and-double wrapper of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.core.weights import ArrivalOutcome, WeightBackend, make_weight_backend
-from repro.engine.backends import BackendSpec, resolve_backend_name
+from repro.engine.backends import BackendSpec, resolve_backend_name, resolve_record_flag
 from repro.engine.registry import ADMISSION_ALGORITHMS
 from repro.instances.admission import AdmissionInstance
+from repro.instances.compiled import CompiledInstance
 from repro.instances.request import EdgeId, Request, RequestSequence
 from repro.utils.validation import check_positive
 
@@ -54,7 +57,8 @@ class FractionalDecision:
 
     request_id: int
     cost_class: str
-    #: weight-mechanism activity triggered by this arrival (None for SMALL).
+    #: weight-mechanism activity triggered by this arrival (None for SMALL,
+    #: and for every class when the algorithm runs with ``record=False``).
     outcome: Optional[ArrivalOutcome]
     #: the request's own rejected fraction right after the arrival.
     fraction_rejected: float
@@ -109,6 +113,13 @@ class FractionalAdmissionControl:
         Weight-mechanism backend: a registered name (``"python"``,
         ``"numpy"``), an :class:`~repro.engine.config.EngineConfig`, or
         ``None`` for the scalar reference backend.
+    record:
+        Materialize per-arrival :class:`ArrivalOutcome` diagnostics (deltas,
+        augmentation records, history).  ``None`` defers to the backend spec
+        (an ``EngineConfig``'s ``record`` field) and defaults to ``True``.
+        With ``record=False`` the decisions carry ``outcome=None`` and the
+        weight mechanism skips all delta materialization; fractions, costs
+        and the decision log are unchanged.
     """
 
     def __init__(
@@ -120,6 +131,7 @@ class FractionalAdmissionControl:
         force_accept_tags: Iterable[str] = (),
         unweighted: bool = False,
         backend: BackendSpec = None,
+        record: Optional[bool] = None,
         name: Optional[str] = None,
     ):
         self._original_capacities: Dict[EdgeId, int] = {e: int(c) for e, c in capacities.items()}
@@ -143,6 +155,7 @@ class FractionalAdmissionControl:
             self.g = 2.0 * self.m * self.c
 
         self.backend = resolve_backend_name(backend)
+        self.record = resolve_record_flag(backend, record)
         self._weights: WeightBackend = make_weight_backend(
             backend, self._original_capacities, g=self.g, max_capacity=self.c
         )
@@ -152,6 +165,12 @@ class FractionalAdmissionControl:
         self._class_of: Dict[int, str] = {}
         self._small_cost = 0.0
         self._decisions: List[FractionalDecision] = []
+
+        # Compiled-path alignment cache: translation from a compiled
+        # instance's dense edge indices to the backend's interning (``None``
+        # when they already coincide, which is the common case).
+        self._compiled_for: Optional[CompiledInstance] = None
+        self._compiled_translate: Optional[np.ndarray] = None
 
     # -- preprocessing thresholds -------------------------------------------------
     @property
@@ -218,6 +237,91 @@ class FractionalAdmissionControl:
         self._decisions.append(decision)
         return decision
 
+    # -- compiled (array-native) processing --------------------------------------------
+    def _translation_for(self, compiled: CompiledInstance) -> Optional[np.ndarray]:
+        """Map the compiled instance's edge numbering onto the backend's.
+
+        When both were derived from the same capacity mapping (the common
+        case) the numberings coincide and no translation is needed; otherwise
+        a dense lookup vector is built once and cached per compiled instance.
+        """
+        if compiled is self._compiled_for:
+            return self._compiled_translate
+        if compiled.edge_order == self._weights.edge_order:
+            translate = None
+        else:
+            try:
+                translate = np.fromiter(
+                    (self._weights.edge_index_of(e) for e in compiled.edge_order),
+                    dtype=np.intp,
+                    count=len(compiled.edge_order),
+                )
+            except KeyError as err:
+                raise ValueError(
+                    f"compiled instance uses edge {err.args[0]!r} unknown to this algorithm"
+                ) from None
+        self._compiled_for = compiled
+        self._compiled_translate = translate
+        return translate
+
+    def process_indexed(self, compiled: CompiledInstance, i: int) -> FractionalDecision:
+        """Process arrival ``i`` of a compiled instance through the fast path.
+
+        Performs the exact same classification and float operations as
+        :meth:`process` on the corresponding :class:`Request`, but feeds the
+        weight mechanism dense edge indices (no per-edge hashing) and honours
+        the ``record`` mode.
+        """
+        rid = int(compiled.request_ids[i])
+        if rid in self._class_of:
+            raise ValueError(f"request id {rid} was already processed")
+        cost = float(compiled.costs[i])
+        tag = compiled.tags[i]
+        forced = tag is not None and tag in self.force_accept_tags
+        if self.unweighted and not forced and abs(cost - 1.0) > 1e-9:
+            raise ValueError(
+                f"unweighted mode requires unit costs, request {rid} has cost {cost}"
+            )
+        self._original_cost[rid] = cost
+
+        if forced or (self.alpha is not None and cost > self.big_threshold):
+            cost_class = CostClass.FORCED if forced else CostClass.BIG
+            edge_idxs = self._compiled_edge_idxs(compiled, i)
+            self._class_of[rid] = cost_class
+            outcome = self._weights.process_capacity_reduction_batch(
+                edge_idxs, rid, record=self.record
+            )
+            decision = FractionalDecision(rid, cost_class, outcome, 0.0)
+        elif self.alpha is not None and cost < self.small_threshold:
+            self._class_of[rid] = CostClass.SMALL
+            self._small_cost += cost
+            decision = FractionalDecision(rid, CostClass.SMALL, None, 1.0)
+        else:
+            self._class_of[rid] = CostClass.NORMAL
+            normalized = self._normalized_cost(cost)
+            edge_idxs = self._compiled_edge_idxs(compiled, i)
+            outcome = self._weights.process_arrival_indexed(
+                rid, edge_idxs, normalized, record=self.record
+            )
+            fraction = min(self._weights.weight(rid), 1.0)
+            decision = FractionalDecision(rid, CostClass.NORMAL, outcome, fraction)
+        self._decisions.append(decision)
+        return decision
+
+    def _compiled_edge_idxs(self, compiled: CompiledInstance, i: int) -> np.ndarray:
+        """Backend-aligned dense edge indices of compiled arrival ``i``."""
+        edge_idxs = compiled.edge_indices(i)
+        translate = self._translation_for(compiled)
+        if translate is not None:
+            edge_idxs = translate[edge_idxs]
+        return edge_idxs
+
+    def process_compiled_sequence(self, compiled: CompiledInstance) -> FractionalRunResult:
+        """Process every arrival of a compiled instance and return the summary."""
+        for i in range(compiled.num_requests):
+            self.process_indexed(compiled, i)
+        return self.run_result()
+
     def _reject_small(self, request: Request) -> FractionalDecision:
         """``R_small`` handling: reject the whole request immediately."""
         self._class_of[request.request_id] = CostClass.SMALL
@@ -227,20 +331,20 @@ class FractionalAdmissionControl:
     def _accept_permanently(self, request: Request, cost_class: str) -> FractionalDecision:
         """``R_big`` handling: accept for good and reserve capacity on its edges."""
         self._class_of[request.request_id] = cost_class
-        outcome = ArrivalOutcome(request_id=request.request_id)
-        for edge in request.edges:
-            partial = self._weights.process_capacity_reduction(edge, request.request_id)
-            outcome.augmentations.extend(partial.augmentations)
-            outcome.newly_dead.update(partial.newly_dead)
-            for other, delta in partial.deltas.items():
-                outcome.deltas[other] = outcome.deltas.get(other, 0.0) + delta
+        edge_idxs = self._weights.edge_indices_of(request.edges)
+        outcome = self._weights.process_capacity_reduction_batch(
+            edge_idxs, request.request_id, record=self.record
+        )
         return FractionalDecision(request.request_id, cost_class, outcome, 0.0)
 
     def _process_normal(self, request: Request) -> FractionalDecision:
         """Regular handling through the weight mechanism."""
         self._class_of[request.request_id] = CostClass.NORMAL
         normalized = self._normalized_cost(request.cost)
-        outcome = self._weights.process_arrival(request.request_id, request.edges, normalized)
+        edge_idxs = self._weights.edge_indices_of(request.edges)
+        outcome = self._weights.process_arrival_indexed(
+            request.request_id, edge_idxs, normalized, record=self.record
+        )
         fraction = min(self._weights.weight(request.request_id), 1.0)
         return FractionalDecision(request.request_id, CostClass.NORMAL, outcome, fraction)
 
@@ -317,8 +421,17 @@ class FractionalAdmissionControl:
             kwargs["unweighted"] = True
         return cls(instance.capacities, **kwargs)
 
-    def process_sequence(self, requests: RequestSequence | Iterable[Request]) -> FractionalRunResult:
-        """Process a whole request sequence and return the run summary."""
+    def process_sequence(
+        self, requests: Union[CompiledInstance, RequestSequence, Iterable[Request]]
+    ) -> FractionalRunResult:
+        """Process a whole request sequence and return the run summary.
+
+        A :class:`~repro.instances.compiled.CompiledInstance` is routed
+        through the array-native fast path; anything else streams through
+        :meth:`process` request by request.
+        """
+        if isinstance(requests, CompiledInstance):
+            return self.process_compiled_sequence(requests)
         for request in requests:
             self.process(request)
         return self.run_result()

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set
 
 from repro.instances.admission import AdmissionInstance
+from repro.instances.compiled import CompiledInstance
 from repro.instances.request import Decision, DecisionKind, EdgeId, Request
 from repro.instances.setcover import ElementId, SetCoverInstance, SetId, SetSystem
 
@@ -223,10 +224,25 @@ class OnlineAdmissionAlgorithm(ABC):
         )
 
 
-def run_admission(algorithm: OnlineAdmissionAlgorithm, instance: AdmissionInstance) -> AdmissionResult:
-    """Feed every request of ``instance`` to ``algorithm`` and return the result."""
-    for request in instance.requests:
-        algorithm.process(request)
+def run_admission(
+    algorithm: OnlineAdmissionAlgorithm,
+    instance: AdmissionInstance,
+    *,
+    compiled: Optional["CompiledInstance"] = None,
+) -> AdmissionResult:
+    """Feed every request of ``instance`` to ``algorithm`` and return the result.
+
+    When a :class:`~repro.instances.compiled.CompiledInstance` view of the
+    same instance is supplied and the algorithm exposes ``process_indexed``,
+    arrivals stream through the array-native fast path; otherwise the classic
+    per-request path is used.  Results are identical either way.
+    """
+    if compiled is not None and hasattr(algorithm, "process_indexed"):
+        for i in range(compiled.num_requests):
+            algorithm.process_indexed(compiled, i)
+    else:
+        for request in instance.requests:
+            algorithm.process(request)
     return algorithm.result()
 
 

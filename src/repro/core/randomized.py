@@ -123,6 +123,10 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
             force_accept_tags=self.force_accept_tags,
             unweighted=not self.weighted,
             backend=backend,
+            # The rounding consumes the shadow's per-arrival deltas, so the
+            # record-free mode is never legal here regardless of the engine
+            # configuration.
+            record=True,
         )
         self.backend = self._shadow.backend
         # Edges already bulk-rejected by the overload guard.
@@ -175,7 +179,28 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
 
         # Step 1: run the fractional shadow (weight augmentations).
         frac = self._shadow.process(request)
+        return self._round_shadow_decision(request, frac)
 
+    def process_indexed(self, compiled, i: int) -> Decision:
+        """Process arrival ``i`` of a compiled instance (the array-native path).
+
+        The fractional shadow — where the run time is spent — consumes the
+        compiled instance's dense edge indices directly; the acceptance
+        bookkeeping still sees the original :class:`Request` object, so
+        decision logs and results are identical to :meth:`process`.
+        """
+        request = compiled.request(i)
+        self._register_arrival(request)
+        self._requests_by_id[request.request_id] = request
+
+        if self.overload_guard and self._apply_overload_guard(request):
+            return self._decisions[-1]
+
+        frac = self._shadow.process_indexed(compiled, i)
+        return self._round_shadow_decision(request, frac)
+
+    def _round_shadow_decision(self, request: Request, frac: FractionalDecision) -> Decision:
+        """Steps 2–4: round the shadow's decision into accept/reject/preempt."""
         if frac.cost_class == CostClass.SMALL:
             # R_small requests are rejected outright (cheap, paid in full).
             return self._reject(request)

@@ -39,6 +39,7 @@ from repro.core.randomized import RandomizedAdmissionControl
 from repro.engine.backends import BackendSpec
 from repro.engine.registry import SETCOVER_ALGORITHMS
 from repro.instances.admission import AdmissionInstance
+from repro.instances.compiled import compile_sequence
 from repro.instances.request import EdgeId, Request, RequestSequence
 from repro.instances.setcover import ElementId, SetCoverInstance, SetId, SetSystem
 from repro.utils.rng import RandomState
@@ -184,9 +185,23 @@ class OnlineSetCoverViaAdmissionControl(OnlineSetCoverAlgorithm):
         else:
             raise ValueError(f"unknown algorithm spec {algorithm!r}")
 
+        # Phase-2 requests always cost more than the most expensive set, so
+        # rejecting them never pays off; the value is static, compute it once.
+        self._phase2_cost = max(system.costs().values(), default=1.0) + 1.0
+
         # Phase 1: feed every set request; they all fit, so they are accepted.
-        for request in phase1:
-            self._admission.process(request)
+        # The block is known up front, so compile it once and stream it
+        # through the admission algorithm's array-native fast path.
+        phase1_sequence = RequestSequence(phase1)
+        if hasattr(self._admission, "process_indexed"):
+            compiled = compile_sequence(
+                phase1_sequence, self._capacities, name="reduction-phase1"
+            )
+            for i in range(compiled.num_requests):
+                self._admission.process_indexed(compiled, i)
+        else:
+            for request in phase1_sequence:
+                self._admission.process(request)
         self._next_request_id = len(phase1)
         self._known_rejections: set = set()
         self._sync_purchases()
@@ -210,7 +225,7 @@ class OnlineSetCoverViaAdmissionControl(OnlineSetCoverAlgorithm):
         request = Request(
             self._next_request_id,
             frozenset({element_edge(element)}),
-            max(self.system.costs().values(), default=1.0) + 1.0,
+            self._phase2_cost,
             tag=PHASE2_TAG,
         )
         self._next_request_id += 1

@@ -27,6 +27,7 @@ from repro.engine.backends import (
     WeightBackend,
     make_weight_backend,
     resolve_backend_name,
+    resolve_record_flag,
 )
 from repro.engine.config import EngineConfig
 from repro.engine.executor import derive_seed_pairs, execute
@@ -55,6 +56,7 @@ __all__ = [
     "WeightBackend",
     "make_weight_backend",
     "resolve_backend_name",
+    "resolve_record_flag",
     "EngineConfig",
     "derive_seed_pairs",
     "execute",

@@ -22,15 +22,35 @@ protocol, twice:
 
 * :class:`PythonWeightBackend` — the scalar reference implementation (the code
   that used to live in ``repro/core/weights.py`` as ``FractionalWeightState``).
-  Dict-of-floats storage, one Python statement per paper step; this is the
-  ground truth every other backend is tested against.
+  One Python statement per paper step; this is the ground truth every other
+  backend is tested against.
 * :class:`NumpyWeightBackend` — keeps per-request weights and costs in
   contiguous ``float64`` arrays and per-edge alive sets as index vectors, so
-  the seed / multiply / kill steps of an augmentation are three vectorized
+  the seed / multiply / kill steps of an augmentation are vectorized
   operations.  The elementwise arithmetic is the same IEEE-754 double
   arithmetic the scalar backend performs, so the two backends agree to
   floating-point rounding (the cross-backend equivalence suite pins them to
   within 1e-9, and in practice they are bit-identical on the weights).
+
+Since the compiled-instance refactor, every backend **interns** its edge ids
+to dense integers at construction time (in the capacity mapping's iteration
+order — the same order :func:`repro.instances.compiled.compile_sequence`
+uses), and the mechanism itself runs purely on those integers:
+
+* the classic :class:`~repro.instances.request.EdgeId`-keyed API
+  (:meth:`process_arrival`, :meth:`process_capacity_reduction`, the state
+  queries) still works and simply translates at the boundary;
+* the **indexed fast path** — :meth:`process_arrival_indexed` and the
+  multi-edge :meth:`process_capacity_reduction_batch` — accepts dense edge
+  indices directly (e.g. a CSR slice of a
+  :class:`~repro.instances.compiled.CompiledInstance`), skipping all
+  per-arrival hashing;
+* both entry points take ``record=False`` to skip materializing
+  :class:`ArrivalOutcome` deltas and per-augmentation
+  :class:`AugmentationRecord` objects entirely.  The weights, kills and the
+  ``total_augmentations`` counter evolve identically either way; only the
+  diagnostics (``history()``, outcome deltas) are absent.  Callers that round
+  deltas (the randomized algorithm) must keep ``record=True``.
 
 Both backends register themselves in
 :data:`repro.engine.registry.WEIGHT_BACKENDS`; algorithms resolve a backend by
@@ -58,10 +78,14 @@ __all__ = [
     "BackendSpec",
     "make_weight_backend",
     "resolve_backend_name",
+    "resolve_record_flag",
 ]
 
 #: Anything an algorithm accepts where a backend choice is expected.
 BackendSpec = Union[None, str, EngineConfig]
+
+#: Anything the indexed fast path accepts as a run of dense edge indices.
+EdgeIndices = Union[Sequence[int], np.ndarray]
 
 
 @dataclass
@@ -98,6 +122,8 @@ class ArrivalOutcome:
 
     ``deltas`` maps request id to the total weight increase caused by this
     arrival — exactly the ``delta`` the randomized algorithm's step 3 rounds.
+    Only materialized when the arrival was processed with ``record=True``
+    (the default); the record-free fast path returns ``None`` instead.
     """
 
     request_id: int
@@ -114,17 +140,21 @@ class ArrivalOutcome:
 class WeightBackend:
     """Shared skeleton and protocol of the weight-mechanism backends.
 
-    Subclasses own the storage and implement the primitive operations
-    (:meth:`register`, :meth:`restore_edge`, the state queries); this base
-    class provides the parameter validation, the arrival-level orchestration
-    shared by all backends, and a storage-agnostic invariant checker.
+    The base class owns the edge interning (edge id <-> dense index), the
+    parameter validation, the arrival-level orchestration shared by all
+    backends, and a storage-agnostic invariant checker.  Subclasses own the
+    storage and implement the indexed primitives (:meth:`_register_indexed`,
+    :meth:`_restore_edge_indexed`, the ``*_indexed`` state queries).
 
     Parameters
     ----------
     capacities:
-        Effective capacities per edge.  These may be lower than the instance's
-        original capacities when requests have been permanently accepted
-        (the ``R_big`` preprocessing or the set-cover reduction's element
+        Effective capacities per edge.  The mapping's iteration order fixes
+        the dense edge numbering (index ``k`` is the ``k``-th key), matching
+        :func:`repro.instances.compiled.compile_sequence` built from the same
+        mapping.  Capacities may be lower than the instance's original
+        capacities when requests have been permanently accepted (the
+        ``R_big`` preprocessing or the set-cover reduction's element
         requests) — see :meth:`decrease_capacity`.
     g:
         Upper bound on the (normalised) cost ratio; the seed weight for a
@@ -145,13 +175,18 @@ class WeightBackend:
         g: float,
         max_capacity: Optional[int] = None,
     ):
-        self._capacity: Dict[EdgeId, int] = {e: int(c) for e, c in capacities.items()}
-        for edge, cap in self._capacity.items():
+        # Edge interning: dense index <-> edge id, capacities as a flat list.
+        self._edge_order: Tuple[EdgeId, ...] = tuple(capacities)
+        self._edge_index: Dict[EdgeId, int] = {e: k for k, e in enumerate(self._edge_order)}
+        self._cap: List[int] = []
+        for edge in self._edge_order:
+            cap = int(capacities[edge])
             if cap < 0:
                 raise ValueError(f"capacity of edge {edge!r} must be >= 0, got {cap}")
+            self._cap.append(cap)
         self.g = check_positive(g, "g")
         if max_capacity is None:
-            max_capacity = max(self._capacity.values(), default=1)
+            max_capacity = max(self._cap, default=1)
         self.max_capacity = max(int(max_capacity), 1)
         self.seed_weight = 1.0 / (self.g * self.max_capacity)
 
@@ -159,15 +194,74 @@ class WeightBackend:
         self.total_augmentations = 0
         self._history: List[AugmentationRecord] = []
 
-    # -- primitives every backend implements ---------------------------------------
-    def register(self, request_id: int, edges: Iterable[EdgeId], cost: float) -> None:
+    # -- edge interning ---------------------------------------------------------------
+    @property
+    def edge_order(self) -> Tuple[EdgeId, ...]:
+        """Dense edge index -> edge id (the interning table)."""
+        return self._edge_order
+
+    @property
+    def num_edges(self) -> int:
+        """Number of interned edges."""
+        return len(self._edge_order)
+
+    def edge_index_of(self, edge: EdgeId) -> int:
+        """Dense index of ``edge`` (KeyError for unknown edges)."""
+        return self._edge_index[edge]
+
+    def edge_indices_of(self, edges: Iterable[EdgeId]) -> Tuple[int, ...]:
+        """Dense indices of several edges (ValueError for unknown edges)."""
+        index = self._edge_index
+        out: List[int] = []
+        for edge in edges:
+            k = index.get(edge)
+            if k is None:
+                raise ValueError(f"unknown edge {edge!r}")
+            out.append(k)
+        return tuple(out)
+
+    @staticmethod
+    def _normalize_indices(edge_idxs: EdgeIndices) -> Tuple[int, ...]:
+        """Coerce an index run (list/tuple/ndarray) into a tuple of Python ints."""
+        if isinstance(edge_idxs, np.ndarray):
+            return tuple(edge_idxs.tolist())
+        return tuple(int(k) for k in edge_idxs)
+
+    # -- primitives every backend implements (dense-index domain) ----------------------
+    def _register_indexed(self, request_id: int, edge_idxs: Tuple[int, ...], cost: float) -> None:
         """Register a new request with weight 0 (paper: ``f_i = 0`` initially)."""
         raise NotImplementedError
 
-    def restore_edge(self, edge: EdgeId, triggered_by: int, outcome: ArrivalOutcome) -> None:
-        """Run weight augmentations on ``edge`` until its constraint holds."""
+    def _restore_edge_indexed(
+        self, eidx: int, triggered_by: int, outcome: Optional[ArrivalOutcome]
+    ) -> None:
+        """Run weight augmentations on edge ``eidx`` until its constraint holds.
+
+        ``outcome`` is ``None`` in record-free mode: the weights evolve
+        identically, but no deltas, records or history are materialized.
+        """
         raise NotImplementedError
 
+    def _edge_idxs_of_request(self, request_id: int) -> Tuple[int, ...]:
+        """Dense edge indices the request was registered with."""
+        raise NotImplementedError
+
+    def _alive_requests_indexed(self, eidx: int) -> Set[int]:
+        raise NotImplementedError
+
+    def _requests_on_indexed(self, eidx: int) -> Set[int]:
+        raise NotImplementedError
+
+    def _alive_count_indexed(self, eidx: int) -> int:
+        raise NotImplementedError
+
+    def _alive_weight_sum_indexed(self, eidx: int) -> float:
+        raise NotImplementedError
+
+    def _edges_seen_indexed(self) -> Iterable[int]:
+        raise NotImplementedError
+
+    # -- request-level queries (subclasses implement; id domain is unchanged) ----------
     def weight(self, request_id: int) -> float:
         """Current weight ``f_i``."""
         raise NotImplementedError
@@ -184,34 +278,41 @@ class WeightBackend:
         """True if the request has been fully rejected fractionally (``f_i >= 1``)."""
         raise NotImplementedError
 
+    # -- EdgeId-keyed views (translate at the boundary) ---------------------------------
     def edges_of(self, request_id: int) -> Tuple[EdgeId, ...]:
-        """The edges the request was registered with."""
-        raise NotImplementedError
+        """The edges the request was registered with (original edge ids)."""
+        order = self._edge_order
+        return tuple(order[k] for k in self._edge_idxs_of_request(request_id))
 
     def alive_requests(self, edge: EdgeId) -> Set[int]:
         """``ALIVE_e`` — alive request ids whose paths contain ``edge``."""
-        raise NotImplementedError
+        return self._alive_requests_indexed(self._edge_index[edge])
 
     def requests_on(self, edge: EdgeId) -> Set[int]:
         """``REQ_e`` — all registered request ids whose paths contain ``edge``."""
-        raise NotImplementedError
+        return self._requests_on_indexed(self._edge_index[edge])
 
     def alive_count(self, edge: EdgeId) -> int:
         """``|ALIVE_e|``."""
-        raise NotImplementedError
+        return self._alive_count_indexed(self._edge_index[edge])
 
     def alive_weight_sum(self, edge: EdgeId) -> float:
         """``sum_{i in ALIVE_e} f_i``."""
-        raise NotImplementedError
+        return self._alive_weight_sum_indexed(self._edge_index[edge])
 
     def edges_seen(self) -> Iterable[EdgeId]:
         """Edges on which at least one request was registered."""
-        raise NotImplementedError
+        order = self._edge_order
+        return [order[k] for k in self._edges_seen_indexed()]
+
+    def restore_edge(self, edge: EdgeId, triggered_by: int, outcome: ArrivalOutcome) -> None:
+        """Run weight augmentations on ``edge`` until its constraint holds."""
+        self._restore_edge_indexed(self._edge_index[edge], triggered_by, outcome)
 
     # -- shared bookkeeping ----------------------------------------------------------
     def capacity(self, edge: EdgeId) -> int:
         """Current effective capacity of ``edge``."""
-        return self._capacity[edge]
+        return self._cap[self._edge_index[edge]]
 
     def decrease_capacity(self, edge: EdgeId, amount: int = 1) -> None:
         """Permanently reserve capacity on ``edge`` (used by ``R_big`` handling).
@@ -221,13 +322,18 @@ class WeightBackend:
         ``alpha`` was too small) but does not raise, so the doubling wrapper
         can observe the overflow through the cost blow-up instead of crashing.
         """
-        if edge not in self._capacity:
+        k = self._edge_index.get(edge)
+        if k is None:
             raise ValueError(f"unknown edge {edge!r}")
-        self._capacity[edge] = max(0, self._capacity[edge] - amount)
+        self._decrease_capacity_indexed(k, amount)
+
+    def _decrease_capacity_indexed(self, eidx: int, amount: int = 1) -> None:
+        self._cap[eidx] = max(0, self._cap[eidx] - amount)
 
     def excess(self, edge: EdgeId) -> int:
         """``n_e = |ALIVE_e| - c_e`` (may be negative)."""
-        return self.alive_count(edge) - self._capacity[edge]
+        k = self._edge_index[edge]
+        return self._alive_count_indexed(k) - self._cap[k]
 
     def constraint_satisfied(self, edge: EdgeId) -> bool:
         """True if the covering constraint of ``edge`` currently holds."""
@@ -245,10 +351,27 @@ class WeightBackend:
         return {i: min(w, 1.0) for i, w in self.weights().items()}
 
     def history(self) -> List[AugmentationRecord]:
-        """All augmentation records in chronological order."""
+        """All augmentation records in chronological order.
+
+        Empty for augmentations performed with ``record=False`` (the counters
+        in ``total_augmentations`` still include them).
+        """
         return list(self._history)
 
     # -- the arrival-level mechanism (shared) ----------------------------------------
+    def register(self, request_id: int, edges: Iterable[EdgeId], cost: float) -> None:
+        """Register a new request with weight 0, validating edges and cost."""
+        edges = tuple(edges)
+        index = self._edge_index
+        idxs: List[int] = []
+        for e in edges:
+            k = index.get(e)
+            if k is None:
+                raise ValueError(f"request {request_id} uses unknown edge {e!r}")
+            idxs.append(k)
+        cost = check_positive(cost, "cost")
+        self._register_indexed(request_id, tuple(idxs), cost)
+
     def process_arrival(self, request_id: int, edges: Iterable[EdgeId], cost: float) -> ArrivalOutcome:
         """Register an arriving request and restore all its edges' constraints.
 
@@ -260,8 +383,32 @@ class WeightBackend:
         outcome = ArrivalOutcome(request_id=request_id)
         # "The following is performed for all the edges e of the path of r_i,
         #  in an arbitrary order."  We use the registration order of the edges.
-        for e in self.edges_of(request_id):
-            self.restore_edge(e, request_id, outcome)
+        for eidx in self._edge_idxs_of_request(request_id):
+            self._restore_edge_indexed(eidx, request_id, outcome)
+        return outcome
+
+    def process_arrival_indexed(
+        self,
+        request_id: int,
+        edge_idxs: EdgeIndices,
+        cost: float,
+        record: bool = True,
+    ) -> Optional[ArrivalOutcome]:
+        """Indexed fast path of :meth:`process_arrival`.
+
+        ``edge_idxs`` are dense edge indices (e.g. a CSR slice of a compiled
+        instance) and are trusted to be in range — compilation already
+        validated them against the capacity mapping.  With ``record=False``
+        no :class:`ArrivalOutcome` is materialized and ``None`` is returned;
+        weights, kills and the augmentation counter evolve identically.
+        """
+        if not cost > 0:
+            raise ValueError(f"cost must be > 0, got {cost!r}")
+        idxs = self._normalize_indices(edge_idxs)
+        self._register_indexed(request_id, idxs, float(cost))
+        outcome = ArrivalOutcome(request_id=request_id) if record else None
+        for eidx in idxs:
+            self._restore_edge_indexed(eidx, request_id, outcome)
         return outcome
 
     def process_capacity_reduction(self, edge: EdgeId, triggered_by: int, amount: int = 1) -> ArrivalOutcome:
@@ -272,9 +419,32 @@ class WeightBackend:
         set-cover reduction): the edge can now host one fewer alive request, so
         weight augmentations may be needed immediately.
         """
-        self.decrease_capacity(edge, amount)
-        outcome = ArrivalOutcome(request_id=triggered_by)
-        self.restore_edge(edge, triggered_by, outcome)
+        k = self._edge_index.get(edge)
+        if k is None:
+            raise ValueError(f"unknown edge {edge!r}")
+        return self.process_capacity_reduction_batch((k,), triggered_by, amount=amount, record=True)
+
+    def process_capacity_reduction_batch(
+        self,
+        edge_idxs: EdgeIndices,
+        triggered_by: int,
+        amount: int = 1,
+        record: bool = True,
+    ) -> Optional[ArrivalOutcome]:
+        """Reduce several edges' capacities and restore their constraints.
+
+        Equivalent to calling :meth:`process_capacity_reduction` per edge in
+        order (restoring edge ``e`` only inspects ``e``'s own capacity, so
+        decreasing all capacities up front then restoring in order performs
+        the exact same float operations), but pays the Python dispatch once.
+        With ``record=False`` no outcome is materialized.
+        """
+        idxs = self._normalize_indices(edge_idxs)
+        for eidx in idxs:
+            self._decrease_capacity_indexed(eidx, amount)
+        outcome = ArrivalOutcome(request_id=triggered_by) if record else None
+        for eidx in idxs:
+            self._restore_edge_indexed(eidx, triggered_by, outcome)
         return outcome
 
     # -- invariants (used by tests and analysis) ---------------------------------------
@@ -332,28 +502,30 @@ class PythonWeightBackend(WeightBackend):
         # Request state.
         self._weights: Dict[int, float] = {}
         self._costs: Dict[int, float] = {}
-        self._edges_of: Dict[int, Tuple[EdgeId, ...]] = {}
+        self._edge_idxs_by_id: Dict[int, Tuple[int, ...]] = {}
         self._dead: Set[int] = set()
 
-        # Per-edge alive request ids (only edges that have seen requests).
-        self._alive_on_edge: Dict[EdgeId, Set[int]] = {}
-        self._requests_on_edge: Dict[EdgeId, Set[int]] = {}
+        # Per-edge alive / registered request ids, indexed by dense edge index
+        # (``None`` until the edge sees its first request).
+        m = len(self._edge_order)
+        self._alive_on_edge: List[Optional[Set[int]]] = [None] * m
+        self._requests_on_edge: List[Optional[Set[int]]] = [None] * m
 
     # -- registration -----------------------------------------------------------
-    def register(self, request_id: int, edges: Iterable[EdgeId], cost: float) -> None:
+    def _register_indexed(self, request_id: int, edge_idxs: Tuple[int, ...], cost: float) -> None:
         if request_id in self._weights:
             raise ValueError(f"request {request_id} already registered")
-        cost = check_positive(cost, "cost")
-        edges = tuple(edges)
-        for e in edges:
-            if e not in self._capacity:
-                raise ValueError(f"request {request_id} uses unknown edge {e!r}")
         self._weights[request_id] = 0.0
         self._costs[request_id] = cost
-        self._edges_of[request_id] = edges
-        for e in edges:
-            self._requests_on_edge.setdefault(e, set()).add(request_id)
-            self._alive_on_edge.setdefault(e, set()).add(request_id)
+        self._edge_idxs_by_id[request_id] = edge_idxs
+        for k in edge_idxs:
+            requests = self._requests_on_edge[k]
+            if requests is None:
+                self._requests_on_edge[k] = {request_id}
+                self._alive_on_edge[k] = {request_id}
+            else:
+                requests.add(request_id)
+                self._alive_on_edge[k].add(request_id)
 
     # -- queries -----------------------------------------------------------------
     def weight(self, request_id: int) -> float:
@@ -368,24 +540,30 @@ class PythonWeightBackend(WeightBackend):
     def is_dead(self, request_id: int) -> bool:
         return request_id in self._dead
 
-    def edges_of(self, request_id: int) -> Tuple[EdgeId, ...]:
-        return self._edges_of[request_id]
+    def _edge_idxs_of_request(self, request_id: int) -> Tuple[int, ...]:
+        return self._edge_idxs_by_id[request_id]
 
-    def alive_requests(self, edge: EdgeId) -> Set[int]:
-        return set(self._alive_on_edge.get(edge, set()))
+    def _alive_requests_indexed(self, eidx: int) -> Set[int]:
+        alive = self._alive_on_edge[eidx]
+        return set(alive) if alive else set()
 
-    def requests_on(self, edge: EdgeId) -> Set[int]:
-        return set(self._requests_on_edge.get(edge, set()))
+    def _requests_on_indexed(self, eidx: int) -> Set[int]:
+        requests = self._requests_on_edge[eidx]
+        return set(requests) if requests else set()
 
-    def alive_count(self, edge: EdgeId) -> int:
-        return len(self._alive_on_edge.get(edge, set()))
+    def _alive_count_indexed(self, eidx: int) -> int:
+        alive = self._alive_on_edge[eidx]
+        return len(alive) if alive else 0
 
-    def alive_weight_sum(self, edge: EdgeId) -> float:
-        alive = self._alive_on_edge.get(edge, set())
-        return sum(self._weights[i] for i in alive)
+    def _alive_weight_sum_indexed(self, eidx: int) -> float:
+        alive = self._alive_on_edge[eidx]
+        if not alive:
+            return 0.0
+        weights = self._weights
+        return sum(weights[i] for i in alive)
 
-    def edges_seen(self) -> Iterable[EdgeId]:
-        return self._requests_on_edge.keys()
+    def _edges_seen_indexed(self) -> Iterable[int]:
+        return [k for k, requests in enumerate(self._requests_on_edge) if requests is not None]
 
     def fractional_cost(self) -> float:
         return sum(min(w, 1.0) * self._costs[i] for i, w in self._weights.items())
@@ -394,58 +572,75 @@ class PythonWeightBackend(WeightBackend):
     def _kill(self, request_id: int) -> None:
         """Mark a request as fully rejected and remove it from all alive sets."""
         self._dead.add(request_id)
-        for e in self._edges_of[request_id]:
-            self._alive_on_edge[e].discard(request_id)
+        for k in self._edge_idxs_by_id[request_id]:
+            self._alive_on_edge[k].discard(request_id)
 
-    def _augment_once(self, edge: EdgeId, triggered_by: int) -> AugmentationRecord:
-        """Perform one weight augmentation for ``edge`` (paper steps 2a–2c)."""
-        alive = self._alive_on_edge.get(edge, set())
+    def _augment_once(
+        self, eidx: int, triggered_by: int, record: bool
+    ) -> Optional[AugmentationRecord]:
+        """Perform one weight augmentation for edge ``eidx`` (paper steps 2a–2c)."""
+        alive = self._alive_on_edge[eidx] or set()
         # `alive` is a live reference that step 2c's kills shrink; capture the
         # pre-step count now so the record reports what its field name says.
         alive_before = len(alive)
-        n_e = alive_before - self._capacity[edge]
+        n_e = alive_before - self._cap[eidx]
+        weights = self._weights
         seeded: List[int] = []
         killed: List[int] = []
         # Step 2a: seed zero weights.
+        seed = self.seed_weight
         for rid in alive:
-            if self._weights[rid] == 0.0:
-                self._weights[rid] = self.seed_weight
-                seeded.append(rid)
+            if weights[rid] == 0.0:
+                weights[rid] = seed
+                if record:
+                    seeded.append(rid)
         # Step 2b: multiplicative update.  n_e is the excess *before* the update
         # (alive membership has not changed in step 2a).
+        costs = self._costs
         for rid in alive:
-            factor = 1.0 + 1.0 / (n_e * self._costs[rid])
-            self._weights[rid] *= factor
+            factor = 1.0 + 1.0 / (n_e * costs[rid])
+            weights[rid] *= factor
         # Step 2c: update ALIVE_e (and the other edges of newly dead requests).
         for rid in list(alive):
-            if self._weights[rid] >= 1.0:
+            if weights[rid] >= 1.0:
                 self._kill(rid)
                 killed.append(rid)
-        record = AugmentationRecord(
-            edge=edge,
+        self.total_augmentations += 1
+        if not record:
+            return None
+        augmentation = AugmentationRecord(
+            edge=self._edge_order[eidx],
             excess=n_e,
             alive_before=alive_before,
             seeded=tuple(seeded),
             killed=tuple(killed),
             triggered_by=triggered_by,
         )
-        self.total_augmentations += 1
-        self._history.append(record)
-        return record
+        self._history.append(augmentation)
+        return augmentation
 
-    def restore_edge(self, edge: EdgeId, triggered_by: int, outcome: ArrivalOutcome) -> None:
+    def _restore_edge_indexed(
+        self, eidx: int, triggered_by: int, outcome: Optional[ArrivalOutcome]
+    ) -> None:
+        cap = self._cap[eidx]
+        weights = self._weights
         while True:
-            n_e = self.excess(edge)
-            if n_e <= 0 or self.alive_weight_sum(edge) >= n_e:
+            alive = self._alive_on_edge[eidx]
+            n_e = (len(alive) if alive else 0) - cap
+            if n_e <= 0 or sum(weights[i] for i in alive) >= n_e:
                 break
-            before = {rid: self._weights[rid] for rid in self._alive_on_edge[edge]}
-            record = self._augment_once(edge, triggered_by)
-            outcome.augmentations.append(record)
-            outcome.newly_dead.update(record.killed)
+            if outcome is None:
+                self._augment_once(eidx, triggered_by, record=False)
+                continue
+            before = {rid: weights[rid] for rid in alive}
+            augmentation = self._augment_once(eidx, triggered_by, record=True)
+            outcome.augmentations.append(augmentation)
+            outcome.newly_dead.update(augmentation.killed)
+            deltas = outcome.deltas
             for rid, old in before.items():
-                delta = self._weights[rid] - old
+                delta = weights[rid] - old
                 if delta > 0:
-                    outcome.deltas[rid] = outcome.deltas.get(rid, 0.0) + delta
+                    deltas[rid] = deltas.get(rid, 0.0) + delta
 
 
 @WEIGHT_BACKENDS.register("numpy")
@@ -454,18 +649,22 @@ class NumpyWeightBackend(WeightBackend):
 
     Storage layout: every registered request gets a dense *slot*; weights,
     costs and the alive flag live in flat ``float64`` / ``bool`` arrays indexed
-    by slot, and every edge keeps a growable ``intp`` vector of the slots
-    registered on it.  One augmentation is then
+    by slot, and every (interned) edge keeps a growable ``intp`` vector of the
+    slots registered on it.  One restore is a *fused* loop over augmentations:
 
-    * a gather of the alive slots on the edge,
-    * ``w[w == 0] = seed`` (step 2a),
-    * ``w *= 1 + 1 / (n_e * cost)`` (step 2b),
-    * a scatter back plus a mask for ``w >= 1`` kills (step 2c),
+    * a single gather of the alive slots and their weights on entry,
+    * ``w[w == 0] = seed`` (step 2a — only possible on the first iteration),
+    * ``w *= 1 + 1 / (n_e * cost)`` with the factor vector cached while the
+      alive set is unchanged (step 2b),
+    * a ``w >= 1`` kill mask; only when something dies are the killed weights
+      scattered back and the in-register vectors filtered (step 2c),
+    * one scatter of the surviving weights on exit.
 
-    all elementwise double-precision operations in the same order as the
-    scalar backend, so results match to floating-point rounding.  Edge vectors
-    are compacted lazily once dead slots dominate, keeping the gather
-    proportional to ``|ALIVE_e|`` rather than ``|REQ_e|``.
+    Every multiplication operates on exactly the values the scalar backend
+    produces (scatter/regather round-trips are value-preserving), so results
+    match to floating-point rounding.  Edge vectors are compacted lazily once
+    dead slots dominate, keeping gathers proportional to ``|ALIVE_e|`` rather
+    than ``|REQ_e|``.
     """
 
     name = "numpy"
@@ -484,15 +683,17 @@ class NumpyWeightBackend(WeightBackend):
         self._w = np.zeros(size, dtype=np.float64)
         self._cost = np.ones(size, dtype=np.float64)
         self._alive = np.zeros(size, dtype=bool)
-        self._edges_by_id: Dict[int, Tuple[EdgeId, ...]] = {}
+        self._edge_idxs_by_id: Dict[int, Tuple[int, ...]] = {}
         self._dead: Set[int] = set()
 
         # Per-edge slot vectors (amortised append, lazily compacted) plus O(1)
-        # alive counters so `excess` never touches an array.
-        self._edge_slots: Dict[EdgeId, np.ndarray] = {}
-        self._edge_used: Dict[EdgeId, int] = {}
-        self._edge_alive: Dict[EdgeId, int] = {}
-        self._edge_requests: Dict[EdgeId, List[int]] = {}
+        # alive counters so excess checks never touch an array.  All indexed
+        # by dense edge index.
+        m = len(self._edge_order)
+        self._edge_slots: List[Optional[np.ndarray]] = [None] * m
+        self._edge_used: List[int] = [0] * m
+        self._edge_alive: List[int] = [0] * m
+        self._edge_requests: List[Optional[List[int]]] = [None] * m
 
     # -- storage helpers -----------------------------------------------------------
     def _ensure_slot_capacity(self) -> None:
@@ -508,47 +709,42 @@ class NumpyWeightBackend(WeightBackend):
         alive[: self._alive.shape[0]] = self._alive
         self._alive = alive
 
-    def _edge_append(self, edge: EdgeId, slot: int) -> None:
-        arr = self._edge_slots.get(edge)
+    def _edge_append(self, eidx: int, slot: int) -> None:
+        arr = self._edge_slots[eidx]
         if arr is None:
             arr = np.empty(8, dtype=np.intp)
-            self._edge_slots[edge] = arr
-            self._edge_used[edge] = 0
-        used = self._edge_used[edge]
+            self._edge_slots[eidx] = arr
+            self._edge_used[eidx] = 0
+        used = self._edge_used[eidx]
         if used == arr.shape[0]:
             # max() guards the used == 0 case: compaction can shrink a fully
             # dead edge's vector to length zero, and 2 * 0 would never grow.
             grown = np.empty(max(8, 2 * used), dtype=np.intp)
             grown[:used] = arr[:used]
-            self._edge_slots[edge] = arr = grown
+            self._edge_slots[eidx] = arr = grown
         arr[used] = slot
-        self._edge_used[edge] = used + 1
+        self._edge_used[eidx] = used + 1
 
-    def _alive_slots(self, edge: EdgeId) -> np.ndarray:
-        """Alive slots on ``edge``, compacting the vector when dead slots dominate."""
-        arr = self._edge_slots.get(edge)
+    def _alive_slots(self, eidx: int) -> np.ndarray:
+        """Alive slots on edge ``eidx``, compacting when dead slots dominate."""
+        arr = self._edge_slots[eidx]
         if arr is None:
             return np.empty(0, dtype=np.intp)
-        view = arr[: self._edge_used[edge]]
+        view = arr[: self._edge_used[eidx]]
         idx = view[self._alive[view]]
         if idx.shape[0] * 2 < view.shape[0]:
             # Dead slots never revive, so dropping them is safe and keeps the
             # next gather proportional to the alive count.
             compacted = idx.copy()
-            self._edge_slots[edge] = compacted
-            self._edge_used[edge] = compacted.shape[0]
+            self._edge_slots[eidx] = compacted
+            self._edge_used[eidx] = compacted.shape[0]
             return compacted
         return idx
 
     # -- registration -----------------------------------------------------------
-    def register(self, request_id: int, edges: Iterable[EdgeId], cost: float) -> None:
+    def _register_indexed(self, request_id: int, edge_idxs: Tuple[int, ...], cost: float) -> None:
         if request_id in self._slot:
             raise ValueError(f"request {request_id} already registered")
-        cost = check_positive(cost, "cost")
-        edges = tuple(edges)
-        for e in edges:
-            if e not in self._capacity:
-                raise ValueError(f"request {request_id} uses unknown edge {e!r}")
         self._ensure_slot_capacity()
         slot = self._n
         self._n += 1
@@ -557,11 +753,17 @@ class NumpyWeightBackend(WeightBackend):
         self._w[slot] = 0.0
         self._cost[slot] = cost
         self._alive[slot] = True
-        self._edges_by_id[request_id] = edges
-        for e in edges:
-            self._edge_append(e, slot)
-            self._edge_alive[e] = self._edge_alive.get(e, 0) + 1
-            self._edge_requests.setdefault(e, []).append(request_id)
+        self._edge_idxs_by_id[request_id] = edge_idxs
+        edge_alive = self._edge_alive
+        edge_requests = self._edge_requests
+        for k in edge_idxs:
+            self._edge_append(k, slot)
+            edge_alive[k] += 1
+            requests = edge_requests[k]
+            if requests is None:
+                edge_requests[k] = [request_id]
+            else:
+                requests.append(request_id)
 
     # -- queries -----------------------------------------------------------------
     def weight(self, request_id: int) -> float:
@@ -577,24 +779,25 @@ class NumpyWeightBackend(WeightBackend):
     def is_dead(self, request_id: int) -> bool:
         return request_id in self._dead
 
-    def edges_of(self, request_id: int) -> Tuple[EdgeId, ...]:
-        return self._edges_by_id[request_id]
+    def _edge_idxs_of_request(self, request_id: int) -> Tuple[int, ...]:
+        return self._edge_idxs_by_id[request_id]
 
-    def alive_requests(self, edge: EdgeId) -> Set[int]:
+    def _alive_requests_indexed(self, eidx: int) -> Set[int]:
         ids = self._ids
-        return {ids[slot] for slot in self._alive_slots(edge).tolist()}
+        return {ids[slot] for slot in self._alive_slots(eidx).tolist()}
 
-    def requests_on(self, edge: EdgeId) -> Set[int]:
-        return set(self._edge_requests.get(edge, ()))
+    def _requests_on_indexed(self, eidx: int) -> Set[int]:
+        requests = self._edge_requests[eidx]
+        return set(requests) if requests else set()
 
-    def alive_count(self, edge: EdgeId) -> int:
-        return self._edge_alive.get(edge, 0)
+    def _alive_count_indexed(self, eidx: int) -> int:
+        return self._edge_alive[eidx]
 
-    def alive_weight_sum(self, edge: EdgeId) -> float:
-        return float(self._w[self._alive_slots(edge)].sum())
+    def _alive_weight_sum_indexed(self, eidx: int) -> float:
+        return float(self._w[self._alive_slots(eidx)].sum())
 
-    def edges_seen(self) -> Iterable[EdgeId]:
-        return self._edge_requests.keys()
+    def _edges_seen_indexed(self) -> Iterable[int]:
+        return [k for k, requests in enumerate(self._edge_requests) if requests is not None]
 
     def fractional_cost(self) -> float:
         n = self._n
@@ -612,77 +815,98 @@ class NumpyWeightBackend(WeightBackend):
         request_id = self._ids[slot]
         self._dead.add(request_id)
         self._alive[slot] = False
-        for e in self._edges_by_id[request_id]:
-            self._edge_alive[e] -= 1
+        edge_alive = self._edge_alive
+        for k in self._edge_idxs_by_id[request_id]:
+            edge_alive[k] -= 1
 
-    def _augment_once(
-        self,
-        edge: EdgeId,
-        triggered_by: int,
-        idx: Optional[np.ndarray] = None,
-        w: Optional[np.ndarray] = None,
-    ) -> AugmentationRecord:
-        """One vectorized weight augmentation (paper steps 2a–2c).
-
-        ``idx`` / ``w`` accept the alive slots and their already-gathered
-        weights so the restore loop does not pay the gather twice.
-        """
-        if idx is None:
-            idx = self._alive_slots(edge)
-        n_e = int(idx.shape[0]) - self._capacity[edge]
-        if w is None:
-            w = self._w[idx]  # gather (a copy)
-        zero_mask = w == 0.0
-        seeded_slots = idx[zero_mask]
-        if seeded_slots.shape[0]:
-            w[zero_mask] = self.seed_weight
-        w *= 1.0 + 1.0 / (n_e * self._cost[idx])
-        self._w[idx] = w  # scatter back
-        killed_slots = idx[w >= 1.0]
+    def _restore_edge_indexed(
+        self, eidx: int, triggered_by: int, outcome: Optional[ArrivalOutcome]
+    ) -> None:
+        cap = self._cap[eidx]
+        # O(1) excess check via the per-edge alive counter before paying for
+        # the gather (most edges are under capacity most of the time).
+        if self._edge_alive[eidx] - cap <= 0:
+            return
+        idx = self._alive_slots(eidx)
+        w = self._w[idx]  # gather (a copy); scattered back on exit
+        n_e = int(idx.shape[0]) - cap
+        if float(w.sum()) >= n_e:
+            return
+        record = outcome is not None
+        if record:
+            # The alive set only shrinks during a restore, so the slots alive
+            # at the first augmentation cover every slot touched later; one
+            # vectorized before/after difference at the end yields the
+            # per-request deltas for the whole restore.
+            first_idx = idx.copy()
+            before = w.copy()
         ids = self._ids
-        killed = tuple(ids[slot] for slot in killed_slots.tolist())
-        for slot in killed_slots.tolist():
-            self._kill_slot(slot)
-        record = AugmentationRecord(
-            edge=edge,
-            excess=n_e,
-            alive_before=int(idx.shape[0]),
-            seeded=tuple(ids[slot] for slot in seeded_slots.tolist()),
-            killed=killed,
-            triggered_by=triggered_by,
-        )
-        self.total_augmentations += 1
-        self._history.append(record)
-        return record
-
-    def restore_edge(self, edge: EdgeId, triggered_by: int, outcome: ArrivalOutcome) -> None:
-        # The alive set only shrinks during a restore, so the slots alive at
-        # the first augmentation cover every slot touched later; one vectorized
-        # before/after difference therefore yields the per-request deltas for
-        # the whole restore (weights never decrease during augmentations).
-        first_idx: Optional[np.ndarray] = None
-        before: Optional[np.ndarray] = None
-        capacity = self._capacity[edge]
+        edge = self._edge_order[eidx] if record else None
+        cost_idx = self._cost[idx]
+        factor: Optional[np.ndarray] = None
+        first_pass = True
         while True:
-            # O(1) excess check via the per-edge alive counter before paying
-            # for the gather (most edges are under capacity most of the time).
-            if self._edge_alive.get(edge, 0) - capacity <= 0:
+            alive_before = int(idx.shape[0])
+            # Step 2a: seed zero weights.  Zeros are only possible before the
+            # first multiply of this restore — afterwards every alive weight
+            # on the edge is positive — so the mask is checked once.
+            seeded_slots: Tuple[int, ...] = ()
+            if first_pass:
+                first_pass = False
+                zero_mask = w == 0.0
+                if zero_mask.any():
+                    w[zero_mask] = self.seed_weight
+                    if record:
+                        seeded_slots = tuple(ids[s] for s in idx[zero_mask].tolist())
+            # Step 2b: multiplicative update.  The factor vector only depends
+            # on n_e and the alive costs, so it is reused verbatim until a
+            # kill changes either (recomputing it would produce the exact
+            # same doubles).
+            if factor is None:
+                factor = 1.0 + 1.0 / (n_e * cost_idx)
+            w *= factor
+            self.total_augmentations += 1
+            # Step 2c: kills.  A max reduction is cheaper than materializing
+            # the kill mask; the mask is only built when someone actually dies
+            # (most augmentations kill nothing).
+            if w.max() >= 1.0:
+                kill_mask = w >= 1.0
+                killed_slots = idx[kill_mask]
+                # Scatter the killed weights now; survivors on exit.
+                self._w[killed_slots] = w[kill_mask]
+                killed = tuple(ids[s] for s in killed_slots.tolist())
+                for slot in killed_slots.tolist():
+                    self._kill_slot(slot)
+                keep = ~kill_mask
+                idx = idx[keep]
+                w = w[keep]
+                cost_idx = cost_idx[keep]
+                factor = None
+            else:
+                killed = ()
+            if record:
+                augmentation = AugmentationRecord(
+                    edge=edge,
+                    excess=n_e,
+                    alive_before=alive_before,
+                    seeded=seeded_slots,
+                    killed=killed,
+                    triggered_by=triggered_by,
+                )
+                self._history.append(augmentation)
+                outcome.augmentations.append(augmentation)
+                if killed:
+                    outcome.newly_dead.update(killed)
+            n_e = int(idx.shape[0]) - cap
+            if n_e <= 0:
                 break
-            idx = self._alive_slots(edge)
-            n_e = int(idx.shape[0]) - capacity
-            w = self._w[idx]  # gather (a copy), reused by _augment_once
             if float(w.sum()) >= n_e:
                 break
-            if first_idx is None:
-                first_idx = idx.copy()
-                before = w.copy()
-            record = self._augment_once(edge, triggered_by, idx=idx, w=w)
-            outcome.augmentations.append(record)
-            outcome.newly_dead.update(record.killed)
-        if first_idx is not None:
+        if idx.shape[0]:
+            self._w[idx] = w  # scatter the survivors back
+        if record:
             diff = self._w[first_idx] - before
             changed = np.nonzero(diff > 0.0)[0]
-            ids = self._ids
             deltas = outcome.deltas
             for k in changed.tolist():
                 rid = ids[int(first_idx[k])]
@@ -698,6 +922,20 @@ def resolve_backend_name(spec: BackendSpec) -> str:
     if isinstance(spec, str):
         return spec.strip().lower()
     raise TypeError(f"backend must be None, a name or an EngineConfig, got {spec!r}")
+
+
+def resolve_record_flag(spec: BackendSpec, override: Optional[bool] = None) -> bool:
+    """Resolve the ``record`` mode from an explicit override or an engine config.
+
+    ``override`` wins when given; otherwise an :class:`EngineConfig` spec
+    contributes its ``record`` field; plain names default to ``True`` (full
+    diagnostics — the reference behaviour).
+    """
+    if override is not None:
+        return bool(override)
+    if isinstance(spec, EngineConfig):
+        return bool(spec.record)
+    return True
 
 
 def make_weight_backend(

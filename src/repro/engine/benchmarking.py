@@ -1,18 +1,27 @@
 """The engine's micro-benchmarks and the perf-regression gate.
 
-One canonical *weight-update* micro-benchmark exercises the multiplicative
-weight mechanism — the library's hottest loop — on an instance with >= 1000
-edges whose two hot edges accumulate alive sets in the thousands, which is the
-regime the vectorized backend is built for.  The same workload drives:
+Two canonical benchmarks cover the library's hot paths:
 
-* ``python -m repro bench`` (the ``make bench-smoke`` target), which runs the
-  benchmark once per registered backend, prints a comparison table, and fails
-  when a backend regresses more than :data:`REGRESSION_FACTOR` x against the
-  committed baseline JSON (``benchmarks/baseline_bench.json``);
-* ``benchmarks/test_bench_micro_core.py``, so pytest-benchmark tracks the same
-  numbers over time.
+* the *weight-update* micro-benchmark exercises the multiplicative weight
+  mechanism — the hottest loop — on an instance with >= 1000 edges whose two
+  hot edges accumulate alive sets in the thousands, streamed through the
+  indexed, record-free fast path the compiled pipeline uses in production
+  (``indexed=False`` / ``record=True`` reproduce the legacy per-arrival
+  path for comparison);
+* the *scaling* benchmark runs the full Section-2 fractional algorithm
+  end-to-end — compile, intern, classify, augment — on a >= 10k-request
+  instance, which is the regime the compiled-instance layer exists for.
 
-Keeping the workload in one module guarantees the CLI gate and the pytest
+The same workloads drive:
+
+* ``python -m repro bench`` (the ``make bench-smoke`` target), which runs
+  both benchmarks once per registered backend, prints a comparison table, and
+  fails when a benchmark regresses more than :data:`REGRESSION_FACTOR` x
+  against the committed baseline JSON (``benchmarks/baseline_bench.json``);
+* ``benchmarks/test_bench_micro_core.py``, so pytest-benchmark tracks the
+  same numbers over time (and writes them into ``BENCH_engine.json``).
+
+Keeping the workloads in one module guarantees the CLI gate and the pytest
 suite measure the same thing.
 """
 
@@ -27,13 +36,18 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.engine.backends import make_weight_backend
-from repro.instances.request import EdgeId
+from repro.instances.admission import AdmissionInstance
+from repro.instances.compiled import compile_instance
+from repro.instances.request import EdgeId, Request, RequestSequence
 
 __all__ = [
     "WeightUpdateWorkload",
+    "ScalingWorkload",
     "BenchResult",
     "weight_update_workload",
+    "scaling_workload",
     "run_weight_update_bench",
+    "run_scaling_bench",
     "compare_to_baseline",
     "REGRESSION_FACTOR",
     "default_baseline_path",
@@ -100,16 +114,31 @@ class BenchResult:
 
 
 def run_weight_update_bench(
-    backend: str, workload: Optional[WeightUpdateWorkload] = None
+    backend: str,
+    workload: Optional[WeightUpdateWorkload] = None,
+    *,
+    indexed: bool = True,
+    record: bool = False,
 ) -> BenchResult:
-    """Run the weight-update micro-benchmark on one backend and time it."""
+    """Run the weight-update micro-benchmark on one backend and time it.
+
+    By default the arrivals stream through the indexed, record-free fast path
+    (what the compiled pipeline executes); ``indexed=False`` / ``record=True``
+    reproduce the pre-compiled per-arrival path.  The augmentation count and
+    fractional cost are identical in every mode — only the wall clock moves.
+    """
     workload = workload or weight_update_workload(quick=True)
     capacities = workload.capacities()
     arrivals = workload.arrivals()
     start = time.perf_counter()
     state = make_weight_backend(backend, capacities, g=workload.g)
-    for rid, edges, cost in arrivals:
-        state.process_arrival(rid, edges, cost)
+    if indexed:
+        # The workload's edge ids are already the dense interning 0..m-1.
+        for rid, edges, cost in arrivals:
+            state.process_arrival_indexed(rid, edges, cost, record=record)
+    else:
+        for rid, edges, cost in arrivals:
+            state.process_arrival(rid, edges, cost)
     seconds = time.perf_counter() - start
     return BenchResult(
         name="weight_update",
@@ -117,6 +146,74 @@ def run_weight_update_bench(
         seconds=seconds,
         augmentations=state.total_augmentations,
         fractional_cost=state.fractional_cost(),
+    )
+
+
+@dataclass(frozen=True)
+class ScalingWorkload:
+    """A large-N end-to-end workload for the compiled fractional pipeline.
+
+    ``num_requests`` (>= 10k by default) requests each cross one of
+    ``num_hot`` tight-capacity edges plus ``path_length - 1`` cold edges, with
+    mildly spread costs, so the run exercises interning, CSR streaming, cost
+    classification and the weight mechanism at production-ish scale.
+    """
+
+    num_edges: int = 512
+    num_hot: int = 16
+    num_requests: int = 10_000
+    path_length: int = 4
+    capacity: int = 48
+    seed: int = 11
+    g: float = 64.0
+
+    def instance(self) -> AdmissionInstance:
+        """Materialise the deterministic admission instance."""
+        rng = np.random.default_rng(self.seed)
+        capacities: Dict[EdgeId, int] = {
+            j: self.capacity if j < self.num_hot else self.num_requests + 1
+            for j in range(self.num_edges)
+        }
+        cold = rng.integers(self.num_hot, self.num_edges, size=(self.num_requests, self.path_length - 1))
+        costs = rng.uniform(1.0, 8.0, size=self.num_requests)
+        requests = []
+        for rid in range(self.num_requests):
+            edges = {rid % self.num_hot, *cold[rid].tolist()}
+            requests.append(Request(rid, frozenset(edges), float(costs[rid])))
+        return AdmissionInstance(capacities, RequestSequence(requests), name="scaling-10k")
+
+
+def scaling_workload() -> ScalingWorkload:
+    """The canonical >= 10k-request scaling workload."""
+    return ScalingWorkload()
+
+
+def run_scaling_bench(
+    backend: str, workload: Optional[ScalingWorkload] = None
+) -> BenchResult:
+    """Time the full compiled fractional pipeline on the scaling workload.
+
+    Measures everything a production run pays per instance: compiling
+    (interning + CSR), building the algorithm, and streaming every arrival
+    through the record-free indexed path.
+    """
+    from repro.core.fractional import FractionalAdmissionControl
+
+    workload = workload or scaling_workload()
+    instance = workload.instance()
+    start = time.perf_counter()
+    compiled = compile_instance(instance)
+    algorithm = FractionalAdmissionControl.for_instance(
+        instance, g=workload.g, backend=backend, record=False
+    )
+    algorithm.process_compiled_sequence(compiled)
+    seconds = time.perf_counter() - start
+    return BenchResult(
+        name="scaling_10k",
+        backend=backend,
+        seconds=seconds,
+        augmentations=algorithm.num_augmentations,
+        fractional_cost=algorithm.fractional_cost(),
     )
 
 

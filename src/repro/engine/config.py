@@ -43,11 +43,24 @@ class EngineConfig:
         into batches: ``"none"`` streams one request per batch, ``"tag"``
         groups consecutive same-tag arrivals (e.g. the set-cover reduction's
         phase-1 block) so same-timestep arrivals are dispatched together.
+    compile:
+        Compile instances once (edge interning + CSR paths, see
+        :mod:`repro.instances.compiled`) and stream them through the
+        algorithms' int-indexed fast paths.  Falls back transparently for
+        algorithms without an indexed path.  Never changes a reported number.
+    record:
+        Materialize per-arrival :class:`~repro.engine.backends.ArrivalOutcome`
+        deltas and augmentation records.  ``False`` skips the diagnostics on
+        the pure fractional paths (algorithms that *consume* deltas — the
+        randomized rounding — keep recording regardless).  Never changes a
+        reported number.
     """
 
     backend: str = DEFAULT_BACKEND
     jobs: int = 1
     batching: str = "none"
+    compile: bool = True
+    record: bool = True
 
     def __post_init__(self) -> None:
         if self.batching not in ("none", "tag"):

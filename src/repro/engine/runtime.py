@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 from repro.engine.config import EngineConfig
 from repro.engine.registry import ADMISSION_ALGORITHMS, SETCOVER_ALGORITHMS
+from repro.instances.compiled import CompiledInstance, compile_instance
 
 __all__ = [
     "SimulationEngine",
@@ -131,13 +132,17 @@ class SimulationEngine:
 
     # -- algorithm construction ---------------------------------------------------
     def build_admission(self, algorithm, instance, *, random_state=None, **kwargs):
-        """Resolve ``algorithm`` (a registry key or an already-built object)."""
+        """Resolve ``algorithm`` (a registry key or an already-built object).
+
+        The full :class:`EngineConfig` travels as the backend spec so the
+        algorithms can pick up the ``record`` mode along with the backend.
+        """
         if isinstance(algorithm, str):
             return make_admission_algorithm(
                 algorithm,
                 instance,
                 random_state=random_state,
-                backend=self.config.backend,
+                backend=self.config,
                 **kwargs,
             )
         return algorithm
@@ -149,47 +154,79 @@ class SimulationEngine:
                 algorithm,
                 instance,
                 random_state=random_state,
-                backend=self.config.backend,
+                backend=self.config,
                 **kwargs,
             )
         return algorithm
 
     # -- instance streaming ----------------------------------------------------------
-    def iter_batches(self, arrivals: Iterable[Any]) -> Iterator[List[Any]]:
-        """Group an arrival stream into dispatch batches.
+    def _iter_tag_batches(self, items: Iterable[Any], tag_of) -> Iterator[List[Any]]:
+        """One batching algorithm for both request and index streams.
 
-        With ``batching="none"`` every arrival is its own batch.  With
-        ``batching="tag"`` consecutive arrivals sharing a ``tag`` attribute are
-        dispatched together — the set-cover reduction's phase-1 block and any
-        workload that stamps same-timestep arrivals with a common tag arrive
-        as one batch.  Online order is preserved inside a batch.
+        With ``batching="none"`` every item is its own batch.  With
+        ``batching="tag"`` consecutive items whose ``tag_of(item)`` agree are
+        dispatched together.  Online order is preserved inside a batch.
         """
         if self.config.batching == "none":
-            for arrival in arrivals:
-                yield [arrival]
+            for item in items:
+                yield [item]
             return
         batch: List[Any] = []
         current_tag: Any = None
-        for arrival in arrivals:
-            tag = getattr(arrival, "tag", None)
+        for item in items:
+            tag = tag_of(item)
             if batch and tag != current_tag:
                 yield batch
                 batch = []
             current_tag = tag
-            batch.append(arrival)
+            batch.append(item)
         if batch:
             yield batch
 
+    def iter_batches(self, arrivals: Iterable[Any]) -> Iterator[List[Any]]:
+        """Group an arrival stream into dispatch batches.
+
+        With ``batching="tag"`` consecutive arrivals sharing a ``tag``
+        attribute are dispatched together — the set-cover reduction's phase-1
+        block and any workload that stamps same-timestep arrivals with a
+        common tag arrive as one batch.
+        """
+        return self._iter_tag_batches(arrivals, lambda arrival: getattr(arrival, "tag", None))
+
+    def iter_index_batches(self, compiled: CompiledInstance) -> Iterator[List[int]]:
+        """Like :meth:`iter_batches` but over compiled arrival indices."""
+        return self._iter_tag_batches(range(compiled.num_requests), compiled.tags.__getitem__)
+
     # -- running --------------------------------------------------------------------
     def run_admission(self, algorithm, instance, *, random_state=None, **kwargs) -> EngineRun:
-        """Build (if needed) and run an admission algorithm over ``instance``."""
+        """Build (if needed) and run an admission algorithm over ``instance``.
+
+        With ``config.compile`` (the default) the instance is compiled once —
+        edge ids interned, paths as CSR arrays — and the arrivals stream
+        through the algorithm's ``process_indexed`` fast path when it has
+        one; otherwise the per-request path runs.  Compilation is memoized on
+        the instance, so repeated runs (other algorithms, other trials) reuse
+        the arrays.
+        """
         algo = self.build_admission(algorithm, instance, random_state=random_state, **kwargs)
         batch_sizes: List[int] = []
         start = time.perf_counter()
-        for batch in self.iter_batches(instance.requests):
-            batch_sizes.append(len(batch))
-            for request in batch:
-                algo.process(request)
+        # Compilation happens inside the timed region: it is part of what a
+        # run pays per instance, so compile-on/off timings stay comparable
+        # (memoized re-runs make it O(1) anyway).
+        compiled: Optional[CompiledInstance] = None
+        if self.config.compile and hasattr(algo, "process_indexed"):
+            compiled = compile_instance(instance)
+        if compiled is not None:
+            for index_batch in self.iter_index_batches(compiled):
+                batch_sizes.append(len(index_batch))
+                for i in index_batch:
+                    algo.process_indexed(compiled, i)
+        else:
+            for batch in self.iter_batches(instance.requests):
+                batch_sizes.append(len(batch))
+                for request in batch:
+                    algo.process(request)
         seconds = time.perf_counter() - start
         result = algo.result()
         return EngineRun(

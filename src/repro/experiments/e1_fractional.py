@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 from repro.core.bounds import fractional_admission_bound
 from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
+from repro.instances.compiled import compile_instance
 from repro.offline import solve_admission_lp
 from repro.utils.mathx import safe_ratio
 from repro.utils.rng import spawn_generators, stable_seed
@@ -71,9 +72,11 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                     "fractional",
                     instance,
                     alpha=max(opt.cost, 1e-9) if weighted else None,
-                    backend=config.backend,
+                    backend=config.engine,
                 )
-                algo.process_sequence(instance.requests)
+                algo.process_sequence(
+                    compile_instance(instance) if config.compile else instance.requests
+                )
                 ratios.append(safe_ratio(algo.fractional_cost(), opt.cost))
             bound = fractional_admission_bound(m, c, weighted=weighted)
             mean_ratio = sum(ratios) / len(ratios)

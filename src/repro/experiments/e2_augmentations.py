@@ -14,6 +14,7 @@ from typing import Optional
 from repro.core.bounds import lemma1_augmentation_bound
 from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
+from repro.instances.compiled import compile_instance
 from repro.offline import solve_admission_lp
 from repro.utils.rng import spawn_generators, stable_seed
 from repro.workloads import overloaded_edge_adversary, single_edge_workload, uniform_costs
@@ -59,9 +60,11 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             opt = solve_admission_lp(instance)
             alpha = max(opt.cost, 1e-9)
             algo = make_admission_algorithm(
-                "fractional", instance, alpha=alpha, backend=config.backend
+                "fractional", instance, alpha=alpha, backend=config.engine
             )
-            algo.process_sequence(instance.requests)
+            algo.process_sequence(
+                compile_instance(instance) if config.compile else instance.requests
+            )
             bound = lemma1_augmentation_bound(alpha, algo.g, algo.c)
             total_augs += algo.num_augmentations
             total_bound += bound

@@ -73,7 +73,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         for workload_name, make in workloads.items():
             summary = run_admission_trials(
                 instance_factory=lambda rng, make=make, m=m, c=c: make(m, c, rng),
-                algorithm_factory=lambda instance, rng, backend=config.backend: make_admission_algorithm(
+                algorithm_factory=lambda instance, rng, backend=config.engine: make_admission_algorithm(
                     "doubling", instance, weighted=True, random_state=rng, backend=backend
                 ),
                 num_trials=trials,
@@ -82,6 +82,9 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                 offline="ilp",
                 ilp_time_limit=config.ilp_time_limit,
                 jobs=config.jobs,
+                # Compile each trial instance once; the doubling algorithm
+                # streams it through the indexed fast path (identical output).
+                compile_instances=config.compile,
             )
             stats = summary.ratio_stats()
             result.rows.append(

@@ -57,7 +57,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         for workload_name, make in workloads.items():
             summary = run_admission_trials(
                 instance_factory=lambda rng, make=make, m=m, c=c: make(m, c, rng),
-                algorithm_factory=lambda instance, rng, backend=config.backend: make_admission_algorithm(
+                algorithm_factory=lambda instance, rng, backend=config.engine: make_admission_algorithm(
                     "randomized", instance, weighted=False, random_state=rng, backend=backend
                 ),
                 num_trials=trials,
@@ -67,6 +67,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                 randomized_bound=True,
                 ilp_time_limit=config.ilp_time_limit,
                 jobs=config.jobs,
+                compile_instances=config.compile,
             )
             stats = summary.ratio_stats()
             result.rows.append(

@@ -85,7 +85,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         for workload_name, make in workloads.items():
             summary = run_setcover_trials(
                 instance_factory=lambda rng, make=make, n=n, m=m: make(n, m, rng),
-                algorithm_factory=lambda instance, rng, backend=config.backend: make_setcover_algorithm(
+                algorithm_factory=lambda instance, rng, backend=config.engine: make_setcover_algorithm(
                     "reduction", instance, random_state=rng, backend=backend
                 ),
                 num_trials=trials,

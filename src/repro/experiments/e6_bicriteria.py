@@ -64,7 +64,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                 arrivals = repetition_heavy_arrivals(system, random_state=rng)
                 instance = SetCoverInstance(system, arrivals, name=f"repetition n={n} m={m}")
                 algorithm = make_setcover_algorithm(
-                    "bicriteria", instance, eps=eps, backend=config.backend
+                    "bicriteria", instance, eps=eps, backend=config.engine
                 )
                 run_setcover(algorithm, instance)
                 opt = solve_set_multicover_ilp(system, instance.demands(), time_limit=config.ilp_time_limit)

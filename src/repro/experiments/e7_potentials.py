@@ -22,6 +22,7 @@ from repro.engine.runtime import make_admission_algorithm, make_setcover_algorit
 from repro.core.protocols import run_setcover
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.instances.setcover import SetCoverInstance
+from repro.instances.compiled import compile_instance
 from repro.offline import solve_admission_lp, solve_set_multicover_ilp
 from repro.utils.rng import spawn_generators, stable_seed
 from repro.workloads import single_edge_workload, uniform_costs
@@ -62,9 +63,11 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             opt = solve_admission_lp(instance)
             alpha = max(opt.cost, 1e-9)
             algo = make_admission_algorithm(
-                "fractional", instance, alpha=alpha, backend=config.backend
+                "fractional", instance, alpha=alpha, backend=config.engine
             )
-            algo.process_sequence(instance.requests)
+            algo.process_sequence(
+                compile_instance(instance) if config.compile else instance.requests
+            )
             report = check_fractional_state(algo, optimal_cost=alpha)
             invariant_ok += int(report.ok)
             # Potential check needs the optimal fractional solution expressed in
@@ -105,7 +108,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             arrivals = repetition_heavy_arrivals(system, random_state=rng)
             instance = SetCoverInstance(system, arrivals)
             algorithm = make_setcover_algorithm(
-                "bicriteria", instance, eps=0.2, backend=config.backend
+                "bicriteria", instance, eps=0.2, backend=config.engine
             )
             run_setcover(algorithm, instance)
             opt = solve_set_multicover_ilp(system, instance.demands(), time_limit=config.ilp_time_limit)

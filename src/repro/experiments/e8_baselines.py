@@ -17,6 +17,7 @@ from repro.analysis.competitive import evaluate_admission_run
 from repro.core.protocols import run_admission
 from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
+from repro.instances.compiled import compile_instance
 from repro.utils.rng import as_generator, stable_seed
 from repro.workloads import (
     benefit_objective_trap,
@@ -68,7 +69,7 @@ def _algorithms(config: ExperimentConfig):
     """Display label -> factory; every algorithm resolves through the registry."""
     return {
         label: lambda inst, rng, key=key, extra=extra: make_admission_algorithm(
-            key, inst, random_state=rng, backend=config.backend, **extra
+            key, inst, random_state=rng, backend=config.engine, **extra
         )
         for label, (key, extra) in ALGORITHM_TABLE.items()
     }
@@ -82,12 +83,15 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     for workload_name, make in _workloads(config).items():
         rng = as_generator(stable_seed(config.seed, workload_name, "e8"))
         instance = make(rng)
+        # One compilation serves every algorithm on this workload (baselines
+        # without an indexed path fall back transparently).
+        compiled = compile_instance(instance) if config.compile else None
         for algo_name, factory in _algorithms(config).items():
             algo_rng = as_generator(stable_seed(config.seed, workload_name, algo_name, "e8"))
             algorithm = factory(instance, algo_rng)
             record = evaluate_admission_run(
                 instance,
-                run_admission(algorithm, instance),
+                run_admission(algorithm, instance, compiled=compiled),
                 offline="ilp",
                 ilp_time_limit=config.ilp_time_limit,
             )

@@ -24,6 +24,7 @@ from repro.analysis.competitive import evaluate_admission_run
 from repro.core.protocols import run_admission
 from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
+from repro.instances.compiled import compile_instance
 from repro.offline import solve_admission_ilp
 from repro.utils.rng import as_generator, spawn_generators, stable_seed
 from repro.workloads import bimodal_costs, pareto_costs, single_edge_workload
@@ -72,28 +73,31 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                 )
                 opt = solve_admission_ilp(instance, time_limit=config.ilp_time_limit)
                 alpha = max(opt.cost, 1e-9)
+                # One compilation is shared by all three algorithm configs
+                # below — the "compile once per instance, reuse" contract.
+                compiled = compile_instance(instance) if config.compile else None
                 configs = {
                     "oracle": lambda: make_admission_algorithm(
                         "randomized", instance, weighted=True, alpha=alpha,
                         random_state=as_generator(stable_seed(config.seed, m, c, cost_name, "oracle")),
-                        backend=config.backend,
+                        backend=config.engine,
                     ),
                     "doubling": lambda: make_admission_algorithm(
                         "doubling", instance, weighted=True,
                         random_state=as_generator(stable_seed(config.seed, m, c, cost_name, "dbl")),
-                        backend=config.backend,
+                        backend=config.engine,
                     ),
                     "no-classing": lambda: make_admission_algorithm(
                         "randomized", instance, weighted=True,
                         random_state=as_generator(stable_seed(config.seed, m, c, cost_name, "raw")),
-                        backend=config.backend,
+                        backend=config.engine,
                     ),
                 }
                 for label, factory in configs.items():
                     algorithm = factory()
                     record = evaluate_admission_run(
                         instance,
-                        run_admission(algorithm, instance),
+                        run_admission(algorithm, instance, compiled=compiled),
                         offline="ilp",
                         ilp_time_limit=config.ilp_time_limit,
                     )

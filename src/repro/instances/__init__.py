@@ -10,17 +10,23 @@ This subpackage defines the objects the rest of the library operates on:
 * :class:`~repro.instances.setcover.SetSystem` and
   :class:`~repro.instances.setcover.SetCoverInstance` — online set cover with
   repetitions.
+* :mod:`~repro.instances.compiled` — array-native (interned + CSR) instance
+  views shared across algorithms, trials and workers.
 * :mod:`~repro.instances.canonical` — hand-made instances with known optima.
 * :mod:`~repro.instances.serialize` — JSON round-tripping.
 """
 
 from repro.instances.admission import AdmissionInstance, FeasibilityReport
+from repro.instances.compiled import CompiledInstance, compile_instance, compile_sequence
 from repro.instances.request import Decision, DecisionKind, Request, RequestSequence
 from repro.instances.setcover import CoverAssignment, SetCoverInstance, SetSystem
 from repro.instances import canonical, serialize
 
 __all__ = [
     "AdmissionInstance",
+    "CompiledInstance",
+    "compile_instance",
+    "compile_sequence",
     "FeasibilityReport",
     "Decision",
     "DecisionKind",

@@ -1,0 +1,215 @@
+"""Compiled (array-native) views of admission-control instances.
+
+The online algorithms spend most of their time inside the multiplicative
+weight mechanism, but before PR 2 every arrival still crossed a per-edge
+Python loop: edge ids (arbitrary hashables, typically ``(u, v)`` tuples) were
+hashed into dicts once per path edge, per arrival, per algorithm, per trial.
+
+:class:`CompiledInstance` removes that tax once and for all.  Compiling an
+instance
+
+* **interns** every edge id to a dense integer (``edge_order`` /
+  ``edge_index``) in the instance's capacity order, so backends and compiled
+  callers agree on the numbering without translation;
+* stores the request paths as a **CSR-style pair** (``indptr`` / ``indices``)
+  of NumPy arrays — request ``i`` occupies the edge indices
+  ``indices[indptr[i]:indptr[i+1]]`` — plus flat ``costs`` / ``request_ids``
+  arrays and a per-request ``tags`` tuple;
+* keeps a reference to the original :class:`~repro.instances.request.
+  RequestSequence` so callers that need the rich ``Request`` objects (the
+  acceptance bookkeeping, analysis code) can still get them in O(1).
+
+A compiled instance is immutable and read-only, so one compilation is safely
+shared across algorithms, trials, and parallel workers.
+:func:`compile_instance` memoizes per :class:`~repro.instances.admission.
+AdmissionInstance`, which is what "compile once per instance and reuse"
+means in practice: the engine, the trial runner and the experiments all hit
+the same cached object.
+
+The per-request edge *order* inside ``indices`` is exactly the iteration
+order of each request's ``edges`` frozenset — the same order the uncompiled
+path hands to :meth:`WeightBackend.register` — so compiled and uncompiled
+runs perform bit-identical floating-point operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.instances.admission import AdmissionInstance
+from repro.instances.request import EdgeId, Request, RequestSequence
+
+__all__ = ["CompiledInstance", "compile_sequence", "compile_instance"]
+
+#: Attribute used to memoize the compilation on the instance object itself.
+_CACHE_ATTR = "_compiled_instance_cache"
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledInstance:
+    """An admission instance lowered to contiguous arrays.
+
+    Identity semantics (``eq=False``): comparisons and hashing fall back to
+    object identity — a generated ``__eq__`` over ndarray fields would raise,
+    and the :func:`compile_instance` memoization relies on identity anyway.
+
+    Attributes
+    ----------
+    edge_order:
+        Dense edge index -> original edge id (the interning table).
+    edge_index:
+        Original edge id -> dense edge index (inverse of ``edge_order``).
+    capacities:
+        ``int64[m]`` edge capacities, indexed by dense edge index.
+    indptr / indices:
+        CSR-style request paths over dense edge indices: request ``i``
+        occupies ``indices[indptr[i]:indptr[i+1]]``.
+    costs:
+        ``float64[n]`` rejection penalties in arrival order.
+    request_ids:
+        ``int64[n]`` request ids in arrival order.
+    tags:
+        Per-arrival tag (``None`` for untagged requests).
+    requests:
+        The original request sequence (for callers that need ``Request``
+        objects — acceptance bookkeeping, decision logs, analysis).
+    name:
+        Human-readable name, carried over from the source instance.
+    """
+
+    edge_order: Tuple[EdgeId, ...]
+    edge_index: Dict[EdgeId, int]
+    capacities: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+    costs: np.ndarray
+    request_ids: np.ndarray
+    tags: Tuple[Optional[str], ...]
+    requests: RequestSequence
+    name: str = "compiled-instance"
+
+    # -- shape accessors ---------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        """Number of arrivals."""
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """``m`` — number of interned edges."""
+        return int(self.capacities.shape[0])
+
+    @property
+    def max_capacity(self) -> int:
+        """``c`` — maximum edge capacity."""
+        return int(self.capacities.max()) if self.num_edges else 0
+
+    @property
+    def total_path_length(self) -> int:
+        """Sum of path lengths over all requests (the size of ``indices``)."""
+        return int(self.indices.shape[0])
+
+    def __len__(self) -> int:
+        return self.num_requests
+
+    # -- per-request views -------------------------------------------------------
+    def edge_indices(self, i: int) -> np.ndarray:
+        """Dense edge indices of request ``i``'s path (a zero-copy CSR slice)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def request(self, i: int) -> Request:
+        """The original :class:`Request` object of arrival ``i``."""
+        return self.requests[i]
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    # -- conversions -------------------------------------------------------------
+    def capacities_by_id(self) -> Dict[EdgeId, int]:
+        """Capacity mapping keyed by the original edge ids (interning order)."""
+        caps = self.capacities
+        return {edge: int(caps[k]) for k, edge in enumerate(self.edge_order)}
+
+    def describe(self) -> str:
+        """One-line description used in logs and reports."""
+        return (
+            f"{self.name} [compiled]: m={self.num_edges} edges, "
+            f"{self.num_requests} requests, total path length {self.total_path_length}"
+        )
+
+
+def compile_sequence(
+    requests: RequestSequence,
+    capacities: Dict[EdgeId, int],
+    *,
+    name: str = "compiled-instance",
+) -> CompiledInstance:
+    """Compile a request sequence against a capacity mapping.
+
+    The interning order is the iteration order of ``capacities`` (dict
+    insertion order), which matches the order every
+    :class:`~repro.engine.backends.WeightBackend` built from the same mapping
+    uses — compiled indices therefore feed the backends directly, with no
+    per-arrival translation.
+    """
+    if not isinstance(requests, RequestSequence):
+        requests = RequestSequence(requests)
+    edge_order: Tuple[EdgeId, ...] = tuple(capacities)
+    edge_index: Dict[EdgeId, int] = {edge: k for k, edge in enumerate(edge_order)}
+    caps = np.fromiter((int(capacities[e]) for e in edge_order), dtype=np.int64, count=len(edge_order))
+
+    n = len(requests)
+    indptr = np.zeros(n + 1, dtype=np.intp)
+    flat: List[int] = []
+    costs = np.zeros(n, dtype=np.float64)
+    request_ids = np.zeros(n, dtype=np.int64)
+    tags: List[Optional[str]] = []
+    for i, request in enumerate(requests):
+        # Iterate the frozenset exactly as the uncompiled registration path
+        # does, so the per-edge processing order (and therefore every float
+        # operation) is identical between the two pipelines.
+        for edge in request.edges:
+            try:
+                flat.append(edge_index[edge])
+            except KeyError:
+                raise ValueError(
+                    f"request {request.request_id} uses edge {edge!r} "
+                    "that has no capacity entry"
+                ) from None
+        indptr[i + 1] = len(flat)
+        costs[i] = request.cost
+        request_ids[i] = request.request_id
+        tags.append(request.tag)
+    indices = np.asarray(flat, dtype=np.intp)
+    return CompiledInstance(
+        edge_order=edge_order,
+        edge_index=edge_index,
+        capacities=caps,
+        indptr=indptr,
+        indices=indices,
+        costs=costs,
+        request_ids=request_ids,
+        tags=tuple(tags),
+        requests=requests,
+        name=name,
+    )
+
+
+def compile_instance(instance: AdmissionInstance) -> CompiledInstance:
+    """Compile an :class:`AdmissionInstance`, memoizing on the instance.
+
+    The compiled view is immutable, so the cache is safe to share across
+    algorithms and trials; repeated calls for the same instance are O(1).
+    """
+    cached = getattr(instance, _CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+    compiled = compile_sequence(instance.requests, instance.capacities, name=instance.name)
+    try:
+        setattr(instance, _CACHE_ATTR, compiled)
+    except (AttributeError, TypeError):  # pragma: no cover - exotic instance types
+        pass
+    return compiled

@@ -63,6 +63,10 @@ class CapacitatedGraph:
             self._capacities[(u, v)] = cap
         if self._graph.number_of_edges() == 0:
             raise ValueError("graph must contain at least one edge")
+        # Memoized hop-count shortest paths: workload generators route many
+        # repeated (source, target) demand pairs, and re-running BFS for each
+        # is pure waste.  Invalidated on any mutation (see add_edge).
+        self._path_cache: Dict[Tuple[Vertex, Vertex], List[Vertex]] = {}
 
     # -- construction helpers --------------------------------------------------
     @classmethod
@@ -145,8 +149,34 @@ class CapacitatedGraph:
         return tuple(edges)
 
     def shortest_path(self, source: Vertex, target: Vertex) -> List[Vertex]:
-        """Shortest (fewest hops) directed path from ``source`` to ``target``."""
-        return nx.shortest_path(self._graph, source, target)
+        """Shortest (fewest hops) directed path from ``source`` to ``target``.
+
+        Memoized per ``(source, target)`` — repeated demand pairs skip the
+        BFS entirely.  The returned list is a fresh copy, so callers may
+        mutate it freely without corrupting the cache.
+        """
+        key = (source, target)
+        path = self._path_cache.get(key)
+        if path is None:
+            path = list(nx.shortest_path(self._graph, source, target))
+            self._path_cache[key] = path
+        return list(path)
+
+    def invalidate_routing_cache(self) -> None:
+        """Drop all memoized paths (call after mutating the graph directly)."""
+        self._path_cache.clear()
+
+    # -- mutation ------------------------------------------------------------------
+    def add_edge(self, u: Vertex, v: Vertex, capacity: int = 1) -> None:
+        """Add (or re-capacitate) a directed edge, invalidating cached paths."""
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError(f"capacity of edge ({u!r}, {v!r}) must be >= 1, got {capacity}")
+        if u == v:
+            raise ValueError(f"self-loop ({u!r}, {u!r}) is not allowed")
+        self._graph.add_edge(u, v, capacity=capacity)
+        self._capacities[(u, v)] = capacity
+        self.invalidate_routing_cache()
 
     def has_path(self, source: Vertex, target: Vertex) -> bool:
         """True if some directed path exists."""

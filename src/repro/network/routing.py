@@ -69,10 +69,14 @@ def random_simple_path(
         visited = {source}
         while path[-1] != target and len(path) <= limit:
             current = path[-1]
-            neighbours = [v for v in nxg.successors(current) if v not in visited]
-            if target in nxg.successors(current):
+            # Materialise the successor list once per step: the target
+            # membership test and the unvisited filter share it instead of
+            # re-walking a fresh generator each.
+            successors = list(nxg.successors(current))
+            if target in successors:
                 path.append(target)
                 break
+            neighbours = [v for v in successors if v not in visited]
             if not neighbours:
                 break
             nxt = neighbours[int(rng.integers(0, len(neighbours)))]

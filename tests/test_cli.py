@@ -101,12 +101,14 @@ class TestEngineFlags:
 class TestBenchCommand:
     def test_bench_without_baseline_passes(self, tmp_path):
         code, output = run_cli(
-            ["bench", "--quick", "--requests", "200",
+            ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
              "--baseline", str(tmp_path / "missing.json")]
         )
         assert code == 0
         assert "weight_update[python]" in output
         assert "weight_update[numpy]" in output
+        assert "scaling_10k[python]" in output
+        assert "scaling_10k[numpy]" in output
         assert "benchmark gate passed" in output
 
     def test_bench_write_then_gate_roundtrip(self, tmp_path):
@@ -114,14 +116,15 @@ class TestBenchCommand:
 
         baseline = tmp_path / "baseline.json"
         code, output = run_cli(
-            ["bench", "--quick", "--requests", "200",
+            ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
              "--baseline", str(baseline), "--write-baseline"]
         )
         assert code == 0
         assert baseline.exists()
         payload = json.loads(baseline.read_text())
         assert set(payload["benchmarks"]) == {
-            "weight_update[python]", "weight_update[numpy]"
+            "weight_update[python]", "weight_update[numpy]",
+            "scaling_10k[python]", "scaling_10k[numpy]",
         }
         # Inflate the stored seconds so scheduler noise on a loaded machine
         # cannot trip the 2x gate; this test checks the roundtrip wiring, the
@@ -129,7 +132,8 @@ class TestBenchCommand:
         payload["benchmarks"] = {k: v * 10 for k, v in payload["benchmarks"].items()}
         baseline.write_text(json.dumps(payload))
         code, output = run_cli(
-            ["bench", "--quick", "--requests", "200", "--baseline", str(baseline)]
+            ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
+             "--baseline", str(baseline)]
         )
         assert code == 0
         assert "benchmark gate passed" in output
@@ -148,7 +152,8 @@ class TestBenchCommand:
             },
         }))
         code, output = run_cli(
-            ["bench", "--quick", "--requests", "200", "--baseline", str(baseline)]
+            ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
+             "--baseline", str(baseline)]
         )
         assert code == 1
         assert "FAIL" in output

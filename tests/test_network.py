@@ -86,6 +86,34 @@ class TestCapacitatedGraph:
         paths = graph.simple_paths(0, 1, cutoff=2)
         assert [0, 1] in paths
 
+    def test_shortest_path_is_memoized_and_copy_safe(self):
+        graph = line_graph(5)
+        first = graph.shortest_path(0, 3)
+        assert graph._path_cache[(0, 3)] == [0, 1, 2, 3]
+        # Mutating the returned list must not corrupt the cache.
+        first.append("garbage")
+        assert graph.shortest_path(0, 3) == [0, 1, 2, 3]
+
+    def test_add_edge_invalidates_path_cache(self):
+        graph = line_graph(5)
+        assert graph.shortest_path(0, 3) == [0, 1, 2, 3]
+        graph.add_edge(0, 3, capacity=2)
+        assert graph.shortest_path(0, 3) == [0, 3]
+        assert graph.capacity((0, 3)) == 2
+
+    def test_add_edge_validates(self):
+        graph = line_graph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 2, capacity=0)
+
+    def test_invalidate_routing_cache(self):
+        graph = line_graph(4)
+        graph.shortest_path(0, 2)
+        graph.invalidate_routing_cache()
+        assert graph._path_cache == {}
+
 
 class TestTopologies:
     def test_line_graph(self):
