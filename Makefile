@@ -1,10 +1,26 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-baseline bench-suite profile
+.PHONY: test lint examples-smoke bench-smoke bench-baseline bench-suite profile ci
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Ruff (configured in pyproject.toml). Skips with a notice when ruff is not
+# installed locally; CI always installs and runs it.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
+
+# The examples double as end-to-end smoke tests of the public API.
+examples-smoke:
+	$(PYTHON) examples/quickstart.py
+
+# Reproduce the CI pipeline locally: lint, tests, examples smoke, bench gate.
+ci: lint test examples-smoke bench-smoke
 
 # Weight-update + 10k-request scaling benchmarks per backend; fails on a >2x
 # regression against benchmarks/baseline_bench.json.

@@ -1,9 +1,10 @@
 """Adversarial showdown: where naive admission policies fall over.
 
 Runs the library's adversarial workload suite (the constructions behind
-experiment E8) against the paper's algorithm and every baseline, printing one
-table per workload.  This is the quickest way to *see* why preemption and the
-primal–dual weighting matter:
+experiment E8) against the paper's algorithm and every baseline — all
+resolved from the algorithm registry and run over the compiled instance —
+printing one table per workload.  This is the quickest way to *see* why
+preemption and the primal–dual weighting matter:
 
 * ``cheap-then-expensive`` punishes algorithms that cannot preempt,
 * ``long-vs-short`` punishes algorithms that refuse to sacrifice one long
@@ -16,15 +17,10 @@ Run with:  python examples/adversarial_showdown.py
 
 from __future__ import annotations
 
-from repro import DoublingAdmissionControl, run_admission
 from repro.analysis import evaluate_admission_run, format_records
-from repro.baselines import (
-    ExponentialBenefitAdmission,
-    GreedySwap,
-    KeepExpensive,
-    RejectWhenFull,
-    ThresholdPreemption,
-)
+from repro.core import run_admission
+from repro.engine import make_admission_algorithm
+from repro.instances.compiled import compile_instance
 from repro.workloads import (
     benefit_objective_trap,
     cheap_then_expensive_adversary,
@@ -38,20 +34,25 @@ def main() -> None:
         "long-vs-short": long_vs_short_adversary(num_edges=16, capacity=1),
         "benefit-trap": benefit_objective_trap(num_groups=8, group_size=5),
     }
-    factories = {
-        "Paper (doubling randomized)": lambda inst: DoublingAdmissionControl.for_instance(inst, random_state=2),
-        "RejectWhenFull": RejectWhenFull.for_instance,
-        "KeepExpensive": KeepExpensive.for_instance,
-        "GreedySwap": GreedySwap.for_instance,
-        "ThresholdPreemption": ThresholdPreemption.for_instance,
-        "Throughput (AAP-style)": ExponentialBenefitAdmission.for_instance,
-    }
+    # (display label, registry key, builder kwargs)
+    algorithms = [
+        ("Paper (doubling randomized)", "doubling", {"random_state": 2}),
+        ("RejectWhenFull", "reject-when-full", {}),
+        ("KeepExpensive", "keep-expensive", {}),
+        ("GreedySwap", "greedy-swap", {}),
+        ("ThresholdPreemption", "threshold", {}),
+        ("Throughput (AAP-style)", "exponential-benefit", {}),
+    ]
 
     for name, instance in workloads.items():
+        # One compilation is shared by every algorithm below.
+        compiled = compile_instance(instance)
         records = []
-        for label, factory in factories.items():
-            algorithm = factory(instance)
-            record = evaluate_admission_run(instance, run_admission(algorithm, instance))
+        for label, key, kwargs in algorithms:
+            algorithm = make_admission_algorithm(key, instance, **kwargs)
+            record = evaluate_admission_run(
+                instance, run_admission(algorithm, instance, compiled=compiled)
+            )
             record.algorithm = label
             records.append(record)
         print(format_records(records, title=f"Workload: {name} ({instance.describe()})"))

@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import BicriteriaOnlineSetCover, OnlineSetCoverViaAdmissionControl, run_setcover
 from repro.analysis import evaluate_setcover_run, format_records, format_table
-from repro.baselines import GreedyDensityOnline
+from repro.core import run_setcover
+from repro.engine import make_setcover_algorithm
 from repro.instances.setcover import SetCoverInstance, SetSystem
 from repro.offline import greedy_set_multicover, solve_set_multicover_ilp
 from repro.utils.rng import as_generator
@@ -77,12 +77,16 @@ def main() -> None:
         f"offline greedy opens {greedy_offline.num_sets}.\n"
     )
 
+    # Algorithms resolved from the engine registry by key, exactly as the
+    # experiments and the CLI resolve them.
     algorithms = {
-        "Paper (reduction to admission control)": OnlineSetCoverViaAdmissionControl(
-            system, random_state=1
+        "Paper (reduction to admission control)": make_setcover_algorithm(
+            "reduction", instance, random_state=1
         ),
-        "Paper (deterministic bicriteria, eps=0.2)": BicriteriaOnlineSetCover(system, eps=0.2),
-        "Greedy on demand": GreedyDensityOnline(system),
+        "Paper (deterministic bicriteria, eps=0.2)": make_setcover_algorithm(
+            "bicriteria", instance, eps=0.2
+        ),
+        "Greedy on demand": make_setcover_algorithm("greedy-density", instance),
     }
     records = []
     coverage_rows = []

@@ -23,12 +23,11 @@ Run with:  python examples/isp_admission_control.py
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import DoublingAdmissionControl, run_admission
 from repro.analysis import evaluate_admission_run, format_records, format_table
-from repro.baselines import ExponentialBenefitAdmission, KeepExpensive
-from repro.instances.request import Request, RequestSequence
+from repro.core import run_admission
+from repro.engine import make_admission_algorithm
+from repro.instances.compiled import compile_instance
+from repro.instances.request import RequestSequence
 from repro.network.graph import CapacitatedGraph
 from repro.offline import solve_admission_ilp
 from repro.utils.rng import as_generator
@@ -69,15 +68,22 @@ def main() -> None:
     optimum = solve_admission_ilp(instance, time_limit=30.0)
     print(f"Offline optimum: reject {optimum.num_rejections} circuits, cost {optimum.cost:.1f}\n")
 
+    # Algorithms resolved from the engine registry; one shared compilation
+    # streams every run through the array-native fast path.
     algorithms = {
-        "Paper (doubling randomized)": DoublingAdmissionControl.for_instance(instance, random_state=3),
-        "Throughput-maximising (AAP-style)": ExponentialBenefitAdmission.for_instance(instance),
-        "Greedy preemptive": KeepExpensive.for_instance(instance),
+        "Paper (doubling randomized)": make_admission_algorithm(
+            "doubling", instance, random_state=3, backend="numpy"
+        ),
+        "Throughput-maximising (AAP-style)": make_admission_algorithm(
+            "exponential-benefit", instance
+        ),
+        "Greedy preemptive": make_admission_algorithm("keep-expensive", instance),
     }
+    compiled = compile_instance(instance)
     records = []
     detail_rows = []
     for label, algorithm in algorithms.items():
-        result = run_admission(algorithm, instance)
+        result = run_admission(algorithm, instance, compiled=compiled)
         record = evaluate_admission_run(instance, result, ilp_time_limit=30.0)
         record.algorithm = label
         records.append(record)

@@ -1,52 +1,41 @@
 """Quickstart: admission control to minimize rejections on a small network.
 
 This example builds a small capacitated network, generates a congested request
-sequence, runs the paper's randomized online algorithm (with guess-and-double
-estimation of OPT) next to a simple baseline, and compares both against the
-exact offline optimum.
+sequence from the scenario registry, runs the paper's randomized online
+algorithm (with guess-and-double estimation of OPT) next to a simple baseline
+— both resolved by registry key and streamed through the engine's compiled
+fast path — and compares them against the exact offline optimum.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import DoublingAdmissionControl, run_admission
 from repro.analysis import evaluate_admission_run, format_records
-from repro.baselines import RejectWhenFull
-from repro.network.topologies import grid_graph
+from repro.engine import EngineConfig, SimulationEngine
 from repro.offline import solve_admission_ilp
-from repro.workloads import hotspot_workload, pareto_costs
+from repro.scenarios import build_scenario
 
 
 def main() -> None:
-    # 1. A 4x4 grid network where every link can carry 3 simultaneous circuits.
-    graph = grid_graph(rows=4, cols=4, capacity=3)
-    print(f"Network: {graph.num_vertices} routers, {graph.num_edges} directed links, capacity 3 each")
+    # 1. A congested workload from the scenario registry: a 4x4 grid network
+    #    where most circuits squeeze through two hotspot links, with
+    #    heavy-tailed rejection penalties.
+    instance = build_scenario("hotspot", random_state=7, num_requests=120)
+    print(f"Network workload: {instance.describe()}")
 
-    # 2. A congested workload: 120 circuit requests, most of them squeezed
-    #    through two hotspot links, with heavy-tailed rejection penalties.
-    instance = hotspot_workload(
-        graph,
-        num_requests=120,
-        num_hotspots=2,
-        hotspot_fraction=0.6,
-        cost_sampler=lambda count, rng: pareto_costs(count, shape=1.5, random_state=rng),
-        random_state=7,
-        name="quickstart-hotspot",
-    )
-    print(instance.describe())
-
-    # 3. The offline optimum (what an omniscient operator would have rejected).
+    # 2. The offline optimum (what an omniscient operator would have rejected).
     optimum = solve_admission_ilp(instance)
     print(f"Offline optimum rejects {optimum.num_rejections} requests at cost {optimum.cost:.2f}\n")
 
-    # 4. The paper's online algorithm vs the naive baseline.
+    # 3. The paper's online algorithm vs the naive baseline, resolved from the
+    #    algorithm registry and streamed through the compiled (array-native)
+    #    fast path by the engine.
+    engine = SimulationEngine(EngineConfig(backend="numpy"))
     records = []
-    paper_algo = DoublingAdmissionControl.for_instance(instance, random_state=0)
-    records.append(evaluate_admission_run(instance, run_admission(paper_algo, instance)))
-
-    baseline = RejectWhenFull.for_instance(instance)
-    records.append(evaluate_admission_run(instance, run_admission(baseline, instance)))
+    for key in ("doubling", "reject-when-full"):
+        run = engine.run_admission(key, instance, random_state=0)
+        records.append(evaluate_admission_run(instance, run.result))
 
     print(format_records(records, title="Online algorithms vs offline optimum"))
     print(

@@ -1,0 +1,71 @@
+"""Scenario sweep: one matrix from synthetic families and a recorded trace.
+
+This example shows the scenario subsystem end to end:
+
+1. generate serving-style traffic (a flash crowd) from the scenario registry;
+2. record it to a JSONL trace file and replay it — replay is exact, so the
+   decision logs of the original and the replayed run are identical;
+3. run a scenarios x algorithms sweep that mixes generative families with the
+   recorded trace, and print the cross-scenario comparison table.
+
+The same matrix is available from the shell:
+
+    python -m repro sweep --scenarios bursty,flash_crowd \
+        --algorithms fractional,randomized --backend numpy --jobs 4
+
+Run with:  python examples/scenario_sweep.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import run_admission
+from repro.engine import make_admission_algorithm
+from repro.engine.sweep import ScenarioSweep
+from repro.instances.compiled import compile_instance
+from repro.scenarios import build_scenario, load_trace, record_trace, scenario_from_trace
+
+
+def main() -> None:
+    # 1. Generate a flash crowd and record it as a JSONL trace.
+    instance = build_scenario("flash_crowd", random_state=11, num_requests=200)
+    trace_path = Path(tempfile.gettempdir()) / "flash_crowd_demo.jsonl"
+    record_trace(instance, trace_path)
+    print(f"Recorded {instance.describe()}\n      -> {trace_path}")
+
+    # 2. Replay it and check the round trip is exact: same decisions, bit for bit.
+    replayed = load_trace(trace_path)
+    original_run = run_admission(
+        make_admission_algorithm("randomized", instance, random_state=5),
+        instance,
+        compiled=compile_instance(instance),
+    )
+    replayed_run = run_admission(
+        make_admission_algorithm("randomized", replayed, random_state=5),
+        replayed,
+        compiled=compile_instance(replayed),
+    )
+    same = [(d.request_id, d.kind) for d in original_run.decisions] == [
+        (d.request_id, d.kind) for d in replayed_run.decisions
+    ]
+    print(f"Replay reproduces the decision log exactly: {same}\n")
+
+    # 3. A sweep mixing generative scenarios with the recorded trace.
+    sweep = ScenarioSweep(
+        ["bursty", "zipf_costs", scenario_from_trace(trace_path, register=False)],
+        ["fractional", "randomized"],
+        backend="numpy",
+        num_trials=2,
+        seed=7,
+    )
+    print(sweep.run().report())
+    print(
+        "\nEvery scenario feeds the same compiled fast path, so new families "
+        "cost one registry entry and zero algorithm changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

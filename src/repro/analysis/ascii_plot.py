@@ -9,7 +9,7 @@ EXPERIMENTS.md and benchmark output.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["ascii_line_plot", "ascii_series_table"]
 

@@ -7,7 +7,7 @@ has to be readable inside pytest-benchmark captures and CI logs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_records", "format_kv"]
 

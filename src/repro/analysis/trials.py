@@ -16,7 +16,7 @@ factories are picklable module-level callables — across processes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -26,11 +26,14 @@ from repro.analysis.competitive import (
     evaluate_setcover_run,
 )
 from repro.analysis.stats import SummaryStats, summarize
+from repro.core.bounds import fractional_admission_bound
 from repro.core.protocols import run_admission, run_setcover
 from repro.engine.executor import derive_seed_pairs, execute
 from repro.instances.admission import AdmissionInstance
 from repro.instances.compiled import compile_instance
 from repro.instances.setcover import SetCoverInstance
+from repro.offline import solve_admission_lp
+from repro.utils.mathx import safe_ratio
 from repro.utils.rng import as_generator
 
 __all__ = ["TrialSummary", "run_admission_trials", "run_setcover_trials"]
@@ -115,11 +118,49 @@ class _TrialSpec:
     compile_instances: bool = True
 
 
+def _evaluate_fractional_trial(instance: AdmissionInstance, algorithm, *, compile_instances: bool) -> CompetitiveRecord:
+    """Evaluate a fractional-style algorithm (no integral ``result()``).
+
+    The Section-2 fractional algorithm exposes ``process_sequence`` /
+    ``fractional_cost`` instead of the integral
+    :class:`~repro.core.protocols.AdmissionResult` protocol; its natural
+    comparator is the *fractional* optimum (the LP), exactly as in E1, so the
+    ``offline`` knob is ignored here and the record says ``lp``.
+    """
+    algorithm.process_sequence(
+        compile_instance(instance) if compile_instances else instance.requests
+    )
+    opt = solve_admission_lp(instance)
+    online_cost = algorithm.fractional_cost()
+    ratio = safe_ratio(online_cost, opt.cost)
+    bound = fractional_admission_bound(
+        instance.num_edges, max(instance.max_capacity, 1), weighted=not instance.is_unit_cost()
+    )
+    return CompetitiveRecord(
+        algorithm=getattr(algorithm, "name", type(algorithm).__name__),
+        instance_name=instance.name,
+        online_cost=online_cost,
+        offline_cost=opt.cost,
+        offline_kind=f"lp:{opt.status}",
+        ratio=ratio,
+        bound=bound,
+        normalized_ratio=bound.normalized(ratio),
+        feasible=True,
+        extra={"num_augmentations": getattr(algorithm, "num_augmentations", None)},
+    )
+
+
 def _run_trial(spec: _TrialSpec) -> CompetitiveRecord:
     """Execute one trial (worker function; module-level so it can pickle)."""
     instance = spec.instance_factory(as_generator(spec.instance_seed))
     algorithm = spec.algorithm_factory(instance, as_generator(spec.algo_seed))
     if spec.kind == "admission":
+        if not hasattr(algorithm, "result"):
+            # Fractional-style algorithms never produce an integral result;
+            # they are compared against the LP optimum instead.
+            return _evaluate_fractional_trial(
+                instance, algorithm, compile_instances=spec.compile_instances
+            )
         compiled = (
             compile_instance(instance)
             if spec.compile_instances and hasattr(algorithm, "process_indexed")

@@ -3,13 +3,31 @@
 Exposes the experiment harness, the engine's benchmark gate and a couple of
 quick demos without writing any Python::
 
-    python -m repro list                      # list the E1..E10 experiments
+    python -m repro list                      # list the E1..E11 experiments
     python -m repro run E4 --quick            # regenerate one experiment table
     python -m repro run all --quick --jobs 4  # every experiment, 4 workers
     python -m repro run E3 --backend numpy    # vectorized weight backend
     python -m repro demo admission            # small end-to-end admission demo
     python -m repro demo setcover             # small end-to-end set-cover demo
     python -m repro bench --quick             # micro-benchmark per backend + gate
+
+The ``sweep`` subcommand runs the scenario matrix: every named scenario is
+generated per trial, every named algorithm runs on it, and the aggregated
+competitive ratios are rendered as a cross-scenario comparison table::
+
+    python -m repro sweep --list                          # list scenario keys
+    python -m repro sweep --scenarios bursty,zipf_costs,flash_crowd \
+        --algorithms fractional,randomized --backend numpy --jobs 4
+    python -m repro sweep --scenarios all --algorithms doubling \
+        --trials 5 --out sweep.json                       # JSON report
+    python -m repro sweep --trace traces/day1.jsonl \
+        --algorithms fractional,randomized                # replay a recording
+
+``--scenarios`` takes comma-separated scenario keys (or ``all``); ``--trace``
+(repeatable) registers a recorded JSONL trace as one more scenario; ``--out``
+writes the aggregated report as JSON.  Cell seeds derive from ``(--seed,
+scenario, algorithm)``, so adding a scenario never changes another's numbers
+and ``--jobs`` never changes any number at all.
 
 The CLI prints exactly the tables recorded in EXPERIMENTS.md (on the chosen
 grid) so results can be regenerated and diffed from a shell.  ``--backend``
@@ -35,8 +53,10 @@ from repro.engine.benchmarking import (
     compare_to_baseline,
     default_baseline_path,
     run_scaling_bench,
+    run_sweep_bench,
     run_weight_update_bench,
     scaling_workload,
+    sweep_workload,
     weight_update_workload,
 )
 from repro.engine.executor import execute
@@ -67,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     backends = _backend_choices()
 
-    subparsers.add_parser("list", help="list the available experiments (E1..E10)")
+    subparsers.add_parser("list", help="list the available experiments (E1..E11)")
 
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all') and print its table")
     run_parser.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
@@ -100,6 +120,46 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument(
         "--backend", choices=backends, default="python",
         help="weight-mechanism backend used by the paper's algorithms",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run the scenario x algorithm matrix and print a comparison table"
+    )
+    sweep_parser.add_argument(
+        "--scenarios", default="bursty,zipf_costs,flash_crowd",
+        help="comma-separated scenario keys, or 'all' (default: bursty,zipf_costs,flash_crowd)",
+    )
+    sweep_parser.add_argument(
+        "--algorithms", default="fractional,randomized,doubling",
+        help="comma-separated admission-algorithm keys (default: fractional,randomized,doubling)",
+    )
+    sweep_parser.add_argument(
+        "--backend", choices=backends, default="python",
+        help="weight-mechanism backend used by every algorithm (default: python)",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel workers per cell (1 = serial, 0 = all cores); never changes results",
+    )
+    sweep_parser.add_argument("--trials", type=int, default=3, help="trials per cell")
+    sweep_parser.add_argument("--seed", type=int, default=20050718, help="master seed")
+    sweep_parser.add_argument(
+        "--offline", choices=["lp", "ilp"], default="lp",
+        help="offline comparator for integral algorithms (default: lp, a fast lower bound)",
+    )
+    sweep_parser.add_argument(
+        "--ilp-time-limit", type=float, default=20.0, help="time limit (s) for exact offline solves"
+    )
+    sweep_parser.add_argument(
+        "--trace", action="append", default=[], metavar="PATH",
+        help="register a recorded JSONL trace as one more scenario (repeatable)",
+    )
+    sweep_parser.add_argument(
+        "--out", type=Path, default=None, help="also write the aggregated report as JSON"
+    )
+    sweep_parser.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the registered scenarios and exit",
     )
 
     bench_parser = subparsers.add_parser(
@@ -208,6 +268,41 @@ def _cmd_demo(args, out) -> int:
     return 0
 
 
+def _cmd_sweep(args, out) -> int:
+    from repro.engine.sweep import ScenarioSweep
+    from repro.scenarios import get_scenario, scenario_from_trace, scenario_keys
+
+    if args.list_scenarios:
+        for key in scenario_keys():
+            print(f"{key:<18} {get_scenario(key).description}", file=out)
+        return 0
+
+    if args.scenarios.strip().lower() == "all":
+        scenarios = list(scenario_keys())
+    else:
+        scenarios = [s for s in (p.strip() for p in args.scenarios.split(",")) if s]
+    scenario_list = [get_scenario(key) for key in scenarios]
+    scenario_list.extend(scenario_from_trace(path, register=False) for path in args.trace)
+    algorithms = [a for a in (p.strip() for p in args.algorithms.split(",")) if a]
+
+    sweep = ScenarioSweep(
+        scenario_list,
+        algorithms,
+        backend=args.backend,
+        jobs=args.jobs,
+        num_trials=args.trials,
+        seed=args.seed,
+        offline=args.offline,
+        ilp_time_limit=args.ilp_time_limit,
+    )
+    result = sweep.run()
+    print(result.report(), file=out)
+    if args.out is not None:
+        result.save(args.out)
+        print(f"\nreport written to {args.out}", file=out)
+    return 0
+
+
 def _cmd_bench(args, out) -> int:
     workload = weight_update_workload(quick=args.quick)
     if args.requests is not None:
@@ -234,6 +329,15 @@ def _cmd_bench(args, out) -> int:
             f"{result.augmentations} augmentations)",
             file=out,
         )
+    sweep = sweep_workload()
+    for backend in _backend_choices():
+        result = run_sweep_bench(backend, sweep)
+        results.append(result)
+        print(
+            f"sweep_small[{result.backend}]: {result.seconds:.3f}s "
+            f"({result.augmentations} cells, mean ratio {result.fractional_cost:.3f})",
+            file=out,
+        )
     by_backend = {r.backend: r.seconds for r in results if r.name == "weight_update"}
     if "python" in by_backend and "numpy" in by_backend and by_backend["numpy"] > 0:
         print(
@@ -249,6 +353,7 @@ def _cmd_bench(args, out) -> int:
             "workloads": {
                 "weight_update": dataclasses.asdict(workload),
                 "scaling_10k": dataclasses.asdict(scaling),
+                "sweep_small": dataclasses.asdict(sweep),
             },
             "benchmarks": {f"{r.name}[{r.backend}]": r.seconds for r in results},
         }
@@ -286,6 +391,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_run(args, out)
     if args.command == "demo":
         return _cmd_demo(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
     parser.error(f"unknown command {args.command!r}")

@@ -26,8 +26,8 @@ unweighted case and inside the guess-and-double wrapper of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 import numpy as np
 

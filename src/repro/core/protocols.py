@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Set
 
 from repro.instances.admission import AdmissionInstance
 from repro.instances.compiled import CompiledInstance

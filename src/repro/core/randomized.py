@@ -33,15 +33,14 @@ the library and documented in DESIGN.md:
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.core.fractional import CostClass, FractionalAdmissionControl, FractionalDecision
 from repro.core.protocols import OnlineAdmissionAlgorithm
 from repro.engine.backends import BackendSpec
 from repro.engine.registry import ADMISSION_ALGORITHMS
 from repro.instances.admission import AdmissionInstance
-from repro.instances.request import Decision, DecisionKind, EdgeId, Request
+from repro.instances.request import Decision, EdgeId, Request
 from repro.utils.mathx import log2_guarded
 from repro.utils.rng import RandomState, as_generator
 

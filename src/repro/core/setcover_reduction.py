@@ -31,7 +31,7 @@ paper's assumption that only phase-1 requests are ever rejected.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple, Union
 
 from repro.core.doubling import DoublingAdmissionControl
 from repro.core.protocols import OnlineAdmissionAlgorithm, OnlineSetCoverAlgorithm

@@ -17,6 +17,9 @@ the library executes it:
   deterministic per-trial seed derivation.
 * :mod:`repro.engine.config` — :class:`~repro.engine.config.EngineConfig`,
   the ``--backend`` / ``--jobs`` knobs as one picklable object.
+* :mod:`repro.engine.sweep` — :class:`~repro.engine.sweep.ScenarioSweep`,
+  the scenarios x algorithms x backends matrix runner (exported lazily: it
+  sits above the analysis layer, so importing it here eagerly would cycle).
 """
 
 from repro.engine.backends import (
@@ -48,7 +51,20 @@ from repro.engine.runtime import (
     make_setcover_algorithm,
 )
 
+def __getattr__(name: str):
+    # Lazy: repro.engine.sweep imports repro.analysis (which imports
+    # repro.core, which imports repro.engine.registry); importing it at the
+    # top of this package would create a cycle.
+    if name in ("ScenarioSweep", "SweepResult"):
+        from repro.engine import sweep
+
+        return getattr(sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "ScenarioSweep",
+    "SweepResult",
     "ArrivalOutcome",
     "AugmentationRecord",
     "NumpyWeightBackend",

@@ -87,6 +87,17 @@ BackendSpec = Union[None, str, EngineConfig]
 #: Anything the indexed fast path accepts as a run of dense edge indices.
 EdgeIndices = Union[Sequence[int], np.ndarray]
 
+#: Relative slack applied when comparing an alive-weight sum against the
+#: integer excess ``n_e``.  The per-request weights are bit-identical across
+#: backends, but the *sum* is order-dependent (a Python set iteration vs
+#: NumPy's pairwise reduction), so on unit-cost instances — where the sum
+#: frequently lands exactly on the integer threshold — a one-ULP difference
+#: would flip the augmentation decision and the backends would genuinely
+#: diverge.  Treating "within 1e-9 relative of satisfied" as satisfied makes
+#: the decision identical whenever the sums agree to the repository's 1e-9
+#: equivalence tolerance.
+SUM_TOLERANCE = 1e-9
+
 
 @dataclass
 class AugmentationRecord:
@@ -336,11 +347,15 @@ class WeightBackend:
         return self._alive_count_indexed(k) - self._cap[k]
 
     def constraint_satisfied(self, edge: EdgeId) -> bool:
-        """True if the covering constraint of ``edge`` currently holds."""
+        """True if the covering constraint of ``edge`` currently holds.
+
+        Satisfied within :data:`SUM_TOLERANCE` (relative), matching the
+        termination check of the augmentation loop.
+        """
         n_e = self.excess(edge)
         if n_e <= 0:
             return True
-        return self.alive_weight_sum(edge) >= n_e
+        return self.alive_weight_sum(edge) >= n_e * (1.0 - SUM_TOLERANCE)
 
     def fractional_cost(self) -> float:
         """``sum_i min(f_i, 1) * p_i`` over every registered request."""
@@ -627,7 +642,10 @@ class PythonWeightBackend(WeightBackend):
         while True:
             alive = self._alive_on_edge[eidx]
             n_e = (len(alive) if alive else 0) - cap
-            if n_e <= 0 or sum(weights[i] for i in alive) >= n_e:
+            # ``>= n_e`` within SUM_TOLERANCE: the sum is order-dependent in
+            # its last ULP, and unit-cost instances land exactly on the
+            # threshold — see the SUM_TOLERANCE comment.
+            if n_e <= 0 or sum(weights[i] for i in alive) >= n_e * (1.0 - SUM_TOLERANCE):
                 break
             if outcome is None:
                 self._augment_once(eidx, triggered_by, record=False)
@@ -830,7 +848,7 @@ class NumpyWeightBackend(WeightBackend):
         idx = self._alive_slots(eidx)
         w = self._w[idx]  # gather (a copy); scattered back on exit
         n_e = int(idx.shape[0]) - cap
-        if float(w.sum()) >= n_e:
+        if float(w.sum()) >= n_e * (1.0 - SUM_TOLERANCE):
             return
         record = outcome is not None
         if record:
@@ -900,7 +918,7 @@ class NumpyWeightBackend(WeightBackend):
             n_e = int(idx.shape[0]) - cap
             if n_e <= 0:
                 break
-            if float(w.sum()) >= n_e:
+            if float(w.sum()) >= n_e * (1.0 - SUM_TOLERANCE):
                 break
         if idx.shape[0]:
             self._w[idx] = w  # scatter the survivors back

@@ -1,6 +1,6 @@
 """The engine's micro-benchmarks and the perf-regression gate.
 
-Two canonical benchmarks cover the library's hot paths:
+Three canonical benchmarks cover the library's hot paths:
 
 * the *weight-update* micro-benchmark exercises the multiplicative weight
   mechanism — the hottest loop — on an instance with >= 1000 edges whose two
@@ -10,7 +10,11 @@ Two canonical benchmarks cover the library's hot paths:
   path for comparison);
 * the *scaling* benchmark runs the full Section-2 fractional algorithm
   end-to-end — compile, intern, classify, augment — on a >= 10k-request
-  instance, which is the regime the compiled-instance layer exists for.
+  instance, which is the regime the compiled-instance layer exists for;
+* the *sweep* benchmark runs a small scenario x algorithm matrix through
+  :class:`~repro.engine.sweep.ScenarioSweep` — workload generation, trial
+  fan-out, LP comparator, aggregation — so regressions anywhere in the
+  scenario pipeline (not just the weight mechanism) trip the gate.
 
 The same workloads drive:
 
@@ -43,11 +47,14 @@ from repro.instances.request import EdgeId, Request, RequestSequence
 __all__ = [
     "WeightUpdateWorkload",
     "ScalingWorkload",
+    "SweepWorkload",
     "BenchResult",
     "weight_update_workload",
     "scaling_workload",
+    "sweep_workload",
     "run_weight_update_bench",
     "run_scaling_bench",
+    "run_sweep_bench",
     "compare_to_baseline",
     "REGRESSION_FACTOR",
     "default_baseline_path",
@@ -214,6 +221,64 @@ def run_scaling_bench(
         seconds=seconds,
         augmentations=algorithm.num_augmentations,
         fractional_cost=algorithm.fractional_cost(),
+    )
+
+
+@dataclass(frozen=True)
+class SweepWorkload:
+    """A small scenario x algorithm matrix for the end-to-end sweep benchmark.
+
+    Small enough that the gate stays fast, but sized (request count x trials)
+    so one run lands in the hundreds of milliseconds — the >2x absolute gate
+    needs headroom above scheduler noise.  It covers workload generation,
+    compilation, the trial executor, the LP comparator and the aggregation
+    layer in one number.
+    """
+
+    scenarios: Tuple[str, ...] = ("bursty", "flash_crowd")
+    algorithms: Tuple[str, ...] = ("fractional",)
+    num_trials: int = 3
+    num_requests: int = 2000
+    seed: int = 7
+
+
+def sweep_workload() -> SweepWorkload:
+    """The canonical sweep-benchmark matrix."""
+    return SweepWorkload()
+
+
+def run_sweep_bench(backend: str, workload: Optional[SweepWorkload] = None) -> BenchResult:
+    """Time a small end-to-end scenario sweep on one backend.
+
+    ``augmentations`` carries the number of (scenario, algorithm) cells and
+    ``fractional_cost`` the mean competitive ratio across them — useful as a
+    sanity check that the matrix actually ran, not as perf signals.
+    """
+    from repro.engine.sweep import ScenarioSweep
+
+    workload = workload or sweep_workload()
+    sweep = ScenarioSweep(
+        list(workload.scenarios),
+        list(workload.algorithms),
+        backend=backend,
+        num_trials=workload.num_trials,
+        seed=workload.seed,
+        offline="lp",
+        scenario_overrides={
+            key: {"num_requests": workload.num_requests} for key in workload.scenarios
+        },
+    )
+    start = time.perf_counter()
+    result = sweep.run()
+    seconds = time.perf_counter() - start
+    rows = result.rows()
+    mean_ratio = sum(r["ratio_mean"] for r in rows) / max(len(rows), 1)
+    return BenchResult(
+        name="sweep_small",
+        backend=backend,
+        seconds=seconds,
+        augmentations=len(rows),
+        fractional_cost=mean_ratio,
     )
 
 

@@ -25,7 +25,7 @@ the library and can be imported from anywhere without cycles.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Callable, Dict, Generic, Iterator, List, Tuple, TypeVar
 
 __all__ = [
     "Registry",

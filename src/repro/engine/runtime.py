@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Any, Iterable, Iterator, List, Optional, Union
 
 from repro.engine.config import EngineConfig
 from repro.engine.registry import ADMISSION_ALGORITHMS, SETCOVER_ALGORITHMS

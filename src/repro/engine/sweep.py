@@ -1,0 +1,265 @@
+"""The scenario sweep runner: scenarios x algorithms x backends, one matrix.
+
+:class:`ScenarioSweep` turns the scenario registry and the algorithm registry
+into an open-ended evaluation matrix: every (scenario, algorithm) cell runs
+``num_trials`` independent trials through the engine's parallel trial
+executor (:func:`repro.analysis.trials.run_admission_trials`, with
+pre-dispatch seed derivation so ``jobs=N`` never changes a number), and the
+result aggregates competitive ratios into one cross-scenario comparison
+table.
+
+Cell seeds are derived with :func:`repro.utils.rng.stable_seed` from
+``(master seed, scenario key, algorithm key)`` — *not* from the cell's
+position in the grid — so adding or removing a scenario never perturbs the
+numbers of the others, and a single cell can be reproduced in isolation::
+
+    ScenarioSweep(["bursty"], ["fractional"], seed=7).run()
+
+The factories that cross the executor boundary
+(:class:`ScenarioInstanceFactory`, :class:`SweepAlgorithmFactory`) are
+module-level dataclasses, so cells fan out over *processes* whenever the
+scenario's builder pickles (all built-ins do).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.trials import TrialSummary, run_admission_trials
+from repro.engine.config import EngineConfig
+from repro.engine.runtime import ensure_builtin_registrations, make_admission_algorithm
+from repro.instances.admission import AdmissionInstance
+from repro.scenarios.registry import Scenario, get_scenario
+from repro.utils.rng import stable_seed
+
+__all__ = [
+    "ScenarioSweep",
+    "SweepResult",
+    "ScenarioInstanceFactory",
+    "SweepAlgorithmFactory",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioInstanceFactory:
+    """Picklable ``rng -> instance`` factory for one scenario.
+
+    Carries the :class:`~repro.scenarios.registry.Scenario` object itself
+    (not just its key), so process-pool workers need no registry state.
+    """
+
+    scenario: Scenario
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __call__(self, rng: np.random.Generator) -> AdmissionInstance:
+        return self.scenario.build(random_state=rng, **dict(self.overrides))
+
+
+@dataclass(frozen=True)
+class SweepAlgorithmFactory:
+    """Picklable ``(instance, rng) -> algorithm`` factory for one registry key."""
+
+    key: str
+    config: EngineConfig
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def __call__(self, instance: AdmissionInstance, rng: np.random.Generator):
+        return make_admission_algorithm(
+            self.key, instance, random_state=rng, backend=self.config, **dict(self.kwargs)
+        )
+
+
+@dataclass
+class SweepResult:
+    """Aggregated outcome of one scenario x algorithm sweep."""
+
+    summaries: Dict[Tuple[str, str], TrialSummary]
+    scenarios: List[str]
+    algorithms: List[str]
+    backend: str
+    seed: int
+    num_trials: int
+    offline: str
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One flat row per (scenario, algorithm) cell, in grid order."""
+        out: List[Dict[str, Any]] = []
+        for scenario in self.scenarios:
+            for algorithm in self.algorithms:
+                summary = self.summaries[(scenario, algorithm)]
+                ratio = summary.ratio_stats()
+                out.append(
+                    {
+                        "scenario": scenario,
+                        "algorithm": algorithm,
+                        "trials": summary.num_trials,
+                        "ratio_mean": ratio.mean,
+                        "ratio_max": ratio.maximum,
+                        "online_mean": summary.online_cost_stats().mean,
+                        "offline_mean": summary.offline_cost_stats().mean,
+                        "feasible": summary.all_feasible(),
+                    }
+                )
+        return out
+
+    def table(self, float_format: str = ".3f") -> str:
+        """The long-form table: one row per cell."""
+        title = (
+            f"Scenario sweep — backend={self.backend}, trials={self.num_trials}, "
+            f"seed={self.seed}, offline={self.offline}"
+        )
+        return format_table(self.rows(), title=title, float_format=float_format)
+
+    def comparison_table(self, float_format: str = ".3f") -> str:
+        """The cross-scenario pivot: one row per scenario, one ratio column per algorithm."""
+        rows = []
+        for scenario in self.scenarios:
+            row: Dict[str, Any] = {"scenario": scenario}
+            for algorithm in self.algorithms:
+                summary = self.summaries[(scenario, algorithm)]
+                row[f"ratio[{algorithm}]"] = summary.ratio_stats().mean
+            rows.append(row)
+        return format_table(
+            rows, title="Cross-scenario comparison (mean competitive ratio)",
+            float_format=float_format,
+        )
+
+    def report(self) -> str:
+        """Long table plus the cross-scenario pivot."""
+        return self.table() + "\n\n" + self.comparison_table()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable summary (what ``repro sweep --out`` writes)."""
+        return {
+            "schema": 1,
+            "backend": self.backend,
+            "seed": self.seed,
+            "num_trials": self.num_trials,
+            "offline": self.offline,
+            "scenarios": list(self.scenarios),
+            "algorithms": list(self.algorithms),
+            "cells": [
+                {**row, "ratios": self.summaries[(row["scenario"], row["algorithm"])].ratios()}
+                for row in self.rows()
+            ],
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`to_dict` as JSON and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+
+class ScenarioSweep:
+    """Fan scenarios x algorithms out through the parallel trial executor.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario keys (resolved through the scenario registry) or
+        :class:`~repro.scenarios.registry.Scenario` objects (e.g. from
+        :func:`repro.scenarios.trace.scenario_from_trace`).
+    algorithms:
+        Admission-algorithm registry keys (``"fractional"``,
+        ``"randomized"``, ``"doubling"``, the baselines, ...).
+    backend:
+        Weight-backend key every algorithm is built with.
+    jobs:
+        Parallel workers per cell (trials fan out; 1 = serial, 0 = all
+        cores).  Never changes any number.
+    num_trials:
+        Independent (workload seed, algorithm seed) trials per cell.
+    seed:
+        Master seed; each cell derives its own stable seed from it.
+    offline:
+        Offline comparator for integral algorithms (``"lp"`` — fast, a valid
+        lower bound, the default — or ``"ilp"`` for exact OPT).  Fractional
+        algorithms always compare against the LP.
+    ilp_time_limit:
+        Time limit (s) for exact offline solves when ``offline="ilp"``.
+    compile:
+        Compile each trial instance once and stream the indexed fast path.
+    scenario_overrides:
+        Optional per-scenario parameter overrides:
+        ``{"bursty": {"num_requests": 1000}}``.
+    """
+
+    def __init__(
+        self,
+        scenarios: Sequence[Union[str, Scenario]],
+        algorithms: Sequence[str],
+        *,
+        backend: str = "python",
+        jobs: int = 1,
+        num_trials: int = 3,
+        seed: int = 0,
+        offline: str = "lp",
+        ilp_time_limit: Optional[float] = 20.0,
+        compile: bool = True,
+        record: bool = True,
+        scenario_overrides: Optional[Dict[str, Dict[str, Any]]] = None,
+    ):
+        if not scenarios:
+            raise ValueError("need at least one scenario")
+        if not algorithms:
+            raise ValueError("need at least one algorithm")
+        ensure_builtin_registrations()
+        self.scenarios: List[Scenario] = [get_scenario(s) for s in scenarios]
+        self.algorithms: List[str] = list(algorithms)
+        # Cells are keyed by (scenario key, algorithm key); duplicates would
+        # silently overwrite each other's summaries, so reject them up front
+        # (two --trace files with the same stem are the easy way to hit this).
+        seen_keys = [s.key for s in self.scenarios]
+        dup = sorted({k for k in seen_keys if seen_keys.count(k) > 1})
+        if dup:
+            raise ValueError(f"duplicate scenario keys in sweep: {dup}")
+        dup = sorted({a for a in self.algorithms if self.algorithms.count(a) > 1})
+        if dup:
+            raise ValueError(f"duplicate algorithm keys in sweep: {dup}")
+        self.config = EngineConfig(backend=backend, jobs=jobs, compile=compile, record=record)
+        self.num_trials = int(num_trials)
+        self.seed = int(seed)
+        self.offline = offline
+        self.ilp_time_limit = ilp_time_limit
+        overrides = scenario_overrides or {}
+        self._overrides: Dict[str, Tuple[Tuple[str, Any], ...]] = {
+            key: tuple(sorted(params.items())) for key, params in overrides.items()
+        }
+
+    def run(self) -> SweepResult:
+        """Run every (scenario, algorithm) cell and aggregate the records."""
+        summaries: Dict[Tuple[str, str], TrialSummary] = {}
+        for scenario in self.scenarios:
+            instance_factory = ScenarioInstanceFactory(
+                scenario, self._overrides.get(scenario.key, ())
+            )
+            for algorithm in self.algorithms:
+                cell_seed = stable_seed(self.seed, scenario.key, algorithm, "sweep")
+                summaries[(scenario.key, algorithm)] = run_admission_trials(
+                    instance_factory,
+                    SweepAlgorithmFactory(algorithm, self.config),
+                    num_trials=self.num_trials,
+                    random_state=cell_seed,
+                    label=f"{scenario.key} x {algorithm}",
+                    offline=self.offline,
+                    ilp_time_limit=self.ilp_time_limit,
+                    jobs=self.config.jobs,
+                    compile_instances=self.config.compile,
+                )
+        return SweepResult(
+            summaries=summaries,
+            scenarios=[s.key for s in self.scenarios],
+            algorithms=list(self.algorithms),
+            backend=self.config.backend,
+            seed=self.seed,
+            num_trials=self.num_trials,
+            offline=self.offline,
+        )

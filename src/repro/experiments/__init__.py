@@ -1,4 +1,4 @@
-"""Experiment suite (E1–E10): the paper's theorems as measurable experiments.
+"""Experiment suite (E1–E11): the paper's theorems as measurable experiments.
 
 Importing this package registers every experiment; use::
 
@@ -27,6 +27,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration side e
     e8_baselines,
     e9_doubling,
     e10_scaling,
+    e11_scenario_matrix,
 )
 
 __all__ = [
@@ -40,6 +41,6 @@ __all__ = [
 
 
 def run_experiment(experiment_id: str, config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Run one experiment by id (``"E1"`` ... ``"E10"``)."""
+    """Run one experiment by id (``"E1"`` ... ``"E11"``)."""
     runner = get_experiment(experiment_id)
     return runner(config)

@@ -15,7 +15,7 @@ other experiments' machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.engine.config import EngineConfig

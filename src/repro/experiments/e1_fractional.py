@@ -11,7 +11,7 @@ a constant as ``m`` and ``c`` grow.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.bounds import fractional_admission_bound
 from repro.engine.runtime import make_admission_algorithm

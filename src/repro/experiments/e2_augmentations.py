@@ -17,7 +17,7 @@ from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.instances.compiled import compile_instance
 from repro.offline import solve_admission_lp
 from repro.utils.rng import spawn_generators, stable_seed
-from repro.workloads import overloaded_edge_adversary, single_edge_workload, uniform_costs
+from repro.workloads import single_edge_workload, uniform_costs
 
 EXPERIMENT_ID = "E2"
 TITLE = "Weight-augmentation count vs Lemma 1 bound"

@@ -13,7 +13,8 @@ This subpackage defines the objects the rest of the library operates on:
 * :mod:`~repro.instances.compiled` — array-native (interned + CSR) instance
   views shared across algorithms, trials and workers.
 * :mod:`~repro.instances.canonical` — hand-made instances with known optima.
-* :mod:`~repro.instances.serialize` — JSON round-tripping.
+* :mod:`~repro.instances.serialize` — JSON round-tripping and the JSONL
+  trace format (record/replay of request streams).
 """
 
 from repro.instances.admission import AdmissionInstance, FeasibilityReport

@@ -9,7 +9,7 @@ experiment harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.instances.request import EdgeId, Request, RequestSequence
 

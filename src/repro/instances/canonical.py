@@ -8,8 +8,6 @@ online algorithms.
 
 from __future__ import annotations
 
-from typing import Tuple
-
 from repro.instances.admission import AdmissionInstance
 from repro.instances.request import Request, RequestSequence
 from repro.instances.setcover import SetCoverInstance, SetSystem

@@ -10,7 +10,7 @@ occupies, and a positive cost (the penalty paid if it is rejected).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["Request", "RequestSequence", "Decision", "DecisionKind"]
@@ -47,8 +47,13 @@ class Request:
     tag: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if not isinstance(self.edges, frozenset):
-            object.__setattr__(self, "edges", frozenset(self.edges))
+        # Rebuild the frozenset from its elements in a canonical (repr-sorted)
+        # insertion order.  A frozenset's *iteration* order depends on its
+        # insertion history (collision probing), and iteration order is the
+        # per-request edge processing order of the algorithms — canonicalizing
+        # here makes equal edge sets iterate identically within a process, so
+        # a request rebuilt from a recorded trace replays bit-for-bit.
+        object.__setattr__(self, "edges", frozenset(sorted(self.edges, key=repr)))
         if len(self.edges) == 0:
             raise ValueError(f"request {self.request_id} must occupy at least one edge")
         if not self.cost > 0:

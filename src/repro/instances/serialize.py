@@ -1,16 +1,26 @@
-"""JSON (de)serialisation of problem instances.
+"""JSON (de)serialisation of problem instances, plus the JSONL trace format.
 
 Instances are plain data, so round-tripping them through JSON makes it easy to
 snapshot interesting adversarial workloads, share them between experiments, and
 write golden-file regression tests.  Only JSON-representable edge/element ids
 (strings, integers) are supported; tuple ids (used by the network layer) are
 encoded as tagged lists.
+
+Two on-disk shapes exist for admission instances:
+
+* one JSON document (:func:`dump_admission` / :func:`load_admission`) — best
+  for small golden files;
+* a JSONL *trace* (:func:`dump_admission_trace` / :func:`load_admission_trace`)
+  — a header line carrying the capacities followed by one line per request in
+  arrival order.  Because each arrival is its own line, traces can be recorded
+  incrementally, inspected with ``head``/``jq``, and replayed as first-class
+  scenarios (:mod:`repro.scenarios.trace`).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterable, Iterator, List, TextIO, Union
 
 from repro.instances.admission import AdmissionInstance
 from repro.instances.request import Request, RequestSequence
@@ -25,7 +35,18 @@ __all__ = [
     "load_admission",
     "dump_setcover",
     "load_setcover",
+    "dump_admission_trace",
+    "load_admission_trace",
+    "trace_lines",
+    "TRACE_KIND",
+    "TRACE_SCHEMA",
 ]
+
+#: The ``kind`` field of a JSONL trace header line.
+TRACE_KIND = "admission-trace"
+
+#: Current trace schema version; bumped on incompatible format changes.
+TRACE_SCHEMA = 1
 
 _TUPLE_TAG = "__tuple__"
 
@@ -113,6 +134,89 @@ def setcover_from_dict(data: Dict[str, Any]) -> SetCoverInstance:
     system = SetSystem(sets, costs, elements=elements)
     arrivals: List[Any] = [_decode_id(e) for e in data["arrivals"]]
     return SetCoverInstance(system, arrivals, name=data.get("name"))
+
+
+def _request_to_trace_line(req: Request) -> Dict[str, Any]:
+    """One JSONL line per arrival; ``tag`` is omitted when absent.
+
+    Edges are stored repr-sorted — the same canonical order
+    :class:`~repro.instances.request.Request` rebuilds its frozenset in — so
+    a replayed request iterates (and is therefore processed) exactly like the
+    original.
+    """
+    line: Dict[str, Any] = {
+        "id": req.request_id,
+        "edges": [_encode_id(e) for e in sorted(req.edges, key=repr)],
+        "cost": req.cost,
+    }
+    if req.tag is not None:
+        line["tag"] = req.tag
+    return line
+
+
+def _request_from_trace_line(item: Dict[str, Any]) -> Request:
+    """Inverse of :func:`_request_to_trace_line`."""
+    return Request(
+        int(item["id"]),
+        frozenset(_decode_id(e) for e in item["edges"]),
+        float(item["cost"]),
+        tag=item.get("tag"),
+    )
+
+
+def trace_lines(instance: AdmissionInstance) -> Iterator[str]:
+    """Yield the JSONL lines of an admission trace (header first).
+
+    The header carries everything static (kind, schema, name, capacities);
+    each following line is one arrival in online order.  ``sort_keys`` plus
+    the repr-sorted edge order keep the byte stream deterministic, so
+    identical instances produce identical trace files.
+    """
+    header = {
+        "kind": TRACE_KIND,
+        "schema": TRACE_SCHEMA,
+        "name": instance.name,
+        "capacities": [
+            {"edge": _encode_id(edge), "capacity": cap}
+            for edge, cap in instance.capacities.items()
+        ],
+    }
+    yield json.dumps(header, sort_keys=True)
+    for req in instance.requests:
+        yield json.dumps(_request_to_trace_line(req), sort_keys=True)
+
+
+def dump_admission_trace(instance: AdmissionInstance, path: str) -> None:
+    """Write an admission instance as a JSONL trace (header + one line per arrival)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in trace_lines(instance):
+            fh.write(line + "\n")
+
+
+def load_admission_trace(source: Union[str, TextIO, Iterable[str]]) -> AdmissionInstance:
+    """Read a JSONL trace back into an :class:`AdmissionInstance`.
+
+    ``source`` may be a path, an open text file, or any iterable of lines.
+    Raises :class:`ValueError` on a wrong ``kind`` or an unsupported
+    ``schema`` so stale trace files fail loudly instead of mis-parsing.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            return load_admission_trace(fh)
+    lines = (line for line in source if line.strip())
+    try:
+        header = json.loads(next(lines))
+    except StopIteration:
+        raise ValueError("empty trace: no header line") from None
+    if header.get("kind") != TRACE_KIND:
+        raise ValueError(f"not an admission trace: kind={header.get('kind')!r}")
+    if header.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"unsupported trace schema {header.get('schema')!r} (expected {TRACE_SCHEMA})"
+        )
+    capacities = {_decode_id(item["edge"]): int(item["capacity"]) for item in header["capacities"]}
+    requests = RequestSequence(_request_from_trace_line(json.loads(line)) for line in lines)
+    return AdmissionInstance(capacities, requests, name=header.get("name"))
 
 
 def dump_admission(instance: AdmissionInstance, path: str) -> None:

@@ -12,7 +12,7 @@ directed edge a stable hashable id ``(u, v)``.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 

@@ -9,7 +9,7 @@ path, or random walk-derived path) and emit fully-specified
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
 

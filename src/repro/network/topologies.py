@@ -7,8 +7,6 @@ directed graphs because the paper's model is directed.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import networkx as nx
 
 from repro.network.graph import CapacitatedGraph

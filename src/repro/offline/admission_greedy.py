@@ -10,8 +10,7 @@ These are not part of the paper; they serve two roles in the reproduction:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List
+from typing import Dict, List
 
 from repro.instances.admission import AdmissionInstance
 from repro.instances.request import EdgeId, Request

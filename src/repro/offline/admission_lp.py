@@ -20,7 +20,7 @@ solver loop).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 from scipy import sparse

@@ -1,0 +1,46 @@
+"""The scenario subsystem: named workload families, traces, and their registry.
+
+"Handles as many scenarios as you can imagine" is one of the ROADMAP's three
+axes; this package is its home.  It mirrors the engine's registry pattern:
+
+* :mod:`repro.scenarios.registry` — :class:`Scenario` (a builder plus default
+  parameters) and the string-keyed :data:`SCENARIOS` registry with strict
+  duplicate/unknown-key errors;
+* :mod:`repro.scenarios.builtin` — the built-in families: serving-style
+  traffic (bursty/MMPP, Zipf cost mixes, diurnal curves, flash crowds,
+  adversarial interleavings, topology stress) next to the classic random and
+  adversarial workloads;
+* :mod:`repro.scenarios.trace` — JSONL record/replay, so recorded request
+  streams become scenarios too.
+
+Every scenario emits a plain admission instance that compiles through
+:func:`repro.instances.compiled.compile_sequence`, so the engine's
+array-native fast path applies to all of them unchanged.  The sweep runner
+(:mod:`repro.engine.sweep`) fans scenarios x algorithms x backends out over
+the parallel trial executor.
+"""
+
+from repro.scenarios.registry import (
+    SCENARIOS,
+    Scenario,
+    build_scenario,
+    ensure_builtin_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_keys,
+)
+from repro.scenarios.trace import TraceBuilder, load_trace, record_trace, scenario_from_trace
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "build_scenario",
+    "ensure_builtin_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "scenario_keys",
+    "TraceBuilder",
+    "load_trace",
+    "record_trace",
+    "scenario_from_trace",
+]

@@ -1,0 +1,200 @@
+"""Built-in scenario families.
+
+Importing this module registers every built-in scenario in
+:data:`repro.scenarios.registry.SCENARIOS`.  The families fall into three
+groups:
+
+* **serving-style traffic** (new in the scenario subsystem): ``bursty``,
+  ``zipf_costs``, ``diurnal``, ``flash_crowd``, ``adversarial_mix``,
+  ``topology_stress`` — the arrival-process stressors of
+  :mod:`repro.workloads.admission_traffic`;
+* **classic random workloads**: ``random_paths``, ``hotspot``,
+  ``line_intervals`` over network topologies;
+* **adversarial constructions**: ``overloaded_edges``, ``cheap_expensive``
+  — the E8-style traps, sized for sweeps.
+
+Every builder is a module-level function (picklable), takes only
+``random_state`` plus keyword parameters, and returns a plain
+:class:`~repro.instances.admission.AdmissionInstance`, so each scenario
+feeds straight into :func:`repro.instances.compiled.compile_sequence` and
+the engine's indexed fast paths.
+
+Defaults are sized for sweeps and CI: a few hundred requests, enough
+congestion that competitive ratios are informative, small enough that a
+scenario x algorithm matrix finishes in seconds.
+"""
+
+from __future__ import annotations
+
+from repro.instances.admission import AdmissionInstance
+from repro.network.topologies import grid_graph
+from repro.scenarios.registry import register_scenario
+from repro.utils.rng import RandomState
+from repro.workloads.admission_adversarial import (
+    cheap_then_expensive_adversary,
+    overloaded_edge_adversary,
+)
+from repro.workloads.admission_random import (
+    hotspot_workload,
+    line_interval_workload,
+    random_path_workload,
+)
+from repro.workloads.admission_traffic import (
+    adversarial_mix_workload,
+    bursty_workload,
+    diurnal_workload,
+    flash_crowd_workload,
+    topology_stress_workload,
+    zipf_cost_workload,
+)
+from repro.workloads.costs import pareto_costs
+
+__all__: list = []  # everything here is registered, not imported by name
+
+
+# -- serving-style traffic ---------------------------------------------------
+
+
+@register_scenario(
+    "bursty",
+    description="MMPP bursty arrivals: calm background, burst episodes on a hot set",
+    num_edges=64,
+    num_requests=400,
+    capacity=8,
+    num_hot_edges=4,
+)
+def _bursty(*, random_state: RandomState = None, **params) -> AdmissionInstance:
+    return bursty_workload(random_state=random_state, **params)
+
+
+@register_scenario(
+    "zipf_costs",
+    description="Zipf-popular edges with Zipf-heavy rejection penalties",
+    num_edges=64,
+    num_requests=400,
+    capacity=6,
+)
+def _zipf_costs(*, random_state: RandomState = None, **params) -> AdmissionInstance:
+    return zipf_cost_workload(random_state=random_state, **params)
+
+
+@register_scenario(
+    "diurnal",
+    description="day/night sinusoidal load curve with peak-hour hot-set congestion",
+    num_edges=48,
+    num_requests=480,
+    capacity=6,
+)
+def _diurnal(*, random_state: RandomState = None, **params) -> AdmissionInstance:
+    return diurnal_workload(random_state=random_state, **params)
+
+
+@register_scenario(
+    "flash_crowd",
+    description="steady background with one sudden crowd on a small target set",
+    num_edges=64,
+    num_requests=500,
+    capacity=6,
+)
+def _flash_crowd(*, random_state: RandomState = None, **params) -> AdmissionInstance:
+    return flash_crowd_workload(random_state=random_state, **params)
+
+
+@register_scenario(
+    "adversarial_mix",
+    description="independent adversarial blocks interleaved into one stream",
+    num_edges=8,
+    capacity=2,
+)
+def _adversarial_mix(*, random_state: RandomState = None, **params) -> AdmissionInstance:
+    return adversarial_mix_workload(random_state=random_state, **params)
+
+
+@register_scenario(
+    "topology_stress",
+    description="shortest-path circuits over a standard topology at overload",
+    topology="grid",
+    size=4,
+    capacity=3,
+    num_requests=240,
+)
+def _topology_stress(*, random_state: RandomState = None, **params) -> AdmissionInstance:
+    return topology_stress_workload(random_state=random_state, **params)
+
+
+# -- classic random workloads ------------------------------------------------
+
+
+@register_scenario(
+    "random_paths",
+    description="random source/target circuits on a grid (the intro's workload)",
+    rows=4,
+    cols=4,
+    capacity=3,
+    num_requests=200,
+)
+def _random_paths(
+    *, random_state: RandomState = None, rows: int = 4, cols: int = 4, capacity: int = 3, **params
+) -> AdmissionInstance:
+    graph = grid_graph(rows, cols, capacity=capacity)
+    return random_path_workload(graph, random_state=random_state, **params)
+
+
+@register_scenario(
+    "hotspot",
+    description="grid circuits funnelled through hotspot edges, heavy-tailed costs",
+    rows=4,
+    cols=4,
+    capacity=3,
+    num_requests=200,
+    num_hotspots=2,
+    hotspot_fraction=0.6,
+)
+def _hotspot(
+    *, random_state: RandomState = None, rows: int = 4, cols: int = 4, capacity: int = 3, **params
+) -> AdmissionInstance:
+    graph = grid_graph(rows, cols, capacity=capacity)
+    return hotspot_workload(
+        graph,
+        cost_sampler=lambda count, rng: pareto_costs(count, shape=1.5, random_state=rng),
+        random_state=random_state,
+        **params,
+    )
+
+
+@register_scenario(
+    "line_intervals",
+    description="interval requests on a line (the classical call-control workload)",
+    num_vertices=24,
+    num_requests=200,
+    capacity=2,
+)
+def _line_intervals(*, random_state: RandomState = None, **params) -> AdmissionInstance:
+    return line_interval_workload(random_state=random_state, **params)
+
+
+# -- adversarial constructions ----------------------------------------------
+
+
+@register_scenario(
+    "overloaded_edges",
+    description="hidden hot edges flooded beyond capacity among decoys (E8 trap)",
+    num_edges=16,
+    capacity=2,
+    num_hot_edges=3,
+)
+def _overloaded_edges(*, random_state: RandomState = None, **params) -> AdmissionInstance:
+    return overloaded_edge_adversary(random_state=random_state, **params)
+
+
+@register_scenario(
+    "cheap_expensive",
+    description="cheap requests claim edges first, expensive ones need them (E8 trap)",
+    num_edges=10,
+    capacity=2,
+    expensive_cost=50.0,
+)
+def _cheap_expensive(*, random_state: RandomState = None, **params) -> AdmissionInstance:
+    # The construction is deterministic; random_state is accepted for the
+    # uniform builder signature and ignored.
+    return cheap_then_expensive_adversary(**params)

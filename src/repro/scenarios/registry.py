@@ -1,0 +1,147 @@
+"""The scenario registry: named, parameterised workload families.
+
+A *scenario* is a named recipe for generating an admission-control instance:
+a builder function plus its default parameters.  Scenarios mirror the engine's
+registry pattern (:mod:`repro.engine.registry`) — string keys, strict
+duplicate errors, self-describing unknown-key errors — so ``repro sweep
+--scenarios bursty,zipf_costs`` resolves names exactly the way ``--backend
+numpy`` does.
+
+Builders have the uniform signature::
+
+    build(*, random_state=None, **params) -> AdmissionInstance
+
+and are registered by :mod:`repro.scenarios.builtin` (the generative
+families) and :mod:`repro.scenarios.trace` (recorded traces).  A
+:class:`Scenario` object is picklable as long as its builder is a
+module-level callable, which is what lets the sweep runner hand scenarios to
+process-pool workers without re-registering anything on the other side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple, Union
+
+from repro.engine.registry import Registry
+from repro.instances.admission import AdmissionInstance
+from repro.utils.rng import RandomState
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "scenario_keys",
+    "build_scenario",
+    "ensure_builtin_scenarios",
+]
+
+#: Scenario families keyed by name (``"bursty"``, ``"zipf_costs"``, ...);
+#: populated by :mod:`repro.scenarios.builtin` and, for recorded traces,
+#: :mod:`repro.scenarios.trace`.
+SCENARIOS: Registry = Registry("scenario")
+
+_BUILTINS_LOADED = False
+
+
+def ensure_builtin_scenarios() -> None:
+    """Import the module that registers the built-in scenario families.
+
+    Mirrors :func:`repro.engine.runtime.ensure_builtin_registrations`:
+    registration happens at import time in :mod:`repro.scenarios.builtin`, so
+    lookups never depend on the caller's import order.  Idempotent and cheap
+    after the first call.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    import repro.scenarios.builtin  # noqa: F401  (imported for registration side effect)
+
+    _BUILTINS_LOADED = True
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, parameterised workload family.
+
+    Attributes
+    ----------
+    key:
+        Registry key (``"bursty"``, ``"flash_crowd"``, ``"trace:..."``, ...).
+    builder:
+        Module-level callable ``builder(*, random_state=None, **params)``
+        returning an :class:`~repro.instances.admission.AdmissionInstance`.
+    description:
+        One line for ``repro sweep --list`` and reports.
+    defaults:
+        Default parameters merged under any per-call overrides.
+    """
+
+    key: str
+    builder: Callable[..., AdmissionInstance]
+    description: str = ""
+    defaults: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def params(self, **overrides: Any) -> Dict[str, Any]:
+        """The effective parameters: defaults with ``overrides`` applied."""
+        params = dict(self.defaults)
+        params.update(overrides)
+        return params
+
+    def build(self, random_state: RandomState = None, **overrides: Any) -> AdmissionInstance:
+        """Generate one instance of this scenario."""
+        return self.builder(random_state=random_state, **self.params(**overrides))
+
+
+def register_scenario(
+    key: str,
+    *,
+    description: str = "",
+    **defaults: Any,
+) -> Callable[[Callable[..., AdmissionInstance]], Callable[..., AdmissionInstance]]:
+    """Decorator registering a builder function as a scenario.
+
+    ``defaults`` become the scenario's default parameters::
+
+        @register_scenario("bursty", description="...", num_requests=400)
+        def _bursty(*, random_state=None, **params):
+            return bursty_workload(random_state=random_state, **params)
+    """
+
+    def _decorate(fn: Callable[..., AdmissionInstance]) -> Callable[..., AdmissionInstance]:
+        SCENARIOS.register(
+            key,
+            Scenario(
+                key=SCENARIOS._key(key),
+                builder=fn,
+                description=description,
+                defaults=tuple(sorted(defaults.items())),
+            ),
+        )
+        return fn
+
+    return _decorate
+
+
+def get_scenario(key: Union[str, Scenario]) -> Scenario:
+    """Resolve a scenario by key (:class:`Scenario` objects pass through)."""
+    if isinstance(key, Scenario):
+        return key
+    ensure_builtin_scenarios()
+    return SCENARIOS.get(key)
+
+
+def scenario_keys() -> List[str]:
+    """Sorted keys of every registered scenario."""
+    ensure_builtin_scenarios()
+    return SCENARIOS.keys()
+
+
+def build_scenario(
+    key: Union[str, Scenario],
+    random_state: RandomState = None,
+    **overrides: Any,
+) -> AdmissionInstance:
+    """Build one instance of the named scenario."""
+    return get_scenario(key).build(random_state=random_state, **overrides)

@@ -9,7 +9,7 @@ spawn statistically independent child generators for parallel-style sweeps.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

@@ -1,4 +1,4 @@
-"""Workload generators: random and adversarial instances for both problems."""
+"""Workload generators: random, adversarial and serving-style traffic instances."""
 
 from repro.workloads.admission_adversarial import (
     benefit_objective_trap,
@@ -13,12 +13,22 @@ from repro.workloads.admission_random import (
     random_path_workload,
     single_edge_workload,
 )
+from repro.workloads.admission_traffic import (
+    adversarial_mix_workload,
+    bursty_workload,
+    diurnal_workload,
+    flash_crowd_workload,
+    topology_stress_workload,
+    zipf_cost_workload,
+)
 from repro.workloads.costs import (
     bimodal_costs,
     lognormal_costs,
     pareto_costs,
+    sample_costs,
     uniform_costs,
     unit_costs,
+    zipf_costs,
 )
 from repro.workloads.setcover_adversarial import (
     adaptive_uncovered_adversary,
@@ -44,6 +54,14 @@ __all__ = [
     "line_interval_workload",
     "random_path_workload",
     "single_edge_workload",
+    "adversarial_mix_workload",
+    "bursty_workload",
+    "diurnal_workload",
+    "flash_crowd_workload",
+    "topology_stress_workload",
+    "zipf_cost_workload",
+    "sample_costs",
+    "zipf_costs",
     "bimodal_costs",
     "lognormal_costs",
     "pareto_costs",

@@ -18,7 +18,7 @@ by sampling requests:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.network.graph import CapacitatedGraph
 from repro.network.routing import random_simple_path, random_source_target
 from repro.network.topologies import line_graph
 from repro.utils.rng import RandomState, as_generator
-from repro.workloads.costs import unit_costs
+from repro.workloads.costs import sample_costs
 
 CostSampler = Callable[[int, RandomState], np.ndarray]
 
@@ -39,15 +39,9 @@ __all__ = [
     "line_interval_workload",
 ]
 
-
 def _costs(cost_sampler: Optional[CostSampler], count: int, rng) -> np.ndarray:
-    sampler = cost_sampler or unit_costs
-    costs = np.asarray(sampler(count, rng), dtype=float)
-    if costs.shape != (count,):
-        raise ValueError(f"cost sampler returned shape {costs.shape}, expected ({count},)")
-    if np.any(costs <= 0):
-        raise ValueError("cost sampler produced non-positive costs")
-    return costs
+    """Module-local spelling; the validation lives in :func:`costs.sample_costs`."""
+    return sample_costs(cost_sampler, count, rng)
 
 
 def random_path_workload(

@@ -9,8 +9,6 @@ cheap/expensive mixes.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from repro.utils.rng import RandomState, as_generator
@@ -21,6 +19,8 @@ __all__ = [
     "pareto_costs",
     "lognormal_costs",
     "bimodal_costs",
+    "zipf_costs",
+    "sample_costs",
 ]
 
 
@@ -64,6 +64,45 @@ def lognormal_costs(
         raise ValueError("sigma must be >= 0 and median > 0")
     rng = as_generator(random_state)
     return median * np.exp(rng.normal(0.0, sigma, size=count))
+
+
+def zipf_costs(
+    count: int,
+    exponent: float = 1.8,
+    scale: float = 1.0,
+    cap: float = 1e4,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Zipf (zeta) distributed costs — the discrete heavy tail of serving mixes.
+
+    Request "sizes" in serving systems are classically Zipf-distributed; here
+    the rejection penalty plays that role.  ``exponent`` close to 1 gives an
+    extreme tail; ``cap`` bounds the spread so the paper's normalisation
+    ``g <= 2mc`` stays meaningful.
+    """
+    if exponent <= 1.0:
+        raise ValueError("exponent must be > 1 for the zeta distribution")
+    if scale <= 0 or cap < scale:
+        raise ValueError("require 0 < scale <= cap")
+    rng = as_generator(random_state)
+    raw = rng.zipf(exponent, size=count).astype(float)
+    return np.minimum(scale * raw, float(cap))
+
+
+def sample_costs(cost_sampler, count: int, random_state: RandomState = None) -> np.ndarray:
+    """Run a cost sampler (default: unit costs) and validate its output.
+
+    The shared entry point of every admission workload generator: coerces to a
+    float vector, checks the shape and positivity, so a buggy sampler fails at
+    generation time instead of deep inside an algorithm.
+    """
+    sampler = cost_sampler or unit_costs
+    costs = np.asarray(sampler(count, random_state), dtype=float)
+    if costs.shape != (count,):
+        raise ValueError(f"cost sampler returned shape {costs.shape}, expected ({count},)")
+    if np.any(costs <= 0):
+        raise ValueError("cost sampler produced non-positive costs")
+    return costs
 
 
 def bimodal_costs(

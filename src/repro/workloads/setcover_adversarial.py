@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.core.protocols import OnlineSetCoverAlgorithm
 from repro.instances.setcover import SetCoverInstance, SetSystem

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.instances.setcover import SetCoverInstance, SetSystem
 from repro.utils.rng import RandomState, as_generator

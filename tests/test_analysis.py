@@ -5,8 +5,6 @@ import math
 import pytest
 
 from repro.analysis import (
-    CompetitiveRecord,
-    SummaryStats,
     ascii_line_plot,
     ascii_series_table,
     check_admission_result,

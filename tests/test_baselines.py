@@ -14,13 +14,12 @@ from repro.baselines import (
     ThresholdPreemption,
 )
 from repro.core.protocols import InfeasibleArrivalError, run_admission, run_setcover
-from repro.instances.setcover import SetCoverInstance, SetSystem
+from repro.instances.setcover import SetSystem
 from repro.offline import solve_admission_ilp
 from repro.workloads import (
     cheap_then_expensive_adversary,
     long_vs_short_adversary,
     overloaded_edge_adversary,
-    random_setcover_instance,
 )
 
 ADMISSION_BASELINES = [RejectWhenFull, KeepExpensive, GreedySwap, ThresholdPreemption, ExponentialBenefitAdmission]

@@ -98,6 +98,65 @@ class TestEngineFlags:
         assert "[E2]" in output
 
 
+class TestSweepCommand:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.scenarios == "bursty,zipf_costs,flash_crowd"
+        assert args.algorithms == "fractional,randomized,doubling"
+        assert args.offline == "lp"
+        assert args.jobs == 1
+
+    def test_sweep_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--backend", "cuda"])
+
+    def test_sweep_list_scenarios(self):
+        code, output = run_cli(["sweep", "--list"])
+        assert code == 0
+        for key in ("bursty", "zipf_costs", "flash_crowd", "diurnal", "topology_stress"):
+            assert key in output
+
+    def test_sweep_small_matrix(self):
+        code, output = run_cli(
+            ["sweep", "--scenarios", "cheap_expensive", "--algorithms",
+             "fractional,reject-when-full", "--trials", "1", "--seed", "3"]
+        )
+        assert code == 0
+        assert "Cross-scenario comparison" in output
+        assert "cheap_expensive" in output
+        assert "ratio[fractional]" in output
+        assert "ratio[reject-when-full]" in output
+
+    def test_sweep_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="scenario"):
+            run_cli(["sweep", "--scenarios", "no-such-scenario", "--algorithms", "fractional"])
+
+    def test_sweep_out_writes_json(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "sweep.json"
+        code, output = run_cli(
+            ["sweep", "--scenarios", "cheap_expensive", "--algorithms", "reject-when-full",
+             "--trials", "1", "--out", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["scenarios"] == ["cheap_expensive"]
+        assert payload["algorithms"] == ["reject-when-full"]
+        assert len(payload["cells"]) == 1
+
+    def test_sweep_replays_recorded_trace(self, tmp_path):
+        from repro.scenarios import build_scenario, record_trace
+
+        trace = record_trace(build_scenario("cheap_expensive"), tmp_path / "t.jsonl")
+        code, output = run_cli(
+            ["sweep", "--scenarios", "cheap_expensive", "--algorithms", "reject-when-full",
+             "--trials", "1", "--trace", str(trace)]
+        )
+        assert code == 0
+        assert "trace:t" in output
+
+
 class TestBenchCommand:
     def test_bench_without_baseline_passes(self, tmp_path):
         code, output = run_cli(
@@ -109,6 +168,8 @@ class TestBenchCommand:
         assert "weight_update[numpy]" in output
         assert "scaling_10k[python]" in output
         assert "scaling_10k[numpy]" in output
+        assert "sweep_small[python]" in output
+        assert "sweep_small[numpy]" in output
         assert "benchmark gate passed" in output
 
     def test_bench_write_then_gate_roundtrip(self, tmp_path):
@@ -125,6 +186,7 @@ class TestBenchCommand:
         assert set(payload["benchmarks"]) == {
             "weight_update[python]", "weight_update[numpy]",
             "scaling_10k[python]", "scaling_10k[numpy]",
+            "sweep_small[python]", "sweep_small[numpy]",
         }
         # Inflate the stored seconds so scheduler noise on a loaded machine
         # cannot trip the 2x gate; this test checks the roundtrip wiring, the

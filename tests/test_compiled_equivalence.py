@@ -27,7 +27,7 @@ from repro.instances.canonical import (
     triangle_weighted,
     two_edge_chain,
 )
-from repro.instances.compiled import CompiledInstance, compile_instance, compile_sequence
+from repro.instances.compiled import compile_instance, compile_sequence
 from repro.workloads import overloaded_edge_adversary
 
 TOL = 1e-9

@@ -10,7 +10,7 @@ from repro.core.doubling import (
 from repro.core.protocols import run_admission
 from repro.instances.request import Request
 from repro.offline import solve_admission_ilp
-from repro.workloads import cheap_then_expensive_adversary, overloaded_edge_adversary, single_edge_workload, pareto_costs
+from repro.workloads import cheap_then_expensive_adversary, single_edge_workload, pareto_costs
 from repro.analysis.invariants import check_admission_result
 
 

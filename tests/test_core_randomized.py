@@ -12,8 +12,6 @@ from repro.workloads import (
     cheap_then_expensive_adversary,
     overloaded_edge_adversary,
     repeated_overload_adversary,
-    single_edge_workload,
-    uniform_costs,
 )
 from repro.analysis.invariants import check_admission_result
 

@@ -1,0 +1,135 @@
+"""Tests for the scenario sweep runner (engine/sweep.py)."""
+
+import json
+
+import pytest
+
+from repro.engine.registry import UnknownKeyError
+from repro.engine.sweep import ScenarioInstanceFactory, ScenarioSweep, SweepAlgorithmFactory
+from repro.scenarios import get_scenario
+
+#: Small, fast matrix shared by most tests: deterministic trap + tiny bursty.
+SCENARIOS = ["cheap_expensive", "bursty"]
+ALGORITHMS = ["fractional", "reject-when-full"]
+OVERRIDES = {"bursty": {"num_requests": 40, "num_edges": 16}}
+
+
+def small_sweep(**kwargs):
+    defaults = dict(
+        scenarios=SCENARIOS,
+        algorithms=ALGORITHMS,
+        num_trials=2,
+        seed=3,
+        offline="lp",
+        scenario_overrides=OVERRIDES,
+    )
+    defaults.update(kwargs)
+    scenarios = defaults.pop("scenarios")
+    algorithms = defaults.pop("algorithms")
+    return ScenarioSweep(scenarios, algorithms, **defaults)
+
+
+class TestScenarioSweep:
+    def test_runs_full_matrix(self):
+        result = small_sweep().run()
+        rows = result.rows()
+        assert len(rows) == len(SCENARIOS) * len(ALGORITHMS)
+        assert {(r["scenario"], r["algorithm"]) for r in rows} == {
+            (s, a) for s in SCENARIOS for a in ALGORITHMS
+        }
+        assert all(r["trials"] == 2 for r in rows)
+        assert all(r["ratio_mean"] >= 1.0 - 1e-9 for r in rows)
+
+    def test_jobs_never_change_results(self):
+        serial = small_sweep(jobs=1).run()
+        parallel = small_sweep(jobs=2).run()
+        for key, summary in serial.summaries.items():
+            assert summary.ratios() == parallel.summaries[key].ratios(), key
+
+    def test_cell_seeds_are_independent_of_grid(self):
+        """Removing a scenario must not perturb the remaining cells' numbers."""
+        full = small_sweep().run()
+        just_bursty = small_sweep(scenarios=["bursty"]).run()
+        for algorithm in ALGORITHMS:
+            assert (
+                full.summaries[("bursty", algorithm)].ratios()
+                == just_bursty.summaries[("bursty", algorithm)].ratios()
+            )
+
+    def test_fractional_cells_compare_against_lp(self):
+        result = small_sweep(algorithms=["fractional"]).run()
+        for summary in result.summaries.values():
+            assert all(r.offline_kind.startswith("lp") for r in summary.records)
+
+    def test_trace_scenarios_join_the_matrix(self, tmp_path):
+        from repro.scenarios import build_scenario, record_trace, scenario_from_trace
+
+        path = record_trace(build_scenario("cheap_expensive"), tmp_path / "cell.jsonl")
+        scenario = scenario_from_trace(path, register=False)
+        result = ScenarioSweep(
+            [scenario], ["reject-when-full"], num_trials=2, seed=0, offline="lp"
+        ).run()
+        summary = result.summaries[(scenario.key, "reject-when-full")]
+        # The trace is deterministic, so every trial measures the same ratio.
+        assert len(set(summary.ratios())) == 1
+
+    def test_report_and_tables(self):
+        result = small_sweep().run()
+        report = result.report()
+        assert "Cross-scenario comparison" in report
+        for scenario in SCENARIOS:
+            assert scenario in report
+        for algorithm in ALGORITHMS:
+            assert f"ratio[{algorithm}]" in report
+
+    def test_save_round_trips_as_json(self, tmp_path):
+        result = small_sweep().run()
+        path = result.save(tmp_path / "sweep.json")
+        payload = json.loads(path.read_text())
+        assert payload["scenarios"] == SCENARIOS
+        assert payload["algorithms"] == ALGORITHMS
+        assert len(payload["cells"]) == len(SCENARIOS) * len(ALGORITHMS)
+        assert all(len(cell["ratios"]) == 2 for cell in payload["cells"])
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="scenario"):
+            ScenarioSweep([], ["fractional"])
+        with pytest.raises(ValueError, match="algorithm"):
+            ScenarioSweep(["bursty"], [])
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate scenario"):
+            ScenarioSweep(["bursty", "bursty"], ["fractional"])
+        with pytest.raises(ValueError, match="duplicate algorithm"):
+            ScenarioSweep(["bursty"], ["fractional", "fractional"])
+
+    def test_unknown_scenario_rejected_at_construction(self):
+        with pytest.raises(UnknownKeyError, match="scenario"):
+            ScenarioSweep(["no-such"], ["fractional"])
+
+    def test_unknown_algorithm_fails_at_run(self):
+        sweep = small_sweep(scenarios=["cheap_expensive"], algorithms=["no-such-algo"])
+        with pytest.raises(UnknownKeyError, match="admission algorithm"):
+            sweep.run()
+
+
+class TestSweepFactories:
+    def test_instance_factory_applies_overrides(self):
+        import numpy as np
+
+        factory = ScenarioInstanceFactory(
+            get_scenario("bursty"), (("num_requests", 17), ("num_edges", 8))
+        )
+        instance = factory(np.random.default_rng(0))
+        assert instance.num_requests == 17
+        assert instance.num_edges == 8
+
+    def test_factories_are_picklable(self):
+        import pickle
+
+        from repro.engine.config import EngineConfig
+
+        factory = ScenarioInstanceFactory(get_scenario("bursty"))
+        algo_factory = SweepAlgorithmFactory("fractional", EngineConfig())
+        pickle.loads(pickle.dumps(factory))
+        pickle.loads(pickle.dumps(algo_factory))

@@ -9,9 +9,9 @@ TINY = ExperimentConfig(quick=True, num_trials=1, ilp_time_limit=5.0)
 
 
 class TestRegistry:
-    def test_all_ten_registered(self):
+    def test_all_eleven_registered(self):
         ids = set(all_experiments())
-        assert ids == {f"E{k}" for k in range(1, 11)}
+        assert ids == {f"E{k}" for k in range(1, 12)}
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("e1") is get_experiment("E1")
@@ -122,3 +122,15 @@ class TestE8ToE10:
         assert "admission_series" in result.metadata
         assert "setcover_series" in result.metadata
         assert all(row["runtime_s"] >= 0 for row in result.rows)
+
+
+class TestE11:
+    def test_e11_covers_the_quick_matrix(self):
+        result = run_experiment("E11", TINY)
+        scenarios = {row["scenario"] for row in result.rows}
+        algorithms = {row["algorithm"] for row in result.rows}
+        assert scenarios == {"bursty", "zipf_costs", "flash_crowd"}
+        assert algorithms == {"fractional", "randomized", "reject-when-full"}
+        assert all(row["feasible"] for row in result.rows)
+        assert all(row["ratio_mean"] >= 1.0 - 1e-9 for row in result.rows)
+        assert "comparison" in result.metadata

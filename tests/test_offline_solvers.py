@@ -15,7 +15,7 @@ from repro.offline import (
     solve_set_multicover_ilp,
     solve_set_multicover_lp,
 )
-from repro.workloads import overloaded_edge_adversary, random_setcover_instance, single_edge_workload
+from repro.workloads import overloaded_edge_adversary, single_edge_workload
 
 
 class TestAdmissionLP:

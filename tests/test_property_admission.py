@@ -13,9 +13,6 @@ The properties mirror the structural claims of the paper that must hold on
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.baselines import GreedySwap, KeepExpensive, RejectWhenFull

@@ -11,7 +11,6 @@ Properties:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.bicriteria import BicriteriaOnlineSetCover

@@ -1,0 +1,265 @@
+"""Tests for the scenario subsystem: registry, generators, trace round-trip.
+
+The trace round-trip tests are the honesty gate of the record/replay format:
+a replayed trace must produce decision logs identical (to 1e-9, in practice
+bit-for-bit) to the original instance, under both weight backends, with
+diagnostics recording on and off.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.fractional import FractionalAdmissionControl
+from repro.core.protocols import run_admission
+from repro.core.randomized import RandomizedAdmissionControl
+from repro.engine.registry import DuplicateKeyError, UnknownKeyError
+from repro.instances.compiled import compile_instance
+from repro.instances.serialize import (
+    dump_admission_trace,
+    load_admission_trace,
+    trace_lines,
+)
+from repro.scenarios import (
+    SCENARIOS,
+    Scenario,
+    build_scenario,
+    get_scenario,
+    load_trace,
+    record_trace,
+    scenario_from_trace,
+    scenario_keys,
+)
+
+TOL = 1e-9
+BACKENDS = ("python", "numpy")
+
+#: Every built-in scenario family the registry must expose.
+EXPECTED_KEYS = {
+    "bursty",
+    "zipf_costs",
+    "diurnal",
+    "flash_crowd",
+    "adversarial_mix",
+    "topology_stress",
+    "random_paths",
+    "hotspot",
+    "line_intervals",
+    "overloaded_edges",
+    "cheap_expensive",
+}
+
+
+def request_tuples(instance):
+    return [(r.request_id, r.edges, r.cost, r.tag) for r in instance.requests]
+
+
+class TestScenarioRegistry:
+    def test_builtin_keys_registered(self):
+        assert EXPECTED_KEYS <= set(scenario_keys())
+
+    def test_unknown_key_lists_known(self):
+        with pytest.raises(UnknownKeyError, match="bursty"):
+            get_scenario("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        scenario = get_scenario("bursty")
+        with pytest.raises(DuplicateKeyError):
+            SCENARIOS.register("bursty", scenario)
+
+    def test_build_is_deterministic_per_seed(self):
+        a = build_scenario("bursty", random_state=42)
+        b = build_scenario("bursty", random_state=42)
+        assert request_tuples(a) == request_tuples(b)
+        assert a.capacities == b.capacities
+
+    def test_overrides_apply_over_defaults(self):
+        small = build_scenario("bursty", random_state=0, num_requests=25)
+        assert small.num_requests == 25
+        defaults = dict(get_scenario("bursty").defaults)
+        assert defaults["num_requests"] != 25
+
+    def test_scenarios_are_picklable(self):
+        for key in EXPECTED_KEYS:
+            clone = pickle.loads(pickle.dumps(get_scenario(key)))
+            assert clone.key == get_scenario(key).key
+
+
+class TestGenerativeFamilies:
+    @pytest.mark.parametrize("key", sorted(EXPECTED_KEYS))
+    def test_builds_and_compiles(self, key):
+        instance = build_scenario(key, random_state=3)
+        assert instance.num_requests > 0
+        compiled = compile_instance(instance)
+        assert compiled.num_requests == instance.num_requests
+        assert list(compiled.edge_order) == list(instance.capacities)
+
+    def test_bursty_tags_burst_episodes(self):
+        instance = build_scenario("bursty", random_state=1)
+        tags = {r.tag for r in instance.requests if r.tag}
+        assert tags and all(t.startswith("burst") for t in tags)
+
+    def test_flash_crowd_has_spike_window(self):
+        instance = build_scenario("flash_crowd", random_state=1)
+        spikes = [r.request_id for r in instance.requests if r.tag == "spike"]
+        assert spikes
+        # The crowd is concentrated: all spike arrivals inside the window.
+        n = instance.num_requests
+        assert min(spikes) >= 0.4 * n and max(spikes) <= 0.65 * n
+
+    def test_diurnal_tags_days(self):
+        instance = build_scenario("diurnal", random_state=1)
+        assert {r.tag for r in instance.requests} == {"day0", "day1"}
+
+    def test_zipf_costs_are_heavy_tailed(self):
+        instance = build_scenario("zipf_costs", random_state=1)
+        costs = [r.cost for r in instance.requests]
+        assert min(costs) >= 1.0
+        assert max(costs) > 10.0 * np.median(costs)
+
+    def test_adversarial_mix_preserves_block_order(self):
+        from repro.workloads import adversarial_mix_workload
+
+        instance = adversarial_mix_workload(random_state=5)
+        # Within each block, the cheap-then-expensive structure (and every
+        # other construction) relies on arrival order; the interleaving must
+        # keep each block's requests in their original relative order.  Block
+        # membership is recoverable from the edge namespace prefix.
+        by_block = {}
+        for request in instance.requests:
+            prefix = next(iter(request.edges)).split(":")[0]
+            by_block.setdefault(prefix, []).append(request)
+        assert len(by_block) == 3
+        cheap_block = by_block["b1"]  # "cheap-expensive" is the second default block
+        costs = [r.cost for r in cheap_block]
+        # Per edge namespace the cheap requests (cost 1) precede expensive ones.
+        first_expensive = costs.index(50.0)
+        assert all(c == 1.0 for c in costs[:first_expensive])
+
+    def test_flash_crowd_rejects_window_past_trace_end(self):
+        from repro.workloads import flash_crowd_workload
+
+        with pytest.raises(ValueError, match="spike window"):
+            flash_crowd_workload(spike_start=0.9, spike_duration=0.5, random_state=0)
+
+    def test_topology_stress_rejects_unknown_topology(self):
+        from repro.workloads import topology_stress_workload
+
+        with pytest.raises(ValueError, match="unknown topology"):
+            topology_stress_workload("torus", random_state=0)
+
+    @pytest.mark.parametrize("topology", ["line", "ring", "star", "tree", "grid", "complete"])
+    def test_topology_stress_all_shapes(self, topology):
+        from repro.workloads import topology_stress_workload
+
+        instance = topology_stress_workload(topology, num_requests=20, random_state=0)
+        assert instance.num_requests == 20
+
+
+class TestTraceFormat:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        instance = build_scenario("bursty", random_state=9, num_requests=60)
+        path = record_trace(instance, tmp_path / "bursty.jsonl")
+        replayed = load_trace(path)
+        assert replayed.name == instance.name
+        assert replayed.capacities == instance.capacities
+        assert list(replayed.capacities) == list(instance.capacities)  # interning order
+        assert request_tuples(replayed) == request_tuples(instance)
+
+    def test_trace_is_byte_deterministic(self, tmp_path):
+        instance = build_scenario("flash_crowd", random_state=2, num_requests=40)
+        assert list(trace_lines(instance)) == list(trace_lines(instance))
+
+    def test_tuple_edge_ids_round_trip(self, tmp_path):
+        # Network workloads use (u, v) tuple edge ids; the tagged-list
+        # encoding must bring them back as tuples.
+        instance = build_scenario("random_paths", random_state=4, num_requests=30)
+        path = tmp_path / "paths.jsonl"
+        dump_admission_trace(instance, str(path))
+        replayed = load_admission_trace(str(path))
+        assert replayed.capacities == instance.capacities
+        assert request_tuples(replayed) == request_tuples(instance)
+
+    def test_rejects_wrong_kind_and_schema(self, tmp_path):
+        with pytest.raises(ValueError, match="kind"):
+            load_admission_trace(['{"kind": "nope", "schema": 1}'])
+        with pytest.raises(ValueError, match="schema"):
+            load_admission_trace(['{"kind": "admission-trace", "schema": 99, "capacities": []}'])
+        with pytest.raises(ValueError, match="empty trace"):
+            load_admission_trace([])
+
+    def test_scenario_from_trace_registers_and_replays(self, tmp_path):
+        instance = build_scenario("cheap_expensive")
+        path = record_trace(instance, tmp_path / "trap.jsonl")
+        scenario = scenario_from_trace(path, register=False)
+        assert scenario.key == "trace:trap"
+        assert request_tuples(scenario.build()) == request_tuples(instance)
+        # random_state is accepted and ignored: a trace is deterministic.
+        assert request_tuples(scenario.build(random_state=123)) == request_tuples(instance)
+
+    def test_scenario_from_trace_registration_is_strict(self, tmp_path):
+        instance = build_scenario("cheap_expensive")
+        path = record_trace(instance, tmp_path / "strict.jsonl")
+        scenario = scenario_from_trace(path, key="trace-strict-test")
+        try:
+            assert isinstance(get_scenario("trace-strict-test"), Scenario)
+            with pytest.raises(DuplicateKeyError):
+                scenario_from_trace(path, key="trace-strict-test")
+        finally:
+            SCENARIOS.unregister(scenario.key)
+
+    def test_missing_trace_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            scenario_from_trace(tmp_path / "absent.jsonl")
+
+    def test_trace_scenario_is_picklable(self, tmp_path):
+        instance = build_scenario("cheap_expensive")
+        path = record_trace(instance, tmp_path / "pickle.jsonl")
+        scenario = scenario_from_trace(path, register=False)
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert request_tuples(clone.build()) == request_tuples(instance)
+
+
+class TestTraceReplayEquivalence:
+    """Record -> replay must reproduce decision logs exactly (both backends)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("record", [True, False])
+    def test_fractional_replay_identical(self, tmp_path, backend, record):
+        instance = build_scenario("zipf_costs", random_state=6, num_requests=80)
+        replayed = load_trace(record_trace(instance, tmp_path / "frac.jsonl"))
+        original = FractionalAdmissionControl.for_instance(
+            instance, backend=backend, record=record
+        )
+        original.process_sequence(compile_instance(instance))
+        replay = FractionalAdmissionControl.for_instance(
+            replayed, backend=backend, record=record
+        )
+        replay.process_sequence(compile_instance(replayed))
+        assert original.fractional_cost() == pytest.approx(replay.fractional_cost(), abs=TOL)
+        fa, fb = original.fractions(), replay.fractions()
+        assert set(fa) == set(fb)
+        for rid in fa:
+            assert fa[rid] == pytest.approx(fb[rid], abs=TOL), rid
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_replay_decision_logs_identical(self, tmp_path, backend, seed):
+        instance = build_scenario("bursty", random_state=seed, num_requests=80)
+        replayed = load_trace(record_trace(instance, tmp_path / f"rand{seed}.jsonl"))
+
+        def decisions(inst):
+            algo = RandomizedAdmissionControl.for_instance(
+                inst, random_state=seed, backend=backend
+            )
+            result = run_admission(algo, inst, compiled=compile_instance(inst))
+            return (
+                [(d.request_id, d.kind, d.at_request) for d in result.decisions],
+                result.rejection_cost,
+            )
+
+        log_a, cost_a = decisions(instance)
+        log_b, cost_b = decisions(replayed)
+        assert log_a == log_b
+        assert cost_a == pytest.approx(cost_b, abs=TOL)

@@ -11,7 +11,6 @@ from repro.workloads import (
     nested_family_instance,
     random_arrivals,
     random_set_system,
-    random_setcover_instance,
     regular_set_system,
     repetition_heavy_arrivals,
     repetition_stress_instance,
