@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint examples-smoke bench-smoke bench-baseline bench-suite profile ci
+.PHONY: test lint examples-smoke serve-smoke bench-smoke bench-baseline bench-suite profile ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,8 +19,28 @@ lint:
 examples-smoke:
 	$(PYTHON) examples/quickstart.py
 
-# Reproduce the CI pipeline locally: lint, tests, examples smoke, bench gate.
-ci: lint test examples-smoke bench-smoke
+# Streaming-service smoke: record a trace, serve half of it with a checkpoint,
+# resume in a fresh process, and verify the combined decision log is byte-for-
+# byte identical to an uninterrupted run.
+serve-smoke:
+	@rm -rf .serve-smoke && mkdir -p .serve-smoke
+	$(PYTHON) -c "from repro.scenarios.trace import record_trace; \
+	from repro.workloads.admission_traffic import bursty_workload; \
+	record_trace(bursty_workload(num_edges=16, num_requests=200, capacity=3, random_state=7), '.serve-smoke/t.jsonl')"
+	$(PYTHON) -m repro serve --trace .serve-smoke/t.jsonl --algorithm doubling --seed 5 \
+		--checkpoint .serve-smoke/ck.json --checkpoint-every 50 --max-arrivals 100 \
+		--log .serve-smoke/part.jsonl
+	$(PYTHON) -m repro serve --trace .serve-smoke/t.jsonl --resume \
+		--checkpoint .serve-smoke/ck.json --log .serve-smoke/part.jsonl
+	$(PYTHON) -m repro serve --trace .serve-smoke/t.jsonl --algorithm doubling --seed 5 \
+		--log .serve-smoke/full.jsonl
+	cmp .serve-smoke/part.jsonl .serve-smoke/full.jsonl
+	@rm -rf .serve-smoke
+	@echo "serve smoke passed: resumed decision log identical to uninterrupted run"
+
+# Reproduce the CI pipeline locally: lint, tests, examples smoke, serve smoke,
+# bench gate.
+ci: lint test examples-smoke serve-smoke bench-smoke
 
 # Weight-update + 10k-request scaling benchmarks per backend; fails on a >2x
 # regression against benchmarks/baseline_bench.json.

@@ -116,9 +116,25 @@ class _TrialSpec:
     bicriteria_bound: bool
     ilp_time_limit: Optional[float]
     compile_instances: bool = True
+    streaming: bool = False
 
 
-def _evaluate_fractional_trial(instance: AdmissionInstance, algorithm, *, compile_instances: bool) -> CompetitiveRecord:
+def _stream_through_session(instance: AdmissionInstance, algorithm) -> None:
+    """Feed an instance through a :class:`StreamingSession` micro-batch loop.
+
+    Decisions are identical to the batch pipelines (same per-arrival float
+    operations); this path exists so sweeps can exercise the serving-layer
+    code end to end.
+    """
+    from repro.engine.streaming import StreamingSession
+
+    session = StreamingSession(instance.capacities, algorithm=algorithm, name=instance.name)
+    session.submit_stream(iter(instance.requests))
+
+
+def _evaluate_fractional_trial(
+    instance: AdmissionInstance, algorithm, *, compile_instances: bool, streaming: bool = False
+) -> CompetitiveRecord:
     """Evaluate a fractional-style algorithm (no integral ``result()``).
 
     The Section-2 fractional algorithm exposes ``process_sequence`` /
@@ -127,9 +143,12 @@ def _evaluate_fractional_trial(instance: AdmissionInstance, algorithm, *, compil
     comparator is the *fractional* optimum (the LP), exactly as in E1, so the
     ``offline`` knob is ignored here and the record says ``lp``.
     """
-    algorithm.process_sequence(
-        compile_instance(instance) if compile_instances else instance.requests
-    )
+    if streaming:
+        _stream_through_session(instance, algorithm)
+    else:
+        algorithm.process_sequence(
+            compile_instance(instance) if compile_instances else instance.requests
+        )
     opt = solve_admission_lp(instance)
     online_cost = algorithm.fractional_cost()
     ratio = safe_ratio(online_cost, opt.cost)
@@ -159,14 +178,21 @@ def _run_trial(spec: _TrialSpec) -> CompetitiveRecord:
             # Fractional-style algorithms never produce an integral result;
             # they are compared against the LP optimum instead.
             return _evaluate_fractional_trial(
-                instance, algorithm, compile_instances=spec.compile_instances
+                instance,
+                algorithm,
+                compile_instances=spec.compile_instances,
+                streaming=spec.streaming,
             )
-        compiled = (
-            compile_instance(instance)
-            if spec.compile_instances and hasattr(algorithm, "process_indexed")
-            else None
-        )
-        result = run_admission(algorithm, instance, compiled=compiled)
+        if spec.streaming:
+            _stream_through_session(instance, algorithm)
+            result = algorithm.result()
+        else:
+            compiled = (
+                compile_instance(instance)
+                if spec.compile_instances and hasattr(algorithm, "process_indexed")
+                else None
+            )
+            result = run_admission(algorithm, instance, compiled=compiled)
         return evaluate_admission_run(
             instance,
             result,
@@ -198,6 +224,7 @@ def _run_trial_suite(
     ilp_time_limit: Optional[float],
     jobs: int,
     compile_instances: bool = True,
+    streaming: bool = False,
 ) -> TrialSummary:
     specs = [
         _TrialSpec(
@@ -211,6 +238,7 @@ def _run_trial_suite(
             bicriteria_bound=bicriteria_bound,
             ilp_time_limit=ilp_time_limit,
             compile_instances=compile_instances,
+            streaming=streaming,
         )
         for instance_seed, algo_seed in derive_seed_pairs(random_state, num_trials)
     ]
@@ -230,6 +258,7 @@ def run_admission_trials(
     ilp_time_limit: Optional[float] = 30.0,
     jobs: int = 1,
     compile_instances: bool = True,
+    streaming: bool = False,
 ) -> TrialSummary:
     """Run several independent admission-control trials.
 
@@ -239,6 +268,9 @@ def run_admission_trials(
     engine executor without changing any result.  ``compile_instances`` (the
     default) compiles each trial instance once and streams it through the
     algorithm's indexed fast path — also without changing any result.
+    ``streaming`` routes each trial through a
+    :class:`~repro.engine.streaming.StreamingSession` micro-batch loop (the
+    serving-layer path) instead — once more without changing any result.
     """
     return _run_trial_suite(
         "admission",
@@ -253,6 +285,7 @@ def run_admission_trials(
         ilp_time_limit=ilp_time_limit,
         jobs=jobs,
         compile_instances=compile_instances,
+        streaming=streaming,
     )
 
 

@@ -66,7 +66,7 @@ class ExponentialBenefitAdmission(OnlineAdmissionAlgorithm):
 
     def path_price(self, request: Request) -> float:
         """Total price of the request's path at the current congestion."""
-        return sum(self._edge_price(e) for e in request.edges)
+        return sum(self._edge_price(e) for e in request.ordered_edges)
 
     def process(self, request: Request) -> Decision:
         """Accept iff the path price is at most the request's (scaled) benefit."""

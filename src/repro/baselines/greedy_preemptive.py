@@ -44,7 +44,7 @@ class KeepExpensive(OnlineAdmissionAlgorithm):
         self._register_arrival(request)
         decision = self._accept(request)
         arriving_evicted = False
-        for edge in request.edges:
+        for edge in request.ordered_edges:
             while self._load[edge] > self._capacities[edge]:
                 on_edge = [
                     (req.cost, rid)
@@ -83,7 +83,7 @@ class GreedySwap(OnlineAdmissionAlgorithm):
     def _eviction_plan(self, request: Request) -> Optional[Tuple[float, List[int]]]:
         """Cheapest eviction bundle making room for ``request`` (None if impossible)."""
         to_evict: Dict[int, float] = {}
-        for edge in request.edges:
+        for edge in request.ordered_edges:
             overflow = self._load[edge] + 1 - self._capacities[edge]
             # Evictions already planned for other edges also relieve this one.
             overflow -= sum(1 for rid in to_evict if edge in self._accepted[rid].edges)

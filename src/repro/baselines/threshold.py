@@ -54,7 +54,7 @@ class ThresholdPreemption(OnlineAdmissionAlgorithm):
     def _cheap_victims(self, request: Request) -> Optional[List[int]]:
         """Victims (cheapest-first) that make room, or None if some edge cannot be cleared."""
         victims: Dict[int, float] = {}
-        for edge in request.edges:
+        for edge in request.ordered_edges:
             overflow = self._load[edge] + 1 - self._capacities[edge]
             overflow -= sum(1 for rid in victims if edge in self._accepted[rid].edges)
             if overflow <= 0:

@@ -29,6 +29,19 @@ writes the aggregated report as JSON.  Cell seeds derive from ``(--seed,
 scenario, algorithm)``, so adding a scenario never changes another's numbers
 and ``--jobs`` never changes any number at all.
 
+The ``serve`` subcommand is the streaming service front-end: it replays a
+JSONL trace through a long-lived :class:`~repro.engine.streaming.
+StreamingSession` (or a :class:`~repro.engine.streaming.ShardedStreamRouter`
+with ``--shards N``), micro-batching arrivals through the compiled fast path,
+appending decisions to ``--log``, and checkpointing to ``--checkpoint`` every
+``--checkpoint-every`` arrivals::
+
+    python -m repro serve --trace day1.jsonl --algorithm doubling \
+        --checkpoint state.json --checkpoint-every 500 --log decisions.jsonl
+    # ... interrupted ...
+    python -m repro serve --trace day1.jsonl --checkpoint state.json --resume \
+        --log decisions.jsonl                 # continues exactly where it stopped
+
 The CLI prints exactly the tables recorded in EXPERIMENTS.md (on the chosen
 grid) so results can be regenerated and diffed from a shell.  ``--backend``
 selects the weight-mechanism backend every algorithm is built with, and
@@ -41,6 +54,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -53,9 +67,11 @@ from repro.engine.benchmarking import (
     compare_to_baseline,
     default_baseline_path,
     run_scaling_bench,
+    run_stream_resume_bench,
     run_sweep_bench,
     run_weight_update_bench,
     scaling_workload,
+    stream_resume_workload,
     sweep_workload,
     weight_update_workload,
 )
@@ -158,8 +174,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None, help="also write the aggregated report as JSON"
     )
     sweep_parser.add_argument(
+        "--streaming", action="store_true",
+        help="run every trial through the streaming service layer (same numbers)",
+    )
+    sweep_parser.add_argument(
         "--list", action="store_true", dest="list_scenarios",
         help="list the registered scenarios and exit",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="stream a JSONL trace through the admission service with checkpoints",
+    )
+    serve_parser.add_argument(
+        "--trace", type=Path, required=True, help="JSONL trace to stream (see `repro sweep --trace`)"
+    )
+    serve_parser.add_argument(
+        "--algorithm", default="doubling",
+        help="streaming algorithm key: fractional, randomized, doubling, "
+        "doubling-fractional (default: doubling)",
+    )
+    serve_parser.add_argument(
+        "--backend", choices=backends, default=None,
+        help="weight-mechanism backend (default: python; on --resume the checkpoint's)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0, help="session RNG seed")
+    serve_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="partition namespaced edges across N independent sessions (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--batch", type=int, default=64, help="micro-batch size through the compiled path"
+    )
+    serve_parser.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="checkpoint file to write (and to resume from with --resume)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="K",
+        help="write the checkpoint every K arrivals (0 = only when the run ends)",
+    )
+    serve_parser.add_argument(
+        "--resume", action="store_true",
+        help="restore the session from --checkpoint and continue where it stopped",
+    )
+    serve_parser.add_argument(
+        "--max-arrivals", type=int, default=None, metavar="N",
+        help="stop after processing N arrivals this run (checkpoint is still written)",
+    )
+    serve_parser.add_argument(
+        "--log", type=Path, default=None,
+        help="append every decision as one JSONL line (resume keeps appending)",
     )
 
     bench_parser = subparsers.add_parser(
@@ -181,6 +246,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--scaling-requests", type=int, default=None,
         help="override the scaling workload's request count (testing hook)",
+    )
+    bench_parser.add_argument(
+        "--stream-requests", type=int, default=None,
+        help="override the stream-resume workload's arrival count (testing hook)",
     )
 
     return parser
@@ -294,12 +363,154 @@ def _cmd_sweep(args, out) -> int:
         seed=args.seed,
         offline=args.offline,
         ilp_time_limit=args.ilp_time_limit,
+        streaming=args.streaming,
     )
     result = sweep.run()
     print(result.report(), file=out)
     if args.out is not None:
         result.save(args.out)
         print(f"\nreport written to {args.out}", file=out)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    """Stream a JSONL trace through the streaming admission service.
+
+    The loop is deliberately dumb: read arrivals, micro-batch them into the
+    session (or the sharded router), append decisions to ``--log``, write a
+    checkpoint every ``--checkpoint-every`` arrivals and once more at the
+    end.  ``--resume`` restores the checkpoint and skips the arrivals it
+    already processed, so an interrupted serve continues exactly where it
+    stopped — the combined decision log is identical to an uninterrupted run.
+    """
+    from repro.engine.streaming import (
+        ROUTER_CHECKPOINT_KIND,
+        ShardedStreamRouter,
+        StreamingSession,
+    )
+    from repro.instances.serialize import load_checkpoint
+    from repro.scenarios.trace import stream_trace
+
+    if args.batch < 1:
+        print("error: --batch must be >= 1", file=out)
+        return 2
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint", file=out)
+        return 2
+    if args.checkpoint_every > 0 and args.checkpoint is None:
+        print("error: --checkpoint-every requires --checkpoint", file=out)
+        return 2
+
+    stream = stream_trace(args.trace)
+    if args.resume:
+        # The checkpoint is self-describing: dispatch on its kind so a
+        # sharded run resumes correctly whether or not --shards is repeated.
+        document = load_checkpoint(args.checkpoint, expected_kind=None)
+        if document.get("kind") == ROUTER_CHECKPOINT_KIND:
+            service = ShardedStreamRouter.restore(
+                document, backend=args.backend, retain_log=False
+            )
+        else:
+            service = StreamingSession.restore(
+                document, backend=args.backend, retain_log=False
+            )
+        skip = service.num_processed
+    else:
+        backend = args.backend or "python"
+        if args.shards > 1:
+            service = ShardedStreamRouter(
+                stream.capacities,
+                args.shards,
+                algorithm=args.algorithm,
+                backend=backend,
+                seed=args.seed,
+                # The serve loop streams entries straight to --log; keeping a
+                # second in-memory copy would grow without bound.
+                retain_log=False,
+                name=f"serve:{args.trace.stem}",
+            )
+        else:
+            service = StreamingSession(
+                stream.capacities,
+                algorithm=args.algorithm,
+                backend=backend,
+                seed=args.seed,
+                retain_log=False,
+                name=f"serve:{args.trace.stem}",
+            )
+        skip = 0
+
+    if args.resume and args.log is not None and args.log.exists():
+        # A crash can land between the last durable log flush and the next
+        # checkpoint; resume then reprocesses those arrivals and would append
+        # their decisions twice.  The checkpoint knows exactly how many
+        # decision entries it covers, so truncate the log to that prefix.
+        lines = args.log.read_text(encoding="utf-8").splitlines(keepends=True)
+        if len(lines) > service.num_decisions:
+            with open(args.log, "w", encoding="utf-8") as fh:
+                fh.writelines(lines[: service.num_decisions])
+
+    log_fh = open(args.log, "a", encoding="utf-8") if args.log is not None else None
+    processed = 0
+    since_checkpoint = 0
+    try:
+
+        def save_checkpoint() -> None:
+            # Durability order: the decision lines covered by a checkpoint
+            # must be on disk *before* the checkpoint claims them, or a crash
+            # right after the (atomic) checkpoint write would lose decisions
+            # that --resume will then never replay.
+            if log_fh is not None:
+                log_fh.flush()
+                os.fsync(log_fh.fileno())
+            service.save(args.checkpoint)
+
+        chunk = []
+        budget = args.max_arrivals if args.max_arrivals is not None else float("inf")
+
+        def flush(batch) -> None:
+            nonlocal processed, since_checkpoint
+            entries = service.submit_batch(batch)
+            if log_fh is not None:
+                for entry in entries:
+                    log_fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            processed += len(batch)
+            since_checkpoint += len(batch)
+            if (
+                args.checkpoint is not None
+                and args.checkpoint_every > 0
+                and since_checkpoint >= args.checkpoint_every
+            ):
+                save_checkpoint()
+                since_checkpoint = 0
+
+        # Skip the arrivals the checkpoint attests to as raw lines — no JSON
+        # decode, no Request construction — so resume costs O(remaining).
+        stream.skip(skip)
+        for request in stream:
+            if processed >= budget:
+                break
+            chunk.append(request)
+            if len(chunk) >= min(args.batch, budget - processed):
+                flush(chunk)
+                chunk = []
+        if chunk:
+            flush(chunk)
+        if args.checkpoint is not None:
+            save_checkpoint()
+    finally:
+        if log_fh is not None:
+            log_fh.close()
+        stream.close()
+
+    summary = service.summary()
+    verb = "resumed at" if args.resume else "served from"
+    print(
+        f"{verb} arrival {skip}: processed {processed} arrivals "
+        f"({service.num_processed} total)",
+        file=out,
+    )
+    print(json.dumps(summary, sort_keys=True, indent=2), file=out)
     return 0
 
 
@@ -338,6 +549,18 @@ def _cmd_bench(args, out) -> int:
             f"({result.augmentations} cells, mean ratio {result.fractional_cost:.3f})",
             file=out,
         )
+    stream = stream_resume_workload()
+    if args.stream_requests is not None:
+        stream = dataclasses.replace(stream, num_requests=args.stream_requests)
+    for backend in _backend_choices():
+        result = run_stream_resume_bench(backend, stream)
+        results.append(result)
+        print(
+            f"stream_resume[{result.backend}]: {result.seconds:.3f}s "
+            f"({stream.num_requests} arrivals streamed + one mid-stream restore, "
+            f"fractional cost {result.fractional_cost:.1f})",
+            file=out,
+        )
     by_backend = {r.backend: r.seconds for r in results if r.name == "weight_update"}
     if "python" in by_backend and "numpy" in by_backend and by_backend["numpy"] > 0:
         print(
@@ -354,6 +577,7 @@ def _cmd_bench(args, out) -> int:
                 "weight_update": dataclasses.asdict(workload),
                 "scaling_10k": dataclasses.asdict(scaling),
                 "sweep_small": dataclasses.asdict(sweep),
+                "stream_resume": dataclasses.asdict(stream),
             },
             "benchmarks": {f"{r.name}[{r.backend}]": r.seconds for r in results},
         }
@@ -393,6 +617,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_demo(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
     parser.error(f"unknown command {args.command!r}")

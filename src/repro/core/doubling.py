@@ -36,6 +36,7 @@ from repro.engine.registry import ADMISSION_ALGORITHMS
 from repro.instances.admission import AdmissionInstance
 from repro.instances.compiled import CompiledInstance
 from repro.instances.request import Decision, EdgeId, Request, RequestSequence
+from repro.instances.serialize import decode_edge_id, encode_edge_id
 from repro.utils.mathx import log2_guarded
 from repro.utils.rng import RandomState
 
@@ -80,7 +81,7 @@ class AlphaSchedule:
         (including the arriving request), as prescribed in Section 2.
         """
         initialised = False
-        for edge in request.edges:
+        for edge in request.ordered_edges:
             self._edge_count[edge] = self._edge_count.get(edge, 0) + 1
             current_min = self._edge_min_cost.get(edge, float("inf"))
             self._edge_min_cost[edge] = min(current_min, request.cost)
@@ -108,6 +109,25 @@ class AlphaSchedule:
     def num_phases(self) -> int:
         """Number of guesses used so far (0 before the first forced rejection)."""
         return len(self.phase_alphas)
+
+    # -- checkpoint state ---------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of the guess-and-double bookkeeping."""
+        return {
+            "alpha": self.alpha,
+            "phase_alphas": [float(a) for a in self.phase_alphas],
+            "edge_count": [[encode_edge_id(e), int(n)] for e, n in self._edge_count.items()],
+            "edge_min_cost": [
+                [encode_edge_id(e), float(c)] for e, c in self._edge_min_cost.items()
+            ],
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore an :meth:`export_state` snapshot."""
+        self.alpha = None if state["alpha"] is None else float(state["alpha"])
+        self.phase_alphas = [float(a) for a in state["phase_alphas"]]
+        self._edge_count = {decode_edge_id(e): int(n) for e, n in state["edge_count"]}
+        self._edge_min_cost = {decode_edge_id(e): float(c) for e, c in state["edge_min_cost"]}
 
 
 def _process_with_schedule(schedule, capacities, inner, request, process_inner):
@@ -215,9 +235,32 @@ class DoublingFractionalAdmissionControl:
         result.alpha = self.schedule.alpha
         return result
 
+    def decisions(self) -> List[FractionalDecision]:
+        """Chronological fractional decisions of the wrapped algorithm."""
+        return self._inner.decisions()
+
+    def decisions_since(self, start: int) -> List[FractionalDecision]:
+        """Decisions appended at or after index ``start`` (a cheap tail read)."""
+        return self._inner.decisions_since(start)
+
     def check_invariants(self) -> List[str]:
         """Delegate to the wrapped algorithm's invariant checker."""
         return self._inner.check_invariants()
+
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot: the wrapped algorithm plus the schedule."""
+        return {
+            "kind": "doubling-fractional",
+            "schedule": self.schedule.export_state(),
+            "inner": self._inner.export_state(),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore an :meth:`export_state` snapshot into this (fresh) wrapper."""
+        if state.get("kind") != "doubling-fractional":
+            raise ValueError(f"not a doubling-fractional state: kind={state.get('kind')!r}")
+        self.schedule.restore_state(state["schedule"])
+        self._inner.restore_state(state["inner"])
 
     @classmethod
     def for_instance(cls, instance: AdmissionInstance, **kwargs) -> "DoublingFractionalAdmissionControl":
@@ -300,6 +343,21 @@ class DoublingAdmissionControl:
         result.extra["alpha_phases"] = list(self.schedule.phase_alphas)
         result.extra["num_phases"] = self.schedule.num_phases
         return result
+
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot: the wrapped algorithm plus the schedule."""
+        return {
+            "kind": "doubling",
+            "schedule": self.schedule.export_state(),
+            "inner": self._inner.export_state(),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore an :meth:`export_state` snapshot into this (fresh) wrapper."""
+        if state.get("kind") != "doubling":
+            raise ValueError(f"not a doubling state: kind={state.get('kind')!r}")
+        self.schedule.restore_state(state["schedule"])
+        self._inner.restore_state(state["inner"])
 
     def __getattr__(self, item):
         # Delegate state queries (rejection_cost, accepted_ids, ...) to the inner algorithm.

@@ -331,7 +331,7 @@ class FractionalAdmissionControl:
     def _accept_permanently(self, request: Request, cost_class: str) -> FractionalDecision:
         """``R_big`` handling: accept for good and reserve capacity on its edges."""
         self._class_of[request.request_id] = cost_class
-        edge_idxs = self._weights.edge_indices_of(request.edges)
+        edge_idxs = self._weights.edge_indices_of(request.ordered_edges)
         outcome = self._weights.process_capacity_reduction_batch(
             edge_idxs, request.request_id, record=self.record
         )
@@ -341,7 +341,7 @@ class FractionalAdmissionControl:
         """Regular handling through the weight mechanism."""
         self._class_of[request.request_id] = CostClass.NORMAL
         normalized = self._normalized_cost(request.cost)
-        edge_idxs = self._weights.edge_indices_of(request.edges)
+        edge_idxs = self._weights.edge_indices_of(request.ordered_edges)
         outcome = self._weights.process_arrival_indexed(
             request.request_id, edge_idxs, normalized, record=self.record
         )
@@ -393,6 +393,10 @@ class FractionalAdmissionControl:
         """Chronological fractional decisions."""
         return list(self._decisions)
 
+    def decisions_since(self, start: int) -> List[FractionalDecision]:
+        """Decisions appended at or after index ``start`` (a cheap tail read)."""
+        return self._decisions[start:]
+
     def check_invariants(self) -> List[str]:
         """Delegate to the weight mechanism's invariant checker."""
         return self._weights.check_invariants()
@@ -410,6 +414,51 @@ class FractionalAdmissionControl:
             alpha=self.alpha,
             g=self.g,
         )
+
+    # -- checkpoint state (used by the streaming layer) --------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of the algorithm's durable state.
+
+        Includes the weight mechanism (:meth:`WeightBackend.export_state`),
+        the cost-class bookkeeping and the decision log.  Per-arrival
+        :class:`ArrivalOutcome` diagnostics are *not* durable state: restored
+        decisions carry ``outcome=None``, exactly like a ``record=False`` run.
+        """
+        return {
+            "kind": "fractional",
+            "alpha": self.alpha,
+            "g": float(self.g),
+            "unweighted": self.unweighted,
+            "small_cost": float(self._small_cost),
+            "original_cost": [[int(r), float(c)] for r, c in self._original_cost.items()],
+            "class_of": [[int(r), cls] for r, cls in self._class_of.items()],
+            "decisions": [
+                [int(d.request_id), d.cost_class, float(d.fraction_rejected)]
+                for d in self._decisions
+            ],
+            "weights": self._weights.export_state(),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore an :meth:`export_state` snapshot into this (fresh) algorithm.
+
+        The algorithm must have been constructed over the same capacities (in
+        the same order) and with the same configuration; after restoring, it
+        processes future arrivals exactly as the snapshotted run would have.
+        """
+        if state.get("kind") != "fractional":
+            raise ValueError(f"not a fractional-algorithm state: kind={state.get('kind')!r}")
+        if self._class_of:
+            raise ValueError("restore_state requires a freshly constructed algorithm")
+        self.alpha = None if state["alpha"] is None else float(state["alpha"])
+        self._small_cost = float(state["small_cost"])
+        self._original_cost = {int(r): float(c) for r, c in state["original_cost"]}
+        self._class_of = {int(r): str(cls) for r, cls in state["class_of"]}
+        self._decisions = [
+            FractionalDecision(int(r), str(cls), None, float(f))
+            for r, cls, f in state["decisions"]
+        ]
+        self._weights.restore_state(state["weights"])
 
     # -- conveniences ------------------------------------------------------------------
     @classmethod

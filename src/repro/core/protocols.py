@@ -196,6 +196,15 @@ class OnlineAdmissionAlgorithm(ABC):
         """Chronological decision log."""
         return list(self._decisions)
 
+    def decisions_since(self, start: int) -> List[Decision]:
+        """Decisions appended at or after index ``start`` (a cheap tail read).
+
+        Long-lived consumers (the streaming session) poll the log after every
+        micro-batch; copying only the tail keeps that O(batch) instead of
+        O(run length).
+        """
+        return self._decisions[start:]
+
     def rejection_cost(self) -> float:
         """Total cost of rejected plus preempted requests (the objective)."""
         return sum(r.cost for r in self._rejected.values()) + sum(

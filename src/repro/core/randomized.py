@@ -41,6 +41,12 @@ from repro.engine.backends import BackendSpec
 from repro.engine.registry import ADMISSION_ALGORITHMS
 from repro.instances.admission import AdmissionInstance
 from repro.instances.request import Decision, EdgeId, Request
+from repro.instances.serialize import (
+    decode_edge_id,
+    encode_edge_id,
+    request_from_state,
+    request_to_state,
+)
 from repro.utils.mathx import log2_guarded
 from repro.utils.rng import RandomState, as_generator
 
@@ -273,7 +279,7 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
                         self.num_coin_rejections += 1
 
         decision = self._accept(request)
-        self._restore_feasibility(request.edges, arriving_id)
+        self._restore_feasibility(request.ordered_edges, arriving_id)
         return decision
 
     def _restore_feasibility(self, edges: Iterable[EdgeId], arriving_id: int) -> None:
@@ -329,7 +335,7 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
         paper's "the online algorithm can reject all the requests in REQ_e").
         """
         triggered = False
-        for edge in request.edges:
+        for edge in request.ordered_edges:
             if edge in self._guarded_edges:
                 triggered = True
                 continue
@@ -343,6 +349,72 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
         if triggered:
             self._reject(request)
         return triggered
+
+    # -- checkpoint state (used by the streaming layer) ----------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of the algorithm's durable state.
+
+        Covers the fractional shadow, the exact RNG state (so resumed coin
+        flips are bit-identical), the accept/reject/preempt bookkeeping, the
+        decision log and the Section-3 guard state.  ``Request.path`` (purely
+        informational) is not persisted.
+        """
+        return {
+            "kind": "randomized",
+            "shadow": self._shadow.export_state(),
+            "rng": self.rng.bit_generator.state,
+            "requests": [
+                request_to_state(req) for req in self._requests_by_id.values()
+            ],
+            "accepted": [int(r) for r in self._accepted],
+            "rejected": [int(r) for r in self._rejected],
+            "preempted": [int(r) for r in self._preempted],
+            "decisions": [
+                [int(d.request_id), d.kind, None if d.at_request is None else int(d.at_request)]
+                for d in self._decisions
+            ],
+            "permanent": sorted(int(r) for r in self._permanent),
+            "guarded_edges": [encode_edge_id(e) for e in self._guarded_edges],
+            "counters": {
+                "threshold_rejections": int(self.num_threshold_rejections),
+                "coin_rejections": int(self.num_coin_rejections),
+                "capacity_rejections": int(self.num_capacity_rejections),
+                "feasibility_preemptions": int(self.num_feasibility_preemptions),
+            },
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore an :meth:`export_state` snapshot into this (fresh) algorithm."""
+        if state.get("kind") != "randomized":
+            raise ValueError(f"not a randomized-algorithm state: kind={state.get('kind')!r}")
+        if self._seen:
+            raise ValueError("restore_state requires a freshly constructed algorithm")
+        self._shadow.restore_state(state["shadow"])
+        self.rng.bit_generator.state = state["rng"]
+        self._requests_by_id = {
+            req.request_id: req
+            for req in (request_from_state(item) for item in state["requests"])
+        }
+        self._seen = set(self._requests_by_id)
+        by_id = self._requests_by_id
+        self._accepted = {int(r): by_id[int(r)] for r in state["accepted"]}
+        self._rejected = {int(r): by_id[int(r)] for r in state["rejected"]}
+        self._preempted = {int(r): by_id[int(r)] for r in state["preempted"]}
+        self._load = {e: 0 for e in self._capacities}
+        for req in self._accepted.values():
+            for e in req.edges:
+                self._load[e] += 1
+        self._decisions = [
+            Decision(int(r), str(kind), None if at is None else int(at))
+            for r, kind, at in state["decisions"]
+        ]
+        self._permanent = {int(r) for r in state["permanent"]}
+        self._guarded_edges = {decode_edge_id(e) for e in state["guarded_edges"]}
+        counters = state["counters"]
+        self.num_threshold_rejections = int(counters["threshold_rejections"])
+        self.num_coin_rejections = int(counters["coin_rejections"])
+        self.num_capacity_rejections = int(counters["capacity_rejections"])
+        self.num_feasibility_preemptions = int(counters["feasibility_preemptions"])
 
     # -- conveniences ---------------------------------------------------------------------------
     @classmethod

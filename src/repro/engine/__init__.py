@@ -54,17 +54,25 @@ from repro.engine.runtime import (
 def __getattr__(name: str):
     # Lazy: repro.engine.sweep imports repro.analysis (which imports
     # repro.core, which imports repro.engine.registry); importing it at the
-    # top of this package would create a cycle.
+    # top of this package would create a cycle.  repro.engine.streaming sits
+    # above repro.core for the same reason.
     if name in ("ScenarioSweep", "SweepResult"):
         from repro.engine import sweep
 
         return getattr(sweep, name)
+    if name in ("StreamingSession", "ShardedStreamRouter", "STREAMING_ALGORITHMS"):
+        from repro.engine import streaming
+
+        return getattr(streaming, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "ScenarioSweep",
     "SweepResult",
+    "StreamingSession",
+    "ShardedStreamRouter",
+    "STREAMING_ALGORITHMS",
     "ArrivalOutcome",
     "AugmentationRecord",
     "NumpyWeightBackend",

@@ -462,6 +462,83 @@ class WeightBackend:
             self._restore_edge_indexed(eidx, triggered_by, outcome)
         return outcome
 
+    # -- checkpoint state (used by the streaming layer) --------------------------------
+    def _request_ids_in_order(self) -> List[int]:
+        """Registered request ids in registration order (subclasses implement)."""
+        raise NotImplementedError
+
+    def _set_weight(self, request_id: int, weight: float) -> None:
+        """Overwrite a registered request's weight (restore-time primitive)."""
+        raise NotImplementedError
+
+    def _mark_dead(self, request_id: int) -> None:
+        """Mark a registered request dead, removing it from all alive sets."""
+        raise NotImplementedError
+
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of the mechanism's *logical* state.
+
+        Captures everything the future evolution of the weights depends on:
+        per-request (edge indices, cost, weight, dead flag) in registration
+        order, the current effective capacities, the seed-weight parameters
+        and the augmentation counter.  Diagnostics (``history()``, past
+        :class:`ArrivalOutcome` objects) are *not* part of the durable state.
+
+        The snapshot is backend-agnostic: a state exported from the python
+        backend restores into the numpy backend and vice versa (per-request
+        weights are bit-identical across backends; only alive-sum reduction
+        order differs, which :data:`SUM_TOLERANCE` absorbs).
+        """
+        return {
+            "backend": self.name,
+            "g": float(self.g),
+            "max_capacity": int(self.max_capacity),
+            "num_edges": self.num_edges,
+            "capacities": [int(c) for c in self._cap],
+            "total_augmentations": int(self.total_augmentations),
+            "requests": [
+                {
+                    "id": int(rid),
+                    "edges": [int(k) for k in self._edge_idxs_of_request(rid)],
+                    "cost": float(self.cost_of(rid)),
+                    "weight": float(self.weight(rid)),
+                    "dead": bool(self.is_dead(rid)),
+                }
+                for rid in self._request_ids_in_order()
+            ],
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore an :meth:`export_state` snapshot into this (fresh) backend.
+
+        Must be called on a newly constructed backend over the *same* edge set
+        (same interning order) and seed parameters; the restored mechanism
+        then evolves exactly like the one that was snapshotted.
+        """
+        if self._request_ids_in_order():
+            raise ValueError("restore_state requires a freshly constructed backend")
+        if int(state["num_edges"]) != self.num_edges:
+            raise ValueError(
+                f"checkpoint has {state['num_edges']} edges, backend has {self.num_edges}"
+            )
+        if abs(float(state["g"]) - self.g) > 1e-12 * max(self.g, 1.0) or int(
+            state["max_capacity"]
+        ) != self.max_capacity:
+            raise ValueError(
+                "checkpoint seed-weight parameters (g, max_capacity) do not match "
+                "this backend; was it built from the same capacities?"
+            )
+        self._cap = [int(c) for c in state["capacities"]]
+        self.total_augmentations = int(state["total_augmentations"])
+        for item in state["requests"]:
+            rid = int(item["id"])
+            self._register_indexed(
+                rid, tuple(int(k) for k in item["edges"]), float(item["cost"])
+            )
+            self._set_weight(rid, float(item["weight"]))
+            if item["dead"]:
+                self._mark_dead(rid)
+
     # -- invariants (used by tests and analysis) ---------------------------------------
     def check_invariants(self) -> List[str]:
         """Return a list of violated invariants (empty when everything holds).
@@ -582,6 +659,16 @@ class PythonWeightBackend(WeightBackend):
 
     def fractional_cost(self) -> float:
         return sum(min(w, 1.0) * self._costs[i] for i, w in self._weights.items())
+
+    # -- checkpoint primitives ------------------------------------------------------
+    def _request_ids_in_order(self) -> List[int]:
+        return list(self._weights)
+
+    def _set_weight(self, request_id: int, weight: float) -> None:
+        self._weights[request_id] = weight
+
+    def _mark_dead(self, request_id: int) -> None:
+        self._kill(request_id)
 
     # -- the mechanism -------------------------------------------------------------
     def _kill(self, request_id: int) -> None:
@@ -827,6 +914,16 @@ class NumpyWeightBackend(WeightBackend):
     def fractional_rejections(self) -> Dict[int, float]:
         clipped = np.minimum(self._w[: self._n], 1.0)
         return {rid: float(clipped[slot]) for slot, rid in enumerate(self._ids)}
+
+    # -- checkpoint primitives ------------------------------------------------------
+    def _request_ids_in_order(self) -> List[int]:
+        return list(self._ids)
+
+    def _set_weight(self, request_id: int, weight: float) -> None:
+        self._w[self._slot[request_id]] = weight
+
+    def _mark_dead(self, request_id: int) -> None:
+        self._kill_slot(self._slot[request_id])
 
     # -- the mechanism -------------------------------------------------------------
     def _kill_slot(self, slot: int) -> None:

@@ -1,6 +1,6 @@
 """The engine's micro-benchmarks and the perf-regression gate.
 
-Three canonical benchmarks cover the library's hot paths:
+Four canonical benchmarks cover the library's hot paths:
 
 * the *weight-update* micro-benchmark exercises the multiplicative weight
   mechanism — the hottest loop — on an instance with >= 1000 edges whose two
@@ -14,7 +14,12 @@ Three canonical benchmarks cover the library's hot paths:
 * the *sweep* benchmark runs a small scenario x algorithm matrix through
   :class:`~repro.engine.sweep.ScenarioSweep` — workload generation, trial
   fan-out, LP comparator, aggregation — so regressions anywhere in the
-  scenario pipeline (not just the weight mechanism) trip the gate.
+  scenario pipeline (not just the weight mechanism) trip the gate;
+* the *stream-resume* benchmark drives the streaming service loop — 4k
+  arrivals in micro-batches through a
+  :class:`~repro.engine.streaming.StreamingSession`, periodic JSON
+  checkpoints, and one mid-stream teardown + restore — so serving-layer and
+  checkpoint regressions trip the gate too.
 
 The same workloads drive:
 
@@ -48,13 +53,16 @@ __all__ = [
     "WeightUpdateWorkload",
     "ScalingWorkload",
     "SweepWorkload",
+    "StreamResumeWorkload",
     "BenchResult",
     "weight_update_workload",
     "scaling_workload",
     "sweep_workload",
+    "stream_resume_workload",
     "run_weight_update_bench",
     "run_scaling_bench",
     "run_sweep_bench",
+    "run_stream_resume_bench",
     "compare_to_baseline",
     "REGRESSION_FACTOR",
     "default_baseline_path",
@@ -279,6 +287,101 @@ def run_sweep_bench(backend: str, workload: Optional[SweepWorkload] = None) -> B
         seconds=seconds,
         augmentations=len(rows),
         fractional_cost=mean_ratio,
+    )
+
+
+@dataclass(frozen=True)
+class StreamResumeWorkload:
+    """An end-to-end streaming-service workload with a mid-stream restart.
+
+    ``num_requests`` arrivals (the scaling workload's shape, smaller) stream
+    through a :class:`~repro.engine.streaming.StreamingSession` in
+    ``batch_size`` micro-batches; every ``checkpoint_every`` arrivals the
+    session is snapshotted through a full JSON round-trip, and at the
+    midpoint the session is torn down and restored from its latest
+    checkpoint — so the measured number covers micro-batch compilation,
+    state export, serialisation, and restore, the whole serving loop.
+    """
+
+    num_edges: int = 256
+    num_hot: int = 8
+    num_requests: int = 4000
+    path_length: int = 3
+    capacity: int = 32
+    seed: int = 13
+    g: float = 64.0
+    batch_size: int = 64
+    checkpoint_every: int = 500
+
+    def instance(self) -> AdmissionInstance:
+        """Materialise the deterministic admission instance."""
+        rng = np.random.default_rng(self.seed)
+        capacities: Dict[EdgeId, int] = {
+            j: self.capacity if j < self.num_hot else self.num_requests + 1
+            for j in range(self.num_edges)
+        }
+        cold = rng.integers(
+            self.num_hot, self.num_edges, size=(self.num_requests, self.path_length - 1)
+        )
+        costs = rng.uniform(1.0, 8.0, size=self.num_requests)
+        requests = []
+        for rid in range(self.num_requests):
+            edges = {rid % self.num_hot, *cold[rid].tolist()}
+            requests.append(Request(rid, frozenset(edges), float(costs[rid])))
+        return AdmissionInstance(capacities, RequestSequence(requests), name="stream-resume")
+
+
+def stream_resume_workload() -> StreamResumeWorkload:
+    """The canonical streaming + checkpoint/restore workload."""
+    return StreamResumeWorkload()
+
+
+def run_stream_resume_bench(
+    backend: str, workload: Optional[StreamResumeWorkload] = None
+) -> BenchResult:
+    """Time the streaming session end to end, including a mid-stream restore.
+
+    ``fractional_cost`` reports the session's final fractional cost (a
+    correctness canary: a restore that corrupted state would move it), and
+    ``augmentations`` the weight mechanism's counter across the restart.
+    """
+    from repro.engine.streaming import StreamingSession
+
+    workload = workload or stream_resume_workload()
+    instance = workload.instance()
+    requests = list(instance.requests)
+    midpoint = len(requests) // 2
+    start = time.perf_counter()
+    session = StreamingSession(
+        instance.capacities,
+        algorithm="fractional",
+        backend=backend,
+        record=False,
+        name="stream-resume-bench",
+    )
+    checkpoint: Optional[str] = None
+    restored = False
+    processed = 0
+    for lo in range(0, len(requests), workload.batch_size):
+        if not restored and checkpoint is not None and processed >= midpoint:
+            # Tear down and resume from the latest checkpoint: replay the
+            # arrivals past the checkpoint cut before continuing.
+            session = StreamingSession.restore(json.loads(checkpoint))
+            session.submit_stream(
+                iter(requests[session.num_processed : lo]), batch_size=workload.batch_size
+            )
+            restored = True
+        session.submit_batch(requests[lo : lo + workload.batch_size])
+        processed = session.num_processed
+        if processed % workload.checkpoint_every < workload.batch_size:
+            checkpoint = json.dumps(session.checkpoint())
+    seconds = time.perf_counter() - start
+    return BenchResult(
+        name="stream_resume",
+        backend=backend,
+        seconds=seconds,
+        augmentations=session.algorithm.num_augmentations,
+        fractional_cost=session.algorithm.fractional_cost(),
     )
 
 

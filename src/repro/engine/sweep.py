@@ -187,6 +187,12 @@ class ScenarioSweep:
         Time limit (s) for exact offline solves when ``offline="ilp"``.
     compile:
         Compile each trial instance once and stream the indexed fast path.
+    streaming:
+        Route every trial through the serving layer
+        (:class:`~repro.engine.streaming.StreamingSession` micro-batches)
+        instead of the batch pipeline.  Decisions — and therefore every
+        reported number — are identical; the knob exists so sweeps exercise
+        the streaming code end to end (``repro sweep --streaming``).
     scenario_overrides:
         Optional per-scenario parameter overrides:
         ``{"bursty": {"num_requests": 1000}}``.
@@ -205,6 +211,7 @@ class ScenarioSweep:
         ilp_time_limit: Optional[float] = 20.0,
         compile: bool = True,
         record: bool = True,
+        streaming: bool = False,
         scenario_overrides: Optional[Dict[str, Dict[str, Any]]] = None,
     ):
         if not scenarios:
@@ -225,6 +232,7 @@ class ScenarioSweep:
         if dup:
             raise ValueError(f"duplicate algorithm keys in sweep: {dup}")
         self.config = EngineConfig(backend=backend, jobs=jobs, compile=compile, record=record)
+        self.streaming = bool(streaming)
         self.num_trials = int(num_trials)
         self.seed = int(seed)
         self.offline = offline
@@ -253,6 +261,7 @@ class ScenarioSweep:
                     ilp_time_limit=self.ilp_time_limit,
                     jobs=self.config.jobs,
                     compile_instances=self.config.compile,
+                    streaming=self.streaming,
                 )
         return SweepResult(
             summaries=summaries,

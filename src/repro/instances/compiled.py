@@ -26,10 +26,11 @@ AdmissionInstance`, which is what "compile once per instance and reuse"
 means in practice: the engine, the trial runner and the experiments all hit
 the same cached object.
 
-The per-request edge *order* inside ``indices`` is exactly the iteration
-order of each request's ``edges`` frozenset — the same order the uncompiled
-path hands to :meth:`WeightBackend.register` — so compiled and uncompiled
-runs perform bit-identical floating-point operations.
+The per-request edge *order* inside ``indices`` is each request's canonical
+``ordered_edges`` — the same order the uncompiled path hands to
+:meth:`WeightBackend.register` — so compiled and uncompiled runs perform
+bit-identical floating-point operations, independent of the process's hash
+seed.
 """
 
 from __future__ import annotations
@@ -168,10 +169,11 @@ def compile_sequence(
     request_ids = np.zeros(n, dtype=np.int64)
     tags: List[Optional[str]] = []
     for i, request in enumerate(requests):
-        # Iterate the frozenset exactly as the uncompiled registration path
-        # does, so the per-edge processing order (and therefore every float
-        # operation) is identical between the two pipelines.
-        for edge in request.edges:
+        # Canonical (repr-sorted) edge order — the same order the uncompiled
+        # registration path uses, so the per-edge processing order (and
+        # therefore every float operation) is identical between the two
+        # pipelines *and* independent of the process's hash seed.
+        for edge in request.ordered_edges:
             try:
                 flat.append(edge_index[edge])
             except KeyError:

@@ -48,16 +48,30 @@ class Request:
 
     def __post_init__(self) -> None:
         # Rebuild the frozenset from its elements in a canonical (repr-sorted)
-        # insertion order.  A frozenset's *iteration* order depends on its
-        # insertion history (collision probing), and iteration order is the
-        # per-request edge processing order of the algorithms — canonicalizing
-        # here makes equal edge sets iterate identically within a process, so
-        # a request rebuilt from a recorded trace replays bit-for-bit.
-        object.__setattr__(self, "edges", frozenset(sorted(self.edges, key=repr)))
+        # insertion order, and keep that order as `ordered_edges`.  A
+        # frozenset's *iteration* order depends on element hashes, which for
+        # strings vary with PYTHONHASHSEED across processes; the algorithms'
+        # per-request edge *processing* order must not, or a checkpointed
+        # session resumed in a fresh process (and a trace replayed on another
+        # machine) would diverge.  Order-sensitive consumers therefore iterate
+        # `ordered_edges`, never the frozenset.
+        ordered = tuple(sorted(self.edges, key=repr))
+        object.__setattr__(self, "edges", frozenset(ordered))
+        object.__setattr__(self, "_ordered_edges", ordered)
         if len(self.edges) == 0:
             raise ValueError(f"request {self.request_id} must occupy at least one edge")
         if not self.cost > 0:
             raise ValueError(f"request {self.request_id} must have positive cost, got {self.cost}")
+
+    @property
+    def ordered_edges(self) -> Tuple[EdgeId, ...]:
+        """The edges in canonical (repr-sorted) processing order.
+
+        This order is identical across processes, hash seeds and machines —
+        it is the order the algorithms feed the weight mechanism, so runs are
+        reproducible wherever they execute (and resumable mid-stream).
+        """
+        return self._ordered_edges  # type: ignore[attr-defined]
 
     @property
     def num_edges(self) -> int:

@@ -154,6 +154,14 @@ class CapacitatedGraph:
         Memoized per ``(source, target)`` — repeated demand pairs skip the
         BFS entirely.  The returned list is a fresh copy, so callers may
         mutate it freely without corrupting the cache.
+
+        Cache coherence: every capacity- or topology-mutating method of this
+        class (:meth:`add_edge`, :meth:`set_capacity`, :meth:`remove_edge`)
+        invalidates the memo, so a cached path can never leak across a
+        mutation.  Only direct mutation of the underlying :attr:`nx` graph
+        (documented read-only) bypasses this — call
+        :meth:`invalidate_routing_cache` yourself if you must go behind the
+        wrapper's back.
         """
         key = (source, target)
         path = self._path_cache.get(key)
@@ -176,6 +184,40 @@ class CapacitatedGraph:
             raise ValueError(f"self-loop ({u!r}, {u!r}) is not allowed")
         self._graph.add_edge(u, v, capacity=capacity)
         self._capacities[(u, v)] = capacity
+        self.invalidate_routing_cache()
+
+    def set_capacity(self, u: Vertex, v: Vertex, capacity: int) -> None:
+        """Change an *existing* edge's capacity, invalidating cached paths.
+
+        Scenario builders that tweak capacities after construction must come
+        through here (or :meth:`add_edge`): hop-count routing does not read
+        capacities today, but capacity-aware consumers key routing decisions
+        on graph state, and a stale memo after a capacity change is exactly
+        the class of bug that is impossible to reproduce later.  Raises
+        :class:`KeyError` for edges that do not exist (use :meth:`add_edge`
+        to create one).
+        """
+        if (u, v) not in self._capacities:
+            raise KeyError(f"edge ({u!r}, {v!r}) does not exist; use add_edge to create it")
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError(f"capacity of edge ({u!r}, {v!r}) must be >= 1, got {capacity}")
+        self._graph[u][v]["capacity"] = capacity
+        self._capacities[(u, v)] = capacity
+        self.invalidate_routing_cache()
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove a directed edge, invalidating cached paths.
+
+        Removing the last edge is rejected (the class invariant is a
+        non-empty edge set).
+        """
+        if (u, v) not in self._capacities:
+            raise KeyError(f"edge ({u!r}, {v!r}) does not exist")
+        if len(self._capacities) == 1:
+            raise ValueError("cannot remove the last edge of the graph")
+        self._graph.remove_edge(u, v)
+        del self._capacities[(u, v)]
         self.invalidate_routing_cache()
 
     def has_path(self, source: Vertex, target: Vertex) -> bool:

@@ -29,7 +29,13 @@ from repro.scenarios.registry import (
     register_scenario,
     scenario_keys,
 )
-from repro.scenarios.trace import TraceBuilder, load_trace, record_trace, scenario_from_trace
+from repro.scenarios.trace import (
+    TraceBuilder,
+    load_trace,
+    record_trace,
+    scenario_from_trace,
+    stream_trace,
+)
 
 __all__ = [
     "SCENARIOS",
@@ -43,4 +49,5 @@ __all__ = [
     "load_trace",
     "record_trace",
     "scenario_from_trace",
+    "stream_trace",
 ]

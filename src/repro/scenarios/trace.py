@@ -22,11 +22,16 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.instances.admission import AdmissionInstance
-from repro.instances.serialize import dump_admission_trace, load_admission_trace
+from repro.instances.serialize import (
+    AdmissionTraceStream,
+    dump_admission_trace,
+    load_admission_trace,
+    stream_admission_trace,
+)
 from repro.scenarios.registry import SCENARIOS, Scenario
 from repro.utils.rng import RandomState
 
-__all__ = ["record_trace", "load_trace", "scenario_from_trace", "TraceBuilder"]
+__all__ = ["record_trace", "load_trace", "stream_trace", "scenario_from_trace", "TraceBuilder"]
 
 
 def record_trace(instance: AdmissionInstance, path: Union[str, Path]) -> Path:
@@ -40,6 +45,18 @@ def record_trace(instance: AdmissionInstance, path: Union[str, Path]) -> Path:
 def load_trace(path: Union[str, Path]) -> AdmissionInstance:
     """Replay a JSONL trace back into an :class:`AdmissionInstance`."""
     return load_admission_trace(str(path))
+
+
+def stream_trace(path: Union[str, Path]) -> AdmissionTraceStream:
+    """Open a trace as a lazy arrival source (header now, requests on demand).
+
+    The streaming service (``repro serve``) feeds sessions from this instead
+    of :func:`load_trace`, so replaying a trace costs O(batch) memory rather
+    than O(trace): the capacities come from the eagerly-parsed header, and
+    iterating the stream yields one :class:`~repro.instances.request.Request`
+    per line.
+    """
+    return stream_admission_trace(str(path))
 
 
 @dataclass(frozen=True)

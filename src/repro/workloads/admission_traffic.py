@@ -131,8 +131,19 @@ def zipf_cost_workload(
     This is the regime where the ``R_big`` / ``R_small`` preprocessing earns
     its keep.
     """
-    if num_edges < 1 or num_requests < 0:
-        raise ValueError("num_edges must be >= 1 and num_requests >= 0")
+    if num_edges < 2:
+        raise ValueError(
+            "num_edges must be >= 2: the Zipf edge-popularity support needs at "
+            "least two edges, otherwise every request hits the same edge and "
+            "the popularity weights are degenerate"
+        )
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    if edge_concentration <= 0:
+        raise ValueError(
+            f"edge_concentration must be > 0 (rank-decreasing popularity), "
+            f"got {edge_concentration}"
+        )
     rng = as_generator(random_state)
     capacities = {f"e{j}": capacity for j in range(num_edges)}
     weights = np.arange(1, num_edges + 1, dtype=float) ** (-float(edge_concentration))

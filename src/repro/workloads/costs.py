@@ -71,6 +71,7 @@ def zipf_costs(
     exponent: float = 1.8,
     scale: float = 1.0,
     cap: float = 1e4,
+    support=None,
     random_state: RandomState = None,
 ) -> np.ndarray:
     """Zipf (zeta) distributed costs — the discrete heavy tail of serving mixes.
@@ -79,12 +80,46 @@ def zipf_costs(
     the rejection penalty plays that role.  ``exponent`` close to 1 gives an
     extreme tail; ``cap`` bounds the spread so the paper's normalisation
     ``g <= 2mc`` stays meaningful.
+
+    Two modes:
+
+    * ``support=None`` (default) — the unbounded zeta distribution
+      ``P(k) ∝ k**-exponent`` over ``k = 1, 2, ...``, scaled by ``scale`` and
+      clipped at ``cap``.  Requires ``exponent > 1`` (the zeta series
+      diverges at 1, and NumPy would reject or loop on smaller values).
+    * ``support=[c1, c2, ...]`` — a *ranked* Zipf over an explicit set of
+      cost levels: level ``j`` (0-based) is drawn with probability
+      proportional to ``(j + 1) ** -exponent``.  Requires ``exponent > 0``
+      and at least **two** positive levels — a single-level support would
+      make every "draw" that one value, a degenerate distribution that
+      silently defeats the point of a heavy-tail sweep, so it is rejected
+      with a clear error instead.
     """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = as_generator(random_state)
+    if support is not None:
+        levels = np.asarray(support, dtype=float)
+        if levels.ndim != 1 or levels.shape[0] < 2:
+            raise ValueError(
+                "support must contain at least two cost levels; a single-element "
+                "support makes the Zipf draw degenerate (every cost identical)"
+            )
+        if np.any(levels <= 0) or not np.all(np.isfinite(levels)):
+            raise ValueError("support cost levels must be positive finite numbers")
+        if exponent <= 0:
+            raise ValueError(
+                f"exponent (alpha) must be > 0 for a ranked support, got {exponent}"
+            )
+        weights = np.arange(1, levels.shape[0] + 1, dtype=float) ** (-float(exponent))
+        weights /= weights.sum()
+        return levels[rng.choice(levels.shape[0], size=count, p=weights)]
     if exponent <= 1.0:
-        raise ValueError("exponent must be > 1 for the zeta distribution")
+        raise ValueError(
+            f"exponent (alpha) must be > 1 for the zeta distribution, got {exponent}"
+        )
     if scale <= 0 or cap < scale:
         raise ValueError("require 0 < scale <= cap")
-    rng = as_generator(random_state)
     raw = rng.zipf(exponent, size=count).astype(float)
     return np.minimum(scale * raw, float(cap))
 

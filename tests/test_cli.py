@@ -157,10 +157,173 @@ class TestSweepCommand:
         assert "trace:t" in output
 
 
+class TestServeCommand:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        from repro.scenarios import record_trace
+        from repro.workloads import bursty_workload
+
+        instance = bursty_workload(num_edges=12, num_requests=80, capacity=3, random_state=7)
+        return record_trace(instance, tmp_path / "t.jsonl")
+
+    def test_serve_whole_trace(self, trace_path):
+        code, output = run_cli(
+            ["serve", "--trace", str(trace_path), "--algorithm", "doubling", "--seed", "5"]
+        )
+        assert code == 0
+        assert "processed 80 arrivals" in output
+        assert '"rejection_cost"' in output
+
+    def test_serve_checkpoint_then_resume(self, trace_path, tmp_path):
+        checkpoint = tmp_path / "ck.json"
+        log = tmp_path / "log.jsonl"
+        code, _ = run_cli(
+            ["serve", "--trace", str(trace_path), "--algorithm", "randomized",
+             "--backend", "numpy", "--seed", "3", "--checkpoint", str(checkpoint),
+             "--max-arrivals", "40", "--log", str(log)]
+        )
+        assert code == 0
+        assert checkpoint.exists()
+        code, output = run_cli(
+            ["serve", "--trace", str(trace_path), "--resume",
+             "--checkpoint", str(checkpoint), "--log", str(log)]
+        )
+        assert code == 0
+        assert "resumed at arrival 40" in output
+        full_log = tmp_path / "full.jsonl"
+        code, _ = run_cli(
+            ["serve", "--trace", str(trace_path), "--algorithm", "randomized",
+             "--backend", "numpy", "--seed", "3", "--log", str(full_log)]
+        )
+        assert code == 0
+        assert log.read_text() == full_log.read_text()
+
+    def test_serve_sharded(self, tmp_path):
+        from repro.scenarios import record_trace
+        from repro.workloads import adversarial_mix_workload
+
+        trace = record_trace(
+            adversarial_mix_workload(num_edges=8, capacity=2, random_state=3),
+            tmp_path / "mix.jsonl",
+        )
+        code, output = run_cli(
+            ["serve", "--trace", str(trace), "--shards", "3", "--algorithm", "doubling"]
+        )
+        assert code == 0
+        assert '"num_shards": 3' in output
+
+    def test_serve_sharded_resume_log_is_byte_identical(self, tmp_path):
+        # Regression: router decision entries must come out in arrival order,
+        # not shard order — shard-grouped emission made the combined log
+        # depend on batch boundaries, which shift across a resume.
+        from repro.scenarios import record_trace
+        from repro.workloads import adversarial_mix_workload
+
+        trace = record_trace(
+            adversarial_mix_workload(num_edges=8, capacity=2, random_state=3),
+            tmp_path / "mix.jsonl",
+        )
+        checkpoint = tmp_path / "ck.json"
+        log = tmp_path / "log.jsonl"
+        base = ["serve", "--trace", str(trace), "--shards", "3",
+                "--algorithm", "doubling", "--seed", "2"]
+        code, _ = run_cli(
+            base + ["--checkpoint", str(checkpoint), "--max-arrivals", "30",
+                    "--log", str(log)]
+        )
+        assert code == 0
+        code, _ = run_cli(
+            ["serve", "--trace", str(trace), "--shards", "3", "--resume",
+             "--checkpoint", str(checkpoint), "--log", str(log)]
+        )
+        assert code == 0
+        full_log = tmp_path / "full.jsonl"
+        code, _ = run_cli(base + ["--log", str(full_log)])
+        assert code == 0
+        assert log.read_text() == full_log.read_text()
+
+    def test_serve_resume_truncates_replayed_log_lines(self, trace_path, tmp_path):
+        # Regression: decisions between the last checkpoint and an interrupt
+        # are reprocessed on resume; their already-flushed log lines must be
+        # truncated, not duplicated.
+        checkpoint = tmp_path / "ck.json"
+        log = tmp_path / "log.jsonl"
+        code, _ = run_cli(
+            ["serve", "--trace", str(trace_path), "--algorithm", "doubling",
+             "--seed", "5", "--checkpoint", str(checkpoint),
+             "--max-arrivals", "40", "--log", str(log)]
+        )
+        assert code == 0
+        # Simulate a crash window: extra lines flushed after the checkpoint.
+        with open(log, "a", encoding="utf-8") as fh:
+            fh.write('{"event": "accept", "id": 9999}\n')
+        code, _ = run_cli(
+            ["serve", "--trace", str(trace_path), "--resume",
+             "--checkpoint", str(checkpoint), "--log", str(log)]
+        )
+        assert code == 0
+        full_log = tmp_path / "full.jsonl"
+        code, _ = run_cli(
+            ["serve", "--trace", str(trace_path), "--algorithm", "doubling",
+             "--seed", "5", "--log", str(full_log)]
+        )
+        assert code == 0
+        assert log.read_text() == full_log.read_text()
+
+    def test_serve_resume_requires_checkpoint(self, trace_path):
+        code, output = run_cli(["serve", "--trace", str(trace_path), "--resume"])
+        assert code == 2
+        assert "--resume requires --checkpoint" in output
+
+    def test_serve_checkpoint_every_requires_checkpoint(self, trace_path):
+        code, output = run_cli(
+            ["serve", "--trace", str(trace_path), "--checkpoint-every", "50"]
+        )
+        assert code == 2
+        assert "--checkpoint-every requires --checkpoint" in output
+
+    def test_serve_resume_dispatches_on_checkpoint_kind(self, tmp_path):
+        # Regression: a sharded checkpoint must resume as a router even when
+        # --shards is not repeated (the checkpoint is self-describing).
+        from repro.scenarios import record_trace
+        from repro.workloads import adversarial_mix_workload
+
+        trace = record_trace(
+            adversarial_mix_workload(num_edges=8, capacity=2, random_state=3),
+            tmp_path / "mix.jsonl",
+        )
+        checkpoint = tmp_path / "ck.json"
+        code, _ = run_cli(
+            ["serve", "--trace", str(trace), "--shards", "3", "--algorithm", "doubling",
+             "--checkpoint", str(checkpoint), "--max-arrivals", "30"]
+        )
+        assert code == 0
+        code, output = run_cli(
+            ["serve", "--trace", str(trace), "--resume", "--checkpoint", str(checkpoint)]
+        )
+        assert code == 0
+        assert '"num_shards": 3' in output
+
+    def test_serve_sharded_plain_string_edges_single_namespace(self, trace_path):
+        # Non-namespaced edge ids all share one namespace: sharding degrades
+        # to one live shard instead of rejecting multi-edge requests.
+        code, output = run_cli(
+            ["serve", "--trace", str(trace_path), "--shards", "4",
+             "--algorithm", "fractional"]
+        )
+        assert code == 0
+        assert "processed 80 arrivals" in output
+
+    def test_serve_sweep_streaming_flag_parses(self):
+        args = build_parser().parse_args(["sweep", "--streaming"])
+        assert args.streaming
+
+
 class TestBenchCommand:
     def test_bench_without_baseline_passes(self, tmp_path):
         code, output = run_cli(
             ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
+             "--stream-requests", "400",
              "--baseline", str(tmp_path / "missing.json")]
         )
         assert code == 0
@@ -178,6 +341,7 @@ class TestBenchCommand:
         baseline = tmp_path / "baseline.json"
         code, output = run_cli(
             ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
+             "--stream-requests", "400",
              "--baseline", str(baseline), "--write-baseline"]
         )
         assert code == 0
@@ -187,6 +351,7 @@ class TestBenchCommand:
             "weight_update[python]", "weight_update[numpy]",
             "scaling_10k[python]", "scaling_10k[numpy]",
             "sweep_small[python]", "sweep_small[numpy]",
+            "stream_resume[python]", "stream_resume[numpy]",
         }
         # Inflate the stored seconds so scheduler noise on a loaded machine
         # cannot trip the 2x gate; this test checks the roundtrip wiring, the
@@ -195,6 +360,7 @@ class TestBenchCommand:
         baseline.write_text(json.dumps(payload))
         code, output = run_cli(
             ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
+             "--stream-requests", "400",
              "--baseline", str(baseline)]
         )
         assert code == 0
@@ -215,6 +381,7 @@ class TestBenchCommand:
         }))
         code, output = run_cli(
             ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
+             "--stream-requests", "400",
              "--baseline", str(baseline)]
         )
         assert code == 1

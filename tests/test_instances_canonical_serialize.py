@@ -106,3 +106,102 @@ class TestSerializationSetCover:
 
         with pytest.raises(TypeError):
             _encode_id(object())
+
+
+class TestTraceLoaderHardening:
+    """The JSONL trace loader fails loudly (TraceFormatError) on malformed input."""
+
+    def _trace_lines(self, instance):
+        return list(serialize.trace_lines(instance))
+
+    @pytest.fixture
+    def instance(self, weighted_instance):
+        return weighted_instance
+
+    def test_trailing_blank_lines_tolerated(self, instance):
+        lines = self._trace_lines(instance) + ["", "   ", "\n"]
+        rebuilt = serialize.load_admission_trace(lines)
+        assert rebuilt.num_requests == instance.num_requests
+
+    def test_interior_blank_lines_tolerated(self, instance):
+        lines = self._trace_lines(instance)
+        lines.insert(1, "")
+        lines.insert(3, "   \n")
+        rebuilt = serialize.load_admission_trace(lines)
+        assert rebuilt.num_requests == instance.num_requests
+
+    def test_duplicate_header_rejected(self, instance):
+        lines = self._trace_lines(instance)
+        lines.insert(2, lines[0])  # a second header mid-stream
+        with pytest.raises(serialize.TraceFormatError, match="duplicate header"):
+            serialize.load_admission_trace(lines)
+
+    def test_unknown_schema_version_rejected(self, instance):
+        lines = self._trace_lines(instance)
+        header = lines[0].replace('"schema": 1', '"schema": 99')
+        with pytest.raises(serialize.TraceFormatError, match="schema"):
+            serialize.load_admission_trace([header] + lines[1:])
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(serialize.TraceFormatError, match="kind"):
+            serialize.load_admission_trace(['{"kind": "nope", "schema": 1}'])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(serialize.TraceFormatError, match="empty trace"):
+            serialize.load_admission_trace([])
+        with pytest.raises(serialize.TraceFormatError, match="empty trace"):
+            serialize.load_admission_trace(["", "  "])
+
+    def test_invalid_json_line_reports_line_number(self, instance):
+        lines = self._trace_lines(instance)
+        lines.insert(1, "{not json")
+        with pytest.raises(serialize.TraceFormatError, match="line 2"):
+            serialize.load_admission_trace(lines)
+
+    def test_missing_request_fields_rejected(self, instance):
+        lines = self._trace_lines(instance)
+        lines.append('{"id": 999, "edges": ["a"]}')  # no cost
+        with pytest.raises(serialize.TraceFormatError, match="missing fields"):
+            serialize.load_admission_trace(lines)
+
+    def test_non_object_request_line_rejected(self, instance):
+        lines = self._trace_lines(instance)
+        lines.append("[1, 2, 3]")
+        with pytest.raises(serialize.TraceFormatError, match="JSON object"):
+            serialize.load_admission_trace(lines)
+
+    def test_trace_format_error_is_a_value_error(self):
+        # Backwards compatibility: callers that caught ValueError keep working.
+        assert issubclass(serialize.TraceFormatError, ValueError)
+
+    def test_stream_reads_header_eagerly_and_requests_lazily(self, instance, tmp_path):
+        path = tmp_path / "t.jsonl"
+        serialize.dump_admission_trace(instance, str(path))
+        stream = serialize.stream_admission_trace(str(path))
+        assert stream.capacities == instance.capacities
+        first = next(iter(stream))
+        assert first.request_id == instance.requests[0].request_id
+        stream.close()
+
+    def test_stream_second_iteration_rejected(self, instance):
+        stream = serialize.stream_admission_trace(serialize.trace_lines(instance))
+        assert len(list(stream)) == instance.num_requests
+        with pytest.raises(ValueError, match="already consumed"):
+            list(stream)
+
+    def test_stream_skip_advances_without_parsing(self, instance):
+        lines = list(serialize.trace_lines(instance))
+        # Corrupt a line inside the skipped prefix: skip must not parse it.
+        lines[1] = "{definitely not json"
+        stream = serialize.stream_admission_trace(lines)
+        assert stream.skip(1) == 1
+        rest = list(stream)
+        assert [r.request_id for r in rest] == [
+            r.request_id for r in list(instance.requests)[1:]
+        ]
+        with pytest.raises(ValueError):
+            serialize.stream_admission_trace(lines).skip(-1)
+
+    def test_stream_skip_past_end_returns_short_count(self, instance):
+        stream = serialize.stream_admission_trace(serialize.trace_lines(instance))
+        assert stream.skip(instance.num_requests + 50) == instance.num_requests

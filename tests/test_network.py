@@ -114,6 +114,42 @@ class TestCapacitatedGraph:
         graph.invalidate_routing_cache()
         assert graph._path_cache == {}
 
+    def test_set_capacity_invalidates_path_cache_and_reroutes(self):
+        # Regression: every capacity-mutating path must invalidate the
+        # shortest-path memo, not just add_edge.
+        graph = line_graph(5)
+        assert graph.shortest_path(0, 3) == [0, 1, 2, 3]
+        assert (0, 3) in graph._path_cache
+        graph.set_capacity(0, 1, 7)
+        assert graph._path_cache == {}
+        assert graph.capacity((0, 1)) == 7
+        assert graph.nx[0][1]["capacity"] == 7
+        # Re-routing after the mutation rebuilds the memo from live state.
+        assert graph.shortest_path(0, 3) == [0, 1, 2, 3]
+
+    def test_set_capacity_validates(self):
+        graph = line_graph(3)
+        with pytest.raises(KeyError):
+            graph.set_capacity(0, 2, 3)  # edge does not exist
+        with pytest.raises(ValueError):
+            graph.set_capacity(0, 1, 0)
+
+    def test_remove_edge_invalidates_path_cache_and_reroutes(self):
+        graph = line_graph(4)
+        graph.add_edge(0, 3, capacity=2)
+        assert graph.shortest_path(0, 3) == [0, 3]
+        graph.remove_edge(0, 3)
+        # The cached shortcut must not survive the removal.
+        assert graph.shortest_path(0, 3) == [0, 1, 2, 3]
+        assert not graph.has_edge(0, 3)
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 3)
+
+    def test_remove_last_edge_rejected(self):
+        graph = CapacitatedGraph([(0, 1)])
+        with pytest.raises(ValueError):
+            graph.remove_edge(0, 1)
+
 
 class TestTopologies:
     def test_line_graph(self):

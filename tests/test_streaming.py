@@ -1,0 +1,408 @@
+"""Tests for the streaming service layer: sessions, checkpoints, sharding.
+
+The load-bearing property is resume equivalence: a session checkpointed
+mid-stream (through a full JSON round-trip) and restored — in this process
+or a fresh one, on either backend — must produce a decision log identical
+(1e-9 on fractions; exactly on events) to an uninterrupted run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine.streaming import (
+    ROUTER_CHECKPOINT_KIND,
+    ShardedStreamRouter,
+    StreamingSession,
+    default_namespace,
+)
+from repro.instances.request import Request
+from repro.instances.serialize import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_SCHEMA,
+    CheckpointFormatError,
+    load_checkpoint,
+)
+from repro.workloads.admission_traffic import adversarial_mix_workload, bursty_workload
+
+BACKENDS = ("python", "numpy")
+
+
+def make_instance(seed, *, num_requests=48):
+    """A small congested instance with costs spread enough to matter."""
+    from repro.workloads.costs import uniform_costs
+
+    return bursty_workload(
+        num_edges=10,
+        num_requests=num_requests,
+        capacity=2,
+        num_hot_edges=3,
+        cost_sampler=lambda count, rng: uniform_costs(count, 1.0, 6.0, rng),
+        random_state=seed,
+    )
+
+
+def run_full(instance, algorithm, backend, *, record=None, seed=0, batch=7):
+    session = StreamingSession(
+        instance.capacities, algorithm=algorithm, backend=backend, record=record, seed=seed
+    )
+    session.submit_stream(iter(instance.requests), batch_size=batch)
+    return session
+
+
+def run_with_cut(instance, algorithm, backend, cut, *, record=None, seed=0, batch=7):
+    """Stream to ``cut``, checkpoint through JSON, restore, stream the rest."""
+    requests = list(instance.requests)
+    first = StreamingSession(
+        instance.capacities, algorithm=algorithm, backend=backend, record=record, seed=seed
+    )
+    first.submit_stream(iter(requests[:cut]), batch_size=batch)
+    document = json.loads(json.dumps(first.checkpoint()))
+    resumed = StreamingSession.restore(document)
+    assert resumed.num_processed == cut
+    resumed.submit_stream(iter(requests[cut:]), batch_size=batch)
+    return resumed
+
+
+def assert_logs_equal(expected, actual, tol=1e-9):
+    assert len(expected) == len(actual)
+    for a, b in zip(expected, actual):
+        assert a["id"] == b["id"]
+        assert a["event"] == b["event"]
+        if "fraction" in a:
+            assert abs(a["fraction"] - b["fraction"]) <= tol
+        if "at" in a:
+            assert a.get("at") == b.get("at")
+
+
+class TestCheckpointRoundTrip:
+    """Snapshot mid-stream x cut points x backends x record modes x seeds."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("record", [True, False])
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fractional_resume_matches_uninterrupted(self, backend, record, seed):
+        instance = make_instance(seed)
+        n = instance.num_requests
+        full = run_full(instance, "fractional", backend, record=record)
+        for cut in (1, n // 4, n // 2, 3 * n // 4):
+            resumed = run_with_cut(instance, "fractional", backend, cut, record=record)
+            assert_logs_equal(full.decision_log(), resumed.decision_log())
+            assert resumed.algorithm.fractional_cost() == pytest.approx(
+                full.algorithm.fractional_cost(), abs=1e-9
+            )
+            assert resumed.algorithm.num_augmentations == full.algorithm.num_augmentations
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(10))
+    def test_randomized_resume_matches_uninterrupted(self, backend, seed):
+        instance = make_instance(seed)
+        n = instance.num_requests
+        full = run_full(instance, "randomized", backend, seed=seed + 100)
+        for cut in (n // 4, n // 2, 3 * n // 4):
+            resumed = run_with_cut(instance, "randomized", backend, cut, seed=seed + 100)
+            assert_logs_equal(full.decision_log(), resumed.decision_log())
+            assert resumed.algorithm.rejection_cost() == pytest.approx(
+                full.algorithm.rejection_cost(), abs=1e-9
+            )
+            assert resumed.algorithm.accepted_ids() == full.algorithm.accepted_ids()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("algorithm", ["doubling", "doubling-fractional"])
+    def test_doubling_wrappers_resume(self, backend, algorithm):
+        instance = make_instance(3)
+        n = instance.num_requests
+        full = run_full(instance, algorithm, backend, seed=7)
+        resumed = run_with_cut(instance, algorithm, backend, n // 2, seed=7)
+        assert_logs_equal(full.decision_log(), resumed.decision_log())
+        assert resumed.algorithm.alpha == full.algorithm.alpha
+        assert (
+            resumed.algorithm.schedule.phase_alphas == full.algorithm.schedule.phase_alphas
+        )
+
+    def test_cross_backend_restore(self):
+        # A python-backend checkpoint restored on numpy (and vice versa)
+        # continues the exact same run: weights are bit-identical across
+        # backends, so the logs agree at 1e-9.
+        instance = make_instance(5)
+        requests = list(instance.requests)
+        cut = len(requests) // 2
+        for src, dst in (("python", "numpy"), ("numpy", "python")):
+            full = run_full(instance, "randomized", src, seed=2)
+            first = StreamingSession(
+                instance.capacities, algorithm="randomized", backend=src, seed=2
+            )
+            first.submit_stream(iter(requests[:cut]), batch_size=7)
+            resumed = StreamingSession.restore(
+                json.loads(json.dumps(first.checkpoint())), backend=dst
+            )
+            assert resumed.backend == dst
+            resumed.submit_stream(iter(requests[cut:]), batch_size=7)
+            assert_logs_equal(full.decision_log(), resumed.decision_log())
+
+    def test_batch_size_never_changes_decisions(self):
+        instance = make_instance(11)
+        logs = []
+        for batch in (1, 5, 64):
+            session = run_full(instance, "randomized", "numpy", seed=4, batch=batch)
+            logs.append(session.decision_log())
+        assert_logs_equal(logs[0], logs[1])
+        assert_logs_equal(logs[0], logs[2])
+
+    def test_checkpoint_is_json_serialisable(self, tmp_path):
+        instance = make_instance(1)
+        session = run_full(instance, "doubling", "python", seed=9)
+        path = session.save(tmp_path / "ck.json")
+        document = load_checkpoint(path)
+        assert document["kind"] == CHECKPOINT_KIND
+        assert document["schema"] == CHECKPOINT_SCHEMA
+        assert document["num_processed"] == instance.num_requests
+        reloaded = StreamingSession.load(path)
+        assert reloaded.num_processed == session.num_processed
+        assert_logs_equal(session.decision_log(), reloaded.decision_log())
+
+
+class TestCheckpointValidation:
+    def test_unknown_schema_rejected(self):
+        instance = make_instance(0)
+        session = run_full(instance, "fractional", "python")
+        document = session.checkpoint()
+        document["schema"] = 99
+        with pytest.raises(CheckpointFormatError, match="schema"):
+            StreamingSession.restore(document)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(CheckpointFormatError, match="kind"):
+            StreamingSession.restore({"kind": "nope", "schema": CHECKPOINT_SCHEMA})
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{truncated")
+        with pytest.raises(CheckpointFormatError, match="JSON"):
+            StreamingSession.load(path)
+
+    def test_restore_into_used_algorithm_rejected(self):
+        instance = make_instance(0)
+        session = run_full(instance, "fractional", "python")
+        document = session.checkpoint()
+        # The restored session builds a fresh algorithm internally; poking the
+        # state into an already-used algorithm must fail loudly.
+        with pytest.raises(ValueError, match="freshly constructed"):
+            session.algorithm.restore_state(document["algorithm_state"])
+
+    def test_external_algorithm_objects_not_checkpointable(self):
+        from repro.core.fractional import FractionalAdmissionControl
+
+        instance = make_instance(0)
+        algo = FractionalAdmissionControl.for_instance(instance)
+        session = StreamingSession(instance.capacities, algorithm=algo)
+        session.submit(instance.requests[0])
+        with pytest.raises(TypeError, match="externally-built"):
+            session.checkpoint()
+
+
+class TestStreamingSessionBasics:
+    def test_submit_matches_submit_batch(self):
+        instance = make_instance(2)
+        one = StreamingSession(instance.capacities, algorithm="fractional")
+        for request in instance.requests:
+            one.submit(request)
+        batched = run_full(instance, "fractional", "python", batch=16)
+        assert_logs_equal(one.decision_log(), batched.decision_log())
+
+    def test_duplicate_request_id_rejected(self):
+        instance = make_instance(2)
+        session = StreamingSession(instance.capacities, algorithm="fractional")
+        session.submit(instance.requests[0])
+        with pytest.raises(ValueError, match="already processed"):
+            session.submit(instance.requests[0])
+
+    def test_unknown_edge_rejected(self):
+        session = StreamingSession({"a": 1, "b": 1}, algorithm="fractional")
+        with pytest.raises(ValueError):
+            session.submit_batch([Request(0, frozenset(["zzz"]), 1.0)])
+
+    def test_unknown_algorithm_key_rejected(self):
+        with pytest.raises(KeyError, match="streaming algorithm"):
+            StreamingSession({"a": 1}, algorithm="no-such-algorithm")
+
+    def test_retain_log_false_streams_without_accumulating(self):
+        instance = make_instance(2)
+        retained = run_full(instance, "randomized", "python", seed=3)
+        session = StreamingSession(
+            instance.capacities, algorithm="randomized", seed=3, retain_log=False
+        )
+        streamed = []
+        for lo in range(0, instance.num_requests, 7):
+            streamed.extend(session.submit_batch(list(instance.requests)[lo : lo + 7]))
+        assert_logs_equal(retained.decision_log(), streamed)
+        assert session.num_decisions == len(streamed)
+        assert session._decision_log == []
+        with pytest.raises(RuntimeError, match="retain_log"):
+            session.decision_log()
+
+    def test_tuple_edge_ids_share_default_namespace(self):
+        # Tuple edge ids (the network layer) have no declared namespaces, so
+        # they all shard together — multi-edge requests must not be rejected.
+        capacities = {(0, 1): 2, (1, 2): 2, (2, 3): 2}
+        router = ShardedStreamRouter(capacities, 4, algorithm="fractional")
+        router.submit(Request(0, frozenset([(0, 1), (1, 2)]), 1.0))
+        assert router.num_processed == 1
+        assert len(router.sessions()) == 1
+
+    def test_summary_shape(self):
+        instance = make_instance(2)
+        session = run_full(instance, "doubling", "numpy", seed=1)
+        summary = session.summary()
+        assert summary["processed"] == instance.num_requests
+        assert summary["algorithm"] == "doubling"
+        assert summary["backend"] == "numpy"
+        assert "rejection_cost" in summary
+
+
+class TestShardedStreamRouter:
+    def make_mix(self, seed=3):
+        return adversarial_mix_workload(num_edges=8, capacity=2, random_state=seed)
+
+    def test_namespace_partition_routes_all_requests(self):
+        mix = self.make_mix()
+        router = ShardedStreamRouter(mix.capacities, 3, algorithm="fractional", seed=1)
+        router.submit_batch(list(mix.requests))
+        assert router.num_processed == mix.num_requests
+        # Every edge landed in exactly one shard.
+        shard_edges = [set(s.capacities()) for _, s in router.sessions()]
+        union = set().union(*shard_edges)
+        assert union == set(mix.capacities)
+        assert sum(len(e) for e in shard_edges) == len(union)
+
+    def test_cross_namespace_request_rejected(self):
+        mix = self.make_mix()
+        router = ShardedStreamRouter(mix.capacities, 2, seed=1)
+        edges = list(mix.capacities)
+        spanning = {default_namespace(e) for e in edges}
+        assert len(spanning) > 1  # the mix has several block namespaces
+        # Find two edges in different shards and join them in one request.
+        by_shard = {}
+        for e in edges:
+            by_shard.setdefault(
+                router.shard_of(Request(0, frozenset([e]), 1.0)), []
+            ).append(e)
+        if len(by_shard) < 2:
+            pytest.skip("all namespaces hashed to one shard at this seed")
+        (a, *_), (b, *_) = list(by_shard.values())[:2]
+        with pytest.raises(ValueError, match="spans shards"):
+            router.submit(Request(999, frozenset([a, b]), 1.0))
+
+    def test_router_checkpoint_resume_matches_uninterrupted(self, tmp_path):
+        mix = self.make_mix()
+        requests = list(mix.requests)
+        cut = len(requests) // 2
+        full = ShardedStreamRouter(mix.capacities, 3, algorithm="randomized", seed=5)
+        full.submit_batch(requests)
+        first = ShardedStreamRouter(mix.capacities, 3, algorithm="randomized", seed=5)
+        first.submit_batch(requests[:cut])
+        path = first.save(tmp_path / "router.json")
+        document = load_checkpoint(path, expected_kind=ROUTER_CHECKPOINT_KIND)
+        assert document["num_shards"] == 3
+        resumed = ShardedStreamRouter.load(path)
+        assert resumed.num_processed == cut
+        resumed.submit_batch(requests[cut:])
+        full_logs, resumed_logs = full.decision_logs(), resumed.decision_logs()
+        assert set(full_logs) == set(resumed_logs)
+        for shard in full_logs:
+            assert_logs_equal(full_logs[shard], resumed_logs[shard])
+
+    def test_router_entries_in_arrival_order_regardless_of_batching(self):
+        # Regression: shard-grouped emission ordered entries by shard within
+        # each batch, making the combined stream depend on batch boundaries.
+        mix = self.make_mix()
+        requests = list(mix.requests)
+        streams = []
+        for batches in ([requests], [requests[:17], requests[17:]], [[r] for r in requests]):
+            router = ShardedStreamRouter(mix.capacities, 3, algorithm="doubling", seed=2)
+            entries = []
+            for batch in batches:
+                entries.extend(router.submit_batch(batch))
+            streams.append(entries)
+        assert streams[0] == streams[1] == streams[2]
+
+    def test_per_shard_seeds_differ(self):
+        mix = self.make_mix()
+        router = ShardedStreamRouter(mix.capacities, 3, algorithm="randomized", seed=5)
+        seeds = [s.seed for _, s in router.sessions()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_session_checkpoint_rejected_as_router_checkpoint(self, tmp_path):
+        instance = make_instance(0)
+        session = run_full(instance, "fractional", "python")
+        path = session.save(tmp_path / "ck.json")
+        with pytest.raises(CheckpointFormatError, match="kind"):
+            ShardedStreamRouter.load(path)
+
+
+class TestStreamingSweepPath:
+    def test_streaming_sweep_matches_batch_sweep(self):
+        # The serving-layer execution path must not change a single number.
+        from repro.engine.sweep import ScenarioSweep
+
+        kwargs = dict(
+            scenarios=["cheap_expensive"],
+            algorithms=["fractional", "randomized"],
+            backend="numpy",
+            num_trials=2,
+            seed=13,
+            offline="lp",
+        )
+        batch = ScenarioSweep(**kwargs).run()
+        streamed = ScenarioSweep(streaming=True, **kwargs).run()
+        for cell, summary in batch.summaries.items():
+            assert streamed.summaries[cell].ratios() == pytest.approx(
+                summary.ratios(), abs=1e-9
+            )
+
+
+class TestServeCliFreshProcess:
+    """`repro serve --resume` in a *fresh process* continues bit-identically."""
+
+    def run_serve(self, args, cwd):
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[1] / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = repo_src + (os.pathsep + existing if existing else "")
+        env["PYTHONHASHSEED"] = "random"
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "serve", *args],
+            cwd=cwd,
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+
+    def test_interrupted_serve_log_equals_uninterrupted(self, tmp_path):
+        from repro.scenarios.trace import record_trace
+
+        instance = make_instance(8, num_requests=90)
+        trace = record_trace(instance, tmp_path / "t.jsonl")
+        base = ["--trace", str(trace), "--algorithm", "doubling", "--seed", "5"]
+
+        self.run_serve(
+            base
+            + ["--checkpoint", "ck.json", "--checkpoint-every", "30",
+               "--max-arrivals", "45", "--log", "part.jsonl"],
+            tmp_path,
+        )
+        self.run_serve(
+            ["--trace", str(trace), "--resume", "--checkpoint", "ck.json",
+             "--log", "part.jsonl"],
+            tmp_path,
+        )
+        self.run_serve(base + ["--log", "full.jsonl"], tmp_path)
+
+        part = [json.loads(line) for line in (tmp_path / "part.jsonl").read_text().splitlines()]
+        full = [json.loads(line) for line in (tmp_path / "full.jsonl").read_text().splitlines()]
+        assert_logs_equal(full, part)

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.network.topologies import grid_graph
 from repro.offline import solve_admission_ilp
@@ -20,6 +21,8 @@ from repro.workloads import (
     single_edge_workload,
     uniform_costs,
     unit_costs,
+    zipf_cost_workload,
+    zipf_costs,
 )
 
 
@@ -53,6 +56,105 @@ class TestCostSamplers:
             bimodal_costs(5, expensive_fraction=2.0)
         with pytest.raises(ValueError):
             unit_costs(-1)
+
+
+class TestZipfCosts:
+    """Edge cases of the Zipf sampler (zeta mode and ranked-support mode)."""
+
+    def test_zeta_mode_positive_and_capped(self, rng):
+        costs = zipf_costs(500, exponent=1.5, scale=2.0, cap=50.0, random_state=rng)
+        assert costs.shape == (500,)
+        assert np.all(costs >= 2.0)
+        assert np.all(costs <= 50.0)
+
+    def test_zeta_mode_rejects_alpha_at_most_one(self):
+        for alpha in (1.0, 0.5, 0.0, -2.0):
+            with pytest.raises(ValueError, match="> 1"):
+                zipf_costs(10, exponent=alpha)
+
+    def test_support_mode_draws_only_support_levels(self, rng):
+        support = [1.0, 5.0, 25.0]
+        costs = zipf_costs(300, exponent=1.2, support=support, random_state=rng)
+        assert set(np.unique(costs)) <= set(support)
+        # Rank-1 must dominate rank-3 under a decreasing Zipf.
+        assert (costs == 1.0).sum() > (costs == 25.0).sum()
+
+    def test_support_mode_rejects_alpha_at_most_zero(self):
+        with pytest.raises(ValueError, match="> 0"):
+            zipf_costs(10, exponent=0.0, support=[1.0, 2.0])
+        with pytest.raises(ValueError, match="> 0"):
+            zipf_costs(10, exponent=-1.0, support=[1.0, 2.0])
+
+    def test_single_element_support_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            zipf_costs(10, support=[3.0])
+        with pytest.raises(ValueError, match="at least two"):
+            zipf_costs(10, support=[])
+
+    def test_nonpositive_support_levels_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            zipf_costs(10, support=[1.0, -2.0])
+        with pytest.raises(ValueError, match="positive"):
+            zipf_costs(10, support=[0.0, 2.0])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_costs(-1)
+
+    @given(
+        exponent=st.floats(min_value=1.01, max_value=4.0, allow_nan=False),
+        scale=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_zeta_outputs_always_valid(self, exponent, scale, seed):
+        cap = scale * 100.0
+        costs = zipf_costs(64, exponent=exponent, scale=scale, cap=cap, random_state=seed)
+        assert costs.shape == (64,)
+        assert np.all(costs >= scale - 1e-12)
+        assert np.all(costs <= cap + 1e-12)
+        assert np.all(np.isfinite(costs))
+
+    @given(
+        exponent=st.floats(min_value=0.01, max_value=4.0, allow_nan=False),
+        levels=st.lists(
+            st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_support_outputs_come_from_support(self, exponent, levels, seed):
+        costs = zipf_costs(32, exponent=exponent, support=levels, random_state=seed)
+        assert costs.shape == (32,)
+        assert set(np.unique(costs)) <= set(levels)
+
+    @given(alpha=st.floats(max_value=0.0, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_property_nonpositive_alpha_always_rejected(self, alpha):
+        # The satellite's pinned behaviour: alpha <= 0 is an error in *both*
+        # modes (zeta mode additionally rejects alpha in (0, 1]).
+        with pytest.raises(ValueError):
+            zipf_costs(8, exponent=alpha)
+        with pytest.raises(ValueError):
+            zipf_costs(8, exponent=alpha, support=[1.0, 2.0])
+
+
+class TestZipfCostWorkload:
+    def test_single_edge_support_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            zipf_cost_workload(num_edges=1, num_requests=5, random_state=0)
+
+    def test_nonpositive_concentration_rejected(self):
+        with pytest.raises(ValueError, match="edge_concentration"):
+            zipf_cost_workload(num_edges=4, num_requests=5, edge_concentration=0.0)
+
+    def test_valid_workload_generates(self):
+        instance = zipf_cost_workload(num_edges=8, num_requests=40, random_state=1)
+        assert instance.num_requests == 40
+        assert instance.num_edges == 8
 
 
 class TestRandomWorkloads:
