@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint examples-smoke serve-smoke bench-smoke bench-baseline bench-suite profile ci
+.PHONY: test lint typecheck examples-smoke serve-smoke bench-smoke bench-baseline bench-suite profile ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,16 @@ lint:
 		ruff check .; \
 	else \
 		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
+
+# Mypy over the typed surface: the run-spec facade and the core protocols
+# (configured in pyproject.toml).  Skips with a notice when mypy is not
+# installed locally; CI always installs and runs it.
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/api src/repro/core/protocols.py; \
+	else \
+		echo "mypy not installed; skipping typecheck (pip install mypy)"; \
 	fi
 
 # The examples double as end-to-end smoke tests of the public API.
@@ -38,9 +48,9 @@ serve-smoke:
 	@rm -rf .serve-smoke
 	@echo "serve smoke passed: resumed decision log identical to uninterrupted run"
 
-# Reproduce the CI pipeline locally: lint, tests, examples smoke, serve smoke,
-# bench gate.
-ci: lint test examples-smoke serve-smoke bench-smoke
+# Reproduce the CI pipeline locally: lint, typecheck, tests, examples smoke,
+# serve smoke, bench gate.
+ci: lint typecheck test examples-smoke serve-smoke bench-smoke
 
 # Weight-update + 10k-request scaling benchmarks per backend; fails on a >2x
 # regression against benchmarks/baseline_bench.json.

@@ -1,10 +1,11 @@
 """Adversarial showdown: where naive admission policies fall over.
 
 Runs the library's adversarial workload suite (the constructions behind
-experiment E8) against the paper's algorithm and every baseline — all
-resolved from the algorithm registry and run over the compiled instance —
-printing one table per workload.  This is the quickest way to *see* why
-preemption and the primal–dual weighting matter:
+experiment E8) against the paper's algorithm and every baseline — each pairing
+one declarative :class:`~repro.api.spec.RunSpec` over the shared instance,
+executed by the :class:`~repro.api.runner.Runner` through the compiled fast
+path — printing one table per workload.  This is the quickest way to *see*
+why preemption and the primal–dual weighting matter:
 
 * ``cheap-then-expensive`` punishes algorithms that cannot preempt,
 * ``long-vs-short`` punishes algorithms that refuse to sacrifice one long
@@ -17,10 +18,9 @@ Run with:  python examples/adversarial_showdown.py
 
 from __future__ import annotations
 
-from repro.analysis import evaluate_admission_run, format_records
-from repro.core import run_admission
-from repro.engine import make_admission_algorithm
-from repro.instances.compiled import compile_instance
+from repro.analysis import format_table
+from repro.api import FixedSeedAlgorithmFactory, Runner, RunSpec
+from repro.engine import EngineConfig
 from repro.workloads import (
     benefit_objective_trap,
     cheap_then_expensive_adversary,
@@ -34,28 +34,42 @@ def main() -> None:
         "long-vs-short": long_vs_short_adversary(num_edges=16, capacity=1),
         "benefit-trap": benefit_objective_trap(num_groups=8, group_size=5),
     }
-    # (display label, registry key, builder kwargs)
+    # (display label, registry key, pinned algorithm seed)
+    engine = EngineConfig()
     algorithms = [
-        ("Paper (doubling randomized)", "doubling", {"random_state": 2}),
-        ("RejectWhenFull", "reject-when-full", {}),
-        ("KeepExpensive", "keep-expensive", {}),
-        ("GreedySwap", "greedy-swap", {}),
-        ("ThresholdPreemption", "threshold", {}),
-        ("Throughput (AAP-style)", "exponential-benefit", {}),
+        ("Paper (doubling randomized)", "doubling", 2),
+        ("RejectWhenFull", "reject-when-full", 0),
+        ("KeepExpensive", "keep-expensive", 0),
+        ("GreedySwap", "greedy-swap", 0),
+        ("ThresholdPreemption", "threshold", 0),
+        ("Throughput (AAP-style)", "exponential-benefit", 0),
     ]
+    runner = Runner()
 
     for name, instance in workloads.items():
-        # One compilation is shared by every algorithm below.
-        compiled = compile_instance(instance)
-        records = []
-        for label, key, kwargs in algorithms:
-            algorithm = make_admission_algorithm(key, instance, **kwargs)
-            record = evaluate_admission_run(
-                instance, run_admission(algorithm, instance, compiled=compiled)
+        # One instance is shared by every spec below; compilation is memoized
+        # on it, so one compile serves all six runs.
+        results = runner.run(
+            RunSpec(
+                instance=instance,
+                algorithm=FixedSeedAlgorithmFactory(key, engine, seed),
+                trials=1,
+                offline="ilp",
+                label=label,
             )
-            record.algorithm = label
-            records.append(record)
-        print(format_records(records, title=f"Workload: {name} ({instance.describe()})"))
+            for label, key, seed in algorithms
+        )
+        rows = [
+            {
+                "algorithm": row.label,
+                "online": row.online_cost,
+                "offline": row.offline_cost,
+                "ratio": row.ratio,
+                "feasible": row.feasible,
+            }
+            for row in results
+        ]
+        print(format_table(rows, title=f"Workload: {name} ({instance.describe()})"))
         print()
 
 

@@ -7,7 +7,9 @@ then be present at that many *different* cache sites, which is exactly the
 "online set cover with repetitions" model of the paper.
 
 The example compares three online strategies as demand arrives region by
-region:
+region — each a declarative :class:`~repro.api.spec.RunSpec` with
+``problem="setcover"`` over the explicit instance, with a measurement probe
+pulling per-region coverage off the finished algorithm:
 
 * the paper's randomized algorithm obtained through the Section-4 reduction to
   admission control,
@@ -24,9 +26,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import evaluate_setcover_run, format_records, format_table
-from repro.core import run_setcover
-from repro.engine import make_setcover_algorithm
+from repro.analysis import format_table
+from repro.api import FixedSeedAlgorithmFactory, Runner, RunSpec
+from repro.engine import EngineConfig
 from repro.instances.setcover import SetCoverInstance, SetSystem
 from repro.offline import greedy_set_multicover, solve_set_multicover_ilp
 from repro.utils.rng import as_generator
@@ -64,6 +66,21 @@ def build_demand(system: SetSystem, num_arrivals: int = 90, seed: int = 9):
     return SetCoverInstance(system, arrivals, name="cdn-replica-demand")
 
 
+def coverage_view(instance, algorithm):
+    """Probe: replica counts and worst per-region coverage off the finished run."""
+    result = algorithm.result()
+    demands = instance.demands()
+    worst = min(
+        (result.coverage[e] / k for e, k in demands.items() if k > 0), default=1.0
+    )
+    return {
+        "sites_opened": result.num_sets,
+        "cost": result.cost,
+        "worst_region_coverage": worst,
+        "fully_covered": result.satisfied,
+    }
+
+
 def main() -> None:
     system = build_cdn()
     instance = build_demand(system)
@@ -77,38 +94,60 @@ def main() -> None:
         f"offline greedy opens {greedy_offline.num_sets}.\n"
     )
 
-    # Algorithms resolved from the engine registry by key, exactly as the
-    # experiments and the CLI resolve them.
-    algorithms = {
-        "Paper (reduction to admission control)": make_setcover_algorithm(
-            "reduction", instance, random_state=1
+    engine = EngineConfig()
+    algorithms = [
+        (
+            "Paper (reduction to admission control)",
+            FixedSeedAlgorithmFactory("reduction", engine, 1, problem="setcover"),
         ),
-        "Paper (deterministic bicriteria, eps=0.2)": make_setcover_algorithm(
-            "bicriteria", instance, eps=0.2
+        (
+            "Paper (deterministic bicriteria, eps=0.2)",
+            FixedSeedAlgorithmFactory(
+                "bicriteria", engine, 0, (("eps", 0.2),), problem="setcover"
+            ),
         ),
-        "Greedy on demand": make_setcover_algorithm("greedy-density", instance),
-    }
-    records = []
-    coverage_rows = []
-    for label, algorithm in algorithms.items():
-        result = run_setcover(algorithm, instance)
-        record = evaluate_setcover_run(instance, result, ilp_time_limit=30.0)
-        record.algorithm = label
-        records.append(record)
-        worst = min(
-            (result.coverage[e] / k for e, k in demands.items() if k > 0), default=1.0
+        (
+            "Greedy on demand",
+            FixedSeedAlgorithmFactory("greedy-density", engine, 0, problem="setcover"),
+        ),
+    ]
+    runner = Runner()
+    results = runner.run(
+        RunSpec(
+            problem="setcover",
+            instance=instance,
+            algorithm=factory,
+            trials=1,
+            offline="ilp",
+            ilp_time_limit=30.0,
+            probe=coverage_view,
+            label=label,
         )
-        coverage_rows.append(
-            {
-                "algorithm": label,
-                "sites_opened": result.num_sets,
-                "cost": result.cost,
-                "worst_region_coverage": worst,
-                "fully_covered": result.satisfied,
-            }
-        )
+        for label, factory in algorithms
+    )
 
-    print(format_records(records, title="Online replica placement vs offline optimum"))
+    summary_rows = [
+        {
+            "algorithm": row.label,
+            "online": row.online_cost,
+            "offline": row.offline_cost,
+            "ratio": row.ratio,
+            "feasible": row.feasible,
+        }
+        for row in results
+    ]
+    coverage_rows = [
+        {
+            "algorithm": row.label,
+            "sites_opened": row.extra["sites_opened"],
+            "cost": row.extra["cost"],
+            "worst_region_coverage": row.extra["worst_region_coverage"],
+            "fully_covered": row.extra["fully_covered"],
+        }
+        for row in results
+    ]
+
+    print(format_table(summary_rows, title="Online replica placement vs offline optimum"))
     print()
     print(format_table(coverage_rows, title="Coverage detail (bicriteria may stop at (1-eps)k replicas)"))
     print(

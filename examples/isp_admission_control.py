@@ -13,20 +13,22 @@ cheap best-effort and expensive premium circuits, and compares:
 * the throughput-maximising exponential-cost rule (AAP-style), and
 * the natural preemptive greedy,
 
-all against the exact offline optimum.  The punchline mirrors Section 1: the
-throughput-style rule accepts plenty of traffic yet rejects far more *cost*
-than necessary, while the paper's algorithm tracks the optimum within a
-polylog factor.
+all against the exact offline optimum, each as one declarative
+:class:`~repro.api.spec.RunSpec` over the explicit instance.  The operator's
+detail columns (acceptances, rejected cost) come from a measurement probe
+that inspects the finished algorithm inside the run.  The punchline mirrors
+Section 1: the throughput-style rule accepts plenty of traffic yet rejects
+far more *cost* than necessary, while the paper's algorithm tracks the
+optimum within a polylog factor.
 
 Run with:  python examples/isp_admission_control.py
 """
 
 from __future__ import annotations
 
-from repro.analysis import evaluate_admission_run, format_records, format_table
-from repro.core import run_admission
-from repro.engine import make_admission_algorithm
-from repro.instances.compiled import compile_instance
+from repro.analysis import format_table
+from repro.api import FixedSeedAlgorithmFactory, Runner, RunSpec
+from repro.engine import EngineConfig
 from repro.instances.request import RequestSequence
 from repro.network.graph import CapacitatedGraph
 from repro.offline import solve_admission_ilp
@@ -60,6 +62,16 @@ def build_day_of_traffic(graph: CapacitatedGraph, num_requests: int = 200, seed:
     return graph.build_instance(RequestSequence(requests), name="isp-backbone-day")
 
 
+def operator_view(instance, algorithm):
+    """Probe: the operator's counters off the finished algorithm."""
+    result = algorithm.result()
+    return {
+        "accepted": len(result.accepted_ids),
+        "rejected": result.num_rejections,
+        "rejected_cost": result.rejection_cost,
+    }
+
+
 def main() -> None:
     graph = build_backbone()
     instance = build_day_of_traffic(graph)
@@ -68,36 +80,51 @@ def main() -> None:
     optimum = solve_admission_ilp(instance, time_limit=30.0)
     print(f"Offline optimum: reject {optimum.num_rejections} circuits, cost {optimum.cost:.1f}\n")
 
-    # Algorithms resolved from the engine registry; one shared compilation
-    # streams every run through the array-native fast path.
+    engine = EngineConfig(backend="numpy")
     algorithms = {
-        "Paper (doubling randomized)": make_admission_algorithm(
-            "doubling", instance, random_state=3, backend="numpy"
+        "Paper (doubling randomized)": FixedSeedAlgorithmFactory("doubling", engine, 3),
+        "Throughput-maximising (AAP-style)": FixedSeedAlgorithmFactory(
+            "exponential-benefit", engine, 0
         ),
-        "Throughput-maximising (AAP-style)": make_admission_algorithm(
-            "exponential-benefit", instance
-        ),
-        "Greedy preemptive": make_admission_algorithm("keep-expensive", instance),
+        "Greedy preemptive": FixedSeedAlgorithmFactory("keep-expensive", engine, 0),
     }
-    compiled = compile_instance(instance)
-    records = []
-    detail_rows = []
-    for label, algorithm in algorithms.items():
-        result = run_admission(algorithm, instance, compiled=compiled)
-        record = evaluate_admission_run(instance, result, ilp_time_limit=30.0)
-        record.algorithm = label
-        records.append(record)
-        detail_rows.append(
-            {
-                "algorithm": label,
-                "accepted": len(result.accepted_ids),
-                "rejected": result.num_rejections,
-                "rejected_cost": result.rejection_cost,
-                "competitive_ratio": record.ratio,
-            }
+    runner = Runner()
+    results = runner.run(
+        RunSpec(
+            instance=instance,
+            algorithm=factory,
+            backend="numpy",
+            trials=1,
+            offline="ilp",
+            ilp_time_limit=30.0,
+            probe=operator_view,
+            label=label,
         )
+        for label, factory in algorithms.items()
+    )
 
-    print(format_records(records, title="Competitive ratios vs offline optimum"))
+    summary_rows = [
+        {
+            "algorithm": row.label,
+            "online": row.online_cost,
+            "offline": row.offline_cost,
+            "ratio": row.ratio,
+            "feasible": row.feasible,
+        }
+        for row in results
+    ]
+    detail_rows = [
+        {
+            "algorithm": row.label,
+            "accepted": row.extra["accepted"],
+            "rejected": row.extra["rejected"],
+            "rejected_cost": row.extra["rejected_cost"],
+            "competitive_ratio": row.ratio,
+        }
+        for row in results
+    ]
+
+    print(format_table(summary_rows, title="Competitive ratios vs offline optimum"))
     print()
     print(format_table(detail_rows, title="Operator's view: acceptances vs rejected cost"))
     print(

@@ -1,46 +1,65 @@
 """Quickstart: admission control to minimize rejections on a small network.
 
-This example builds a small capacitated network, generates a congested request
-sequence from the scenario registry, runs the paper's randomized online
-algorithm (with guess-and-double estimation of OPT) next to a simple baseline
-— both resolved by registry key and streamed through the engine's compiled
-fast path — and compares them against the exact offline optimum.
+This example is the one-screen tour of the unified run-spec API: declare
+*what* to run as a frozen :class:`~repro.api.spec.RunSpec` (scenario x
+algorithm x backend x execution mode x trials/seed), hand it to the
+:class:`~repro.api.runner.Runner`, and read the uniform
+:class:`~repro.api.results.ResultSet` back — the same front door the CLI,
+the sweeps and the experiment harness use.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.analysis import evaluate_admission_run, format_records
-from repro.engine import EngineConfig, SimulationEngine
-from repro.offline import solve_admission_ilp
-from repro.scenarios import build_scenario
+from repro.api import Runner, RunSpec
 
 
 def main() -> None:
-    # 1. A congested workload from the scenario registry: a 4x4 grid network
-    #    where most circuits squeeze through two hotspot links, with
-    #    heavy-tailed rejection penalties.
-    instance = build_scenario("hotspot", random_state=7, num_requests=120)
-    print(f"Network workload: {instance.describe()}")
+    runner = Runner()
 
-    # 2. The offline optimum (what an omniscient operator would have rejected).
-    optimum = solve_admission_ilp(instance)
-    print(f"Offline optimum rejects {optimum.num_rejections} requests at cost {optimum.cost:.2f}\n")
+    # 1. One declarative run: the "hotspot" scenario (a 4x4 grid network where
+    #    most circuits squeeze through two hotspot links), the paper's
+    #    guess-and-double algorithm, the vectorized backend, the compiled
+    #    fast path, five independent trials.  Validation is eager: a typo in
+    #    any key fails here, listing the known keys.
+    spec = RunSpec(
+        scenario="hotspot",
+        scenario_params={"num_requests": 120},
+        algorithm="doubling",
+        backend="numpy",
+        mode="compiled",
+        trials=5,
+        seed=7,
+        offline="ilp",  # compare against the exact offline optimum
+    )
+    results = runner.run(spec)
+    print(results.table(title="Paper's algorithm vs the exact offline optimum"))
 
-    # 3. The paper's online algorithm vs the naive baseline, resolved from the
-    #    algorithm registry and streamed through the compiled (array-native)
-    #    fast path by the engine.
-    engine = SimulationEngine(EngineConfig(backend="numpy"))
-    records = []
-    for key in ("doubling", "reject-when-full"):
-        run = engine.run_admission(key, instance, random_state=0)
-        records.append(evaluate_admission_run(instance, run.result))
+    # 2. The same knobs, swept: RunSpec.grid expands scenarios x algorithms
+    #    (x backends x modes) with stable per-cell seeds, so adding a scenario
+    #    never changes another's numbers.
+    grid = RunSpec.grid(
+        ["hotspot", "cheap_expensive"],
+        ["doubling", "reject-when-full"],
+        backends=["numpy"],
+        trials=3,
+        seed=7,
+    )
+    sweep = runner.run(grid)
+    print()
+    print(sweep.comparison_table())
 
-    print(format_records(records, title="Online algorithms vs offline optimum"))
+    # 3. Results are tidy rows (one trial per row) with a JSON/JSONL
+    #    round-trip — aggregation is a group-by, not a bespoke result shape.
+    worst = max(sweep, key=lambda row: row.ratio)
     print(
-        "\nThe 'ratio' column is the competitive ratio; Theorem 3 guarantees it stays "
-        "O(log^2(mc)) for the paper's algorithm no matter how adversarial the workload is."
+        f"\nWorst trial: {worst.algorithm} on {worst.source} "
+        f"(ratio {worst.ratio:.2f}, feasible={worst.feasible})"
+    )
+    print(
+        "\nThe 'ratio' columns are competitive ratios; Theorem 3 guarantees the "
+        "paper's algorithm stays O(log^2(mc)) no matter how adversarial the workload is."
     )
 
 

@@ -1,12 +1,13 @@
 """Scenario sweep: one matrix from synthetic families and a recorded trace.
 
-This example shows the scenario subsystem end to end:
+This example shows the scenario subsystem through the run-spec facade:
 
 1. generate serving-style traffic (a flash crowd) from the scenario registry;
 2. record it to a JSONL trace file and replay it — replay is exact, so the
    decision logs of the original and the replayed run are identical;
-3. run a scenarios x algorithms sweep that mixes generative families with the
-   recorded trace, and print the cross-scenario comparison table.
+3. run a scenarios x algorithms grid that mixes generative families with the
+   recorded trace (``RunSpec.grid`` + ``Runner``), and print the
+   cross-scenario comparison table.
 
 The same matrix is available from the shell:
 
@@ -21,46 +22,51 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.core import run_admission
-from repro.engine import make_admission_algorithm
-from repro.engine.sweep import ScenarioSweep
-from repro.instances.compiled import compile_instance
-from repro.scenarios import build_scenario, load_trace, record_trace, scenario_from_trace
+from repro.api import Runner, RunSpec
+from repro.scenarios import build_scenario, record_trace, scenario_from_trace
 
 
 def main() -> None:
+    runner = Runner()
+
     # 1. Generate a flash crowd and record it as a JSONL trace.
     instance = build_scenario("flash_crowd", random_state=11, num_requests=200)
     trace_path = Path(tempfile.gettempdir()) / "flash_crowd_demo.jsonl"
     record_trace(instance, trace_path)
     print(f"Recorded {instance.describe()}\n      -> {trace_path}")
 
-    # 2. Replay it and check the round trip is exact: same decisions, bit for bit.
-    replayed = load_trace(trace_path)
-    original_run = run_admission(
-        make_admission_algorithm("randomized", instance, random_state=5),
-        instance,
-        compiled=compile_instance(instance),
+    # 2. Replay it and check the round trip is exact: one spec runs the
+    #    original instance, one replays the trace; same seed, same decisions,
+    #    bit for bit.  A probe captures the full decision log, so the check
+    #    covers every accept/reject/preempt event, not just the final costs.
+    def capture_decisions(inst, algorithm):
+        return {"decisions": [(d.request_id, str(d.kind)) for d in algorithm.decisions()]}
+
+    original = runner.run(
+        RunSpec(instance=instance, algorithm="randomized", trials=1, seed=5,
+                probe=capture_decisions)
     )
-    replayed_run = run_admission(
-        make_admission_algorithm("randomized", replayed, random_state=5),
-        replayed,
-        compiled=compile_instance(replayed),
+    replayed = runner.run(
+        RunSpec(trace=trace_path, algorithm="randomized", trials=1, seed=5,
+                probe=capture_decisions)
     )
-    same = [(d.request_id, d.kind) for d in original_run.decisions] == [
-        (d.request_id, d.kind) for d in replayed_run.decisions
-    ]
+    same = original[0].extra["decisions"] == replayed[0].extra["decisions"]
     print(f"Replay reproduces the decision log exactly: {same}\n")
 
-    # 3. A sweep mixing generative scenarios with the recorded trace.
-    sweep = ScenarioSweep(
+    # 3. A grid mixing generative scenarios with the recorded trace.  Cell
+    #    seeds derive from (seed, scenario, algorithm), so adding the trace
+    #    never changes the generative cells' numbers.
+    grid = RunSpec.grid(
         ["bursty", "zipf_costs", scenario_from_trace(trace_path, register=False)],
         ["fractional", "randomized"],
-        backend="numpy",
-        num_trials=2,
+        backends=["numpy"],
+        trials=2,
         seed=7,
     )
-    print(sweep.run().report())
+    results = runner.run(grid)
+    print(results.table(title="Scenario sweep — backend=numpy, trials=2, seed=7"))
+    print()
+    print(results.comparison_table())
     print(
         "\nEvery scenario feeds the same compiled fast path, so new families "
         "cost one registry entry and zero algorithm changes."

@@ -79,6 +79,21 @@ def main() -> None:
         "capacity scales by adding shards — no shared state, no coordination."
     )
 
+    # 4. The same serving path is one knob on the run-spec facade: a spec
+    #    with mode="streaming" routes every trial through StreamingSession
+    #    micro-batches, and the numbers match the batch/compiled modes
+    #    exactly (pinned by tests/test_api_equivalence.py).
+    from repro.api import Runner, RunSpec
+
+    streamed = Runner().run(
+        RunSpec(instance=instance, algorithm="doubling", backend="numpy",
+                mode="streaming", trials=1, seed=5)
+    )
+    print(
+        f"\nFacade streaming run: ratio {streamed.ratios()[0]:.3f} "
+        f"(identical to mode='compiled' by construction)"
+    )
+
 
 if __name__ == "__main__":
     main()

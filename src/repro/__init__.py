@@ -11,6 +11,18 @@ measures competitive ratios against the paper's theoretical bounds.
 
 Quick start
 -----------
+The unified run-spec API (:mod:`repro.api`) is the front door: describe a run
+as data, execute it, read tidy rows back::
+
+    >>> from repro.api import RunSpec, Runner
+    >>> spec = RunSpec(scenario="hotspot", algorithm="doubling",
+    ...                backend="numpy", trials=3, seed=7)
+    >>> results = Runner().run(spec)
+    >>> results.all_feasible()
+    True
+
+The algorithm objects remain directly usable for fine-grained control:
+
 >>> from repro import RandomizedAdmissionControl, run_admission
 >>> from repro.instances.canonical import star_congestion
 >>> instance = star_congestion(leaves=6, capacity=2)

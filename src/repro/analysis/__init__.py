@@ -16,7 +16,12 @@ from repro.analysis.invariants import (
 )
 from repro.analysis.report import format_kv, format_records, format_table
 from repro.analysis.stats import SummaryStats, summarize
-from repro.analysis.trials import TrialSummary, run_admission_trials, run_setcover_trials
+from repro.analysis.trials import (
+    TrialSummary,
+    execute_trial_suite,
+    run_admission_trials,
+    run_setcover_trials,
+)
 
 __all__ = [
     "ascii_line_plot",
@@ -36,6 +41,7 @@ __all__ = [
     "SummaryStats",
     "summarize",
     "TrialSummary",
+    "execute_trial_suite",
     "run_admission_trials",
     "run_setcover_trials",
 ]

@@ -11,12 +11,20 @@ Every trial's seed pair is derived from the master seed *before* dispatch
 ``spawn_generators`` derivation exactly), so the summary is bit-identical
 whether trials run serially (``jobs=1``), on a thread pool, or — when the
 factories are picklable module-level callables — across processes.
+
+Since the unified run-spec API (:mod:`repro.api`), :func:`execute_trial_suite`
+is the engine room every execution path shares, and the public
+``run_admission_trials`` / ``run_setcover_trials`` wrappers are deprecation
+shims: they behave exactly as before but ask callers to build a
+:class:`~repro.api.spec.RunSpec` instead.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -32,11 +40,16 @@ from repro.engine.executor import derive_seed_pairs, execute
 from repro.instances.admission import AdmissionInstance
 from repro.instances.compiled import compile_instance
 from repro.instances.setcover import SetCoverInstance
-from repro.offline import solve_admission_lp
+from repro.offline import solve_admission_lp_cached
 from repro.utils.mathx import safe_ratio
 from repro.utils.rng import as_generator
 
-__all__ = ["TrialSummary", "run_admission_trials", "run_setcover_trials"]
+__all__ = [
+    "TrialSummary",
+    "execute_trial_suite",
+    "run_admission_trials",
+    "run_setcover_trials",
+]
 
 
 @dataclass
@@ -117,6 +130,9 @@ class _TrialSpec:
     ilp_time_limit: Optional[float]
     compile_instances: bool = True
     streaming: bool = False
+    #: Optional ``(instance, algorithm) -> mapping`` measurement hook, run in
+    #: the worker right after the online run; merged into the record's extras.
+    probe: Optional[Callable[[Any, Any], Mapping[str, Any]]] = None
 
 
 def _stream_through_session(instance: AdmissionInstance, algorithm) -> None:
@@ -143,18 +159,31 @@ def _evaluate_fractional_trial(
     comparator is the *fractional* optimum (the LP), exactly as in E1, so the
     ``offline`` knob is ignored here and the record says ``lp``.
     """
+    start = time.perf_counter()
     if streaming:
         _stream_through_session(instance, algorithm)
     else:
         algorithm.process_sequence(
             compile_instance(instance) if compile_instances else instance.requests
         )
-    opt = solve_admission_lp(instance)
+    online_seconds = time.perf_counter() - start
+    # Cached: the oracle-alpha factories and invariant probes may have solved
+    # (or may later solve) the same instance's LP in this worker.
+    opt = solve_admission_lp_cached(instance)
     online_cost = algorithm.fractional_cost()
     ratio = safe_ratio(online_cost, opt.cost)
     bound = fractional_admission_bound(
         instance.num_edges, max(instance.max_capacity, 1), weighted=not instance.is_unit_cost()
     )
+    extra: Dict[str, Any] = {
+        "num_augmentations": getattr(algorithm, "num_augmentations", None),
+        "online_seconds": online_seconds,
+    }
+    # Fractional-mechanism parameters the bound expressions need (Lemma 1 /
+    # Theorem 2 consumers read these off the record instead of the live object).
+    for attr in ("g", "c", "alpha"):
+        if hasattr(algorithm, attr):
+            extra[attr] = getattr(algorithm, attr)
     return CompetitiveRecord(
         algorithm=getattr(algorithm, "name", type(algorithm).__name__),
         instance_name=instance.name,
@@ -165,7 +194,7 @@ def _evaluate_fractional_trial(
         bound=bound,
         normalized_ratio=bound.normalized(ratio),
         feasible=True,
-        extra={"num_augmentations": getattr(algorithm, "num_augmentations", None)},
+        extra=extra,
     )
 
 
@@ -177,12 +206,14 @@ def _run_trial(spec: _TrialSpec) -> CompetitiveRecord:
         if not hasattr(algorithm, "result"):
             # Fractional-style algorithms never produce an integral result;
             # they are compared against the LP optimum instead.
-            return _evaluate_fractional_trial(
+            record = _evaluate_fractional_trial(
                 instance,
                 algorithm,
                 compile_instances=spec.compile_instances,
                 streaming=spec.streaming,
             )
+            return _apply_probe(spec, record, instance, algorithm)
+        start = time.perf_counter()
         if spec.streaming:
             _stream_through_session(instance, algorithm)
             result = algorithm.result()
@@ -193,24 +224,45 @@ def _run_trial(spec: _TrialSpec) -> CompetitiveRecord:
                 else None
             )
             result = run_admission(algorithm, instance, compiled=compiled)
-        return evaluate_admission_run(
+        online_seconds = time.perf_counter() - start
+        record = evaluate_admission_run(
             instance,
             result,
             offline=spec.offline,
             randomized_bound=spec.randomized_bound,
             ilp_time_limit=spec.ilp_time_limit,
         )
+        record.extra.setdefault("online_seconds", online_seconds)
+        return _apply_probe(spec, record, instance, algorithm)
+    start = time.perf_counter()
     result = run_setcover(algorithm, instance)
-    return evaluate_setcover_run(
+    online_seconds = time.perf_counter() - start
+    record = evaluate_setcover_run(
         instance,
         result,
         offline=spec.offline,
         bicriteria_bound=spec.bicriteria_bound,
         ilp_time_limit=spec.ilp_time_limit,
     )
+    record.extra.setdefault("online_seconds", online_seconds)
+    return _apply_probe(spec, record, instance, algorithm)
 
 
-def _run_trial_suite(
+def _apply_probe(
+    spec: _TrialSpec, record: CompetitiveRecord, instance: Any, algorithm: Any
+) -> CompetitiveRecord:
+    """Merge the spec's measurement probe (if any) into the record's extras.
+
+    Probes run in the worker while the algorithm object is still alive, which
+    is what lets experiment-style consumers extract invariant checks and
+    internal counters without re-running anything.
+    """
+    if spec.probe is not None:
+        record.extra.update(spec.probe(instance, algorithm))
+    return record
+
+
+def execute_trial_suite(
     kind: str,
     instance_factory: Callable,
     algorithm_factory: Callable,
@@ -219,13 +271,21 @@ def _run_trial_suite(
     random_state: Any,
     label: str,
     offline: str,
-    randomized_bound: bool,
-    bicriteria_bound: bool,
-    ilp_time_limit: Optional[float],
-    jobs: int,
+    randomized_bound: bool = True,
+    bicriteria_bound: bool = False,
+    ilp_time_limit: Optional[float] = 20.0,
+    jobs: int = 1,
     compile_instances: bool = True,
     streaming: bool = False,
+    probe: Optional[Callable[[Any, Any], Mapping[str, Any]]] = None,
 ) -> TrialSummary:
+    """Run a suite of independent trials and aggregate the records.
+
+    This is the shared engine room below the run-spec facade
+    (:class:`repro.api.Runner` dispatches every spec here); the deprecated
+    ``run_admission_trials`` / ``run_setcover_trials`` wrappers delegate to it
+    unchanged, so legacy and facade numbers are identical by construction.
+    """
     specs = [
         _TrialSpec(
             kind=kind,
@@ -239,6 +299,7 @@ def _run_trial_suite(
             ilp_time_limit=ilp_time_limit,
             compile_instances=compile_instances,
             streaming=streaming,
+            probe=probe,
         )
         for instance_seed, algo_seed in derive_seed_pairs(random_state, num_trials)
     ]
@@ -271,8 +332,19 @@ def run_admission_trials(
     ``streaming`` routes each trial through a
     :class:`~repro.engine.streaming.StreamingSession` micro-batch loop (the
     serving-layer path) instead — once more without changing any result.
+
+    .. deprecated::
+        Build a :class:`repro.api.RunSpec` and use :class:`repro.api.Runner`
+        instead; this wrapper delegates to the same machinery and will keep
+        producing identical numbers, but new call sites should use the facade.
     """
-    return _run_trial_suite(
+    warnings.warn(
+        "run_admission_trials() is deprecated; build a repro.api.RunSpec and use "
+        "repro.api.Runner instead (numbers are identical)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_trial_suite(
         "admission",
         instance_factory,
         algorithm_factory,
@@ -301,8 +373,19 @@ def run_setcover_trials(
     ilp_time_limit: Optional[float] = 30.0,
     jobs: int = 1,
 ) -> TrialSummary:
-    """Run several independent set-cover trials (same structure as admission)."""
-    return _run_trial_suite(
+    """Run several independent set-cover trials (same structure as admission).
+
+    .. deprecated::
+        Build a :class:`repro.api.RunSpec` (``problem="setcover"``) and use
+        :class:`repro.api.Runner` instead.
+    """
+    warnings.warn(
+        "run_setcover_trials() is deprecated; build a repro.api.RunSpec "
+        "(problem='setcover') and use repro.api.Runner instead (numbers are identical)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_trial_suite(
         "setcover",
         instance_factory,
         algorithm_factory,

@@ -1,15 +1,26 @@
 """Command-line interface for the reproduction.
 
-Exposes the experiment harness, the engine's benchmark gate and a couple of
-quick demos without writing any Python::
+Every subcommand routes through the unified run-spec facade
+(:mod:`repro.api`): experiments, sweeps and demos all compile down to
+:class:`~repro.api.spec.RunSpec` objects executed by
+:class:`~repro.api.runner.Runner`, so the CLI, the library API and the
+experiment harness share one execution path.
 
-    python -m repro list                      # list the E1..E11 experiments
+::
+
+    python -m repro list                      # experiments, algorithms, scenarios, backends
+    python -m repro list scenarios            # one section only
     python -m repro run E4 --quick            # regenerate one experiment table
     python -m repro run all --quick --jobs 4  # every experiment, 4 workers
     python -m repro run E3 --backend numpy    # vectorized weight backend
     python -m repro demo admission            # small end-to-end admission demo
     python -m repro demo setcover             # small end-to-end set-cover demo
     python -m repro bench --quick             # micro-benchmark per backend + gate
+
+``repro list`` enumerates every registry in one place — experiments,
+admission / set-cover / streaming algorithms, scenarios, and weight backends
+— replacing the scattered per-subcommand ``--list`` flags (which remain as
+aliases: ``repro sweep --list`` still prints the scenario section).
 
 The ``sweep`` subcommand runs the scenario matrix: every named scenario is
 generated per trial, every named algorithm runs on it, and the aggregated
@@ -103,7 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     backends = _backend_choices()
 
-    subparsers.add_parser("list", help="list the available experiments (E1..E11)")
+    list_parser = subparsers.add_parser(
+        "list",
+        help="list registered experiments, algorithms, scenarios and backends",
+    )
+    list_parser.add_argument(
+        "what",
+        nargs="?",
+        default="all",
+        choices=["all", "experiments", "algorithms", "scenarios", "backends"],
+        help="which registry section to print (default: all)",
+    )
 
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all') and print its table")
     run_parser.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
@@ -255,13 +276,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list(out) -> int:
-    experiments = all_experiments()
-    for experiment_id in sorted(experiments, key=lambda e: int(e[1:])):
-        module = sys.modules[experiments[experiment_id].__module__]
-        title = getattr(module, "TITLE", "")
-        validates = getattr(module, "VALIDATES", "")
-        print(f"{experiment_id:<4} {title} — {validates}", file=out)
+def _scenario_lines() -> List[str]:
+    """One formatted line per registered scenario (shared by list and sweep --list)."""
+    from repro.scenarios import get_scenario, scenario_keys
+
+    return [f"{key:<18} {get_scenario(key).description}" for key in scenario_keys()]
+
+
+def _print_scenarios(out) -> None:
+    for line in _scenario_lines():
+        print(line, file=out)
+
+
+def _cmd_list(args, out) -> int:
+    """Enumerate every registry in one place (``repro list [section]``)."""
+    what = getattr(args, "what", "all")
+    sections = []
+    if what in ("all", "experiments"):
+        experiments = all_experiments()
+        lines = []
+        for experiment_id in sorted(experiments, key=lambda e: int(e[1:]) if e[1:].isdigit() else 0):
+            module = sys.modules[experiments[experiment_id].__module__]
+            title = getattr(module, "TITLE", "")
+            validates = getattr(module, "VALIDATES", "")
+            lines.append(f"{experiment_id:<4} {title} — {validates}")
+        sections.append(("experiments", lines))
+    if what in ("all", "algorithms"):
+        ensure_builtin_registrations()
+        from repro.engine.registry import ADMISSION_ALGORITHMS, SETCOVER_ALGORITHMS
+        from repro.engine.streaming import STREAMING_ALGORITHMS
+
+        sections.append(("admission algorithms", ADMISSION_ALGORITHMS.keys()))
+        sections.append(("set-cover algorithms", SETCOVER_ALGORITHMS.keys()))
+        sections.append(("streaming algorithms", STREAMING_ALGORITHMS.keys()))
+    if what in ("all", "scenarios"):
+        sections.append(("scenarios", _scenario_lines()))
+    if what in ("all", "backends"):
+        sections.append(("weight backends", _backend_choices()))
+    # Headings disambiguate whenever more than one registry prints (keys like
+    # "doubling" legitimately appear in several registries).
+    for index, (heading, lines) in enumerate(sections):
+        if len(sections) > 1:
+            if index:
+                print(file=out)
+            print(f"[{heading}]", file=out)
+        for line in lines:
+            print(line, file=out)
     return 0
 
 
@@ -338,12 +398,13 @@ def _cmd_demo(args, out) -> int:
 
 
 def _cmd_sweep(args, out) -> int:
-    from repro.engine.sweep import ScenarioSweep
+    from repro.engine.config import EngineConfig
+    from repro.engine.sweep import run_sweep_specs
     from repro.scenarios import get_scenario, scenario_from_trace, scenario_keys
 
     if args.list_scenarios:
-        for key in scenario_keys():
-            print(f"{key:<18} {get_scenario(key).description}", file=out)
+        # Alias for `repro list scenarios`, kept for muscle memory.
+        _print_scenarios(out)
         return 0
 
     if args.scenarios.strip().lower() == "all":
@@ -354,18 +415,16 @@ def _cmd_sweep(args, out) -> int:
     scenario_list.extend(scenario_from_trace(path, register=False) for path in args.trace)
     algorithms = [a for a in (p.strip() for p in args.algorithms.split(",")) if a]
 
-    sweep = ScenarioSweep(
+    result = run_sweep_specs(
         scenario_list,
         algorithms,
-        backend=args.backend,
-        jobs=args.jobs,
+        config=EngineConfig(backend=args.backend, jobs=args.jobs),
         num_trials=args.trials,
         seed=args.seed,
         offline=args.offline,
         ilp_time_limit=args.ilp_time_limit,
         streaming=args.streaming,
     )
-    result = sweep.run()
     print(result.report(), file=out)
     if args.out is not None:
         result.save(args.out)
@@ -610,7 +669,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
-        return _cmd_list(out)
+        return _cmd_list(args, out)
     if args.command == "run":
         return _cmd_run(args, out)
     if args.command == "demo":

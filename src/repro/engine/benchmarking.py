@@ -262,22 +262,26 @@ def run_sweep_bench(backend: str, workload: Optional[SweepWorkload] = None) -> B
     ``fractional_cost`` the mean competitive ratio across them — useful as a
     sanity check that the matrix actually ran, not as perf signals.
     """
-    from repro.engine.sweep import ScenarioSweep
+    from repro.engine.config import EngineConfig
+    from repro.engine.sweep import run_sweep_specs
+    from repro.scenarios.registry import get_scenario
 
     workload = workload or sweep_workload()
-    sweep = ScenarioSweep(
-        list(workload.scenarios),
+    scenarios = [get_scenario(key) for key in workload.scenarios]
+    overrides = {
+        key: (("num_requests", workload.num_requests),) for key in workload.scenarios
+    }
+    start = time.perf_counter()
+    result = run_sweep_specs(
+        scenarios,
         list(workload.algorithms),
-        backend=backend,
+        config=EngineConfig(backend=backend),
         num_trials=workload.num_trials,
         seed=workload.seed,
         offline="lp",
-        scenario_overrides={
-            key: {"num_requests": workload.num_requests} for key in workload.scenarios
-        },
+        ilp_time_limit=None,
+        overrides=overrides,
     )
-    start = time.perf_counter()
-    result = sweep.run()
     seconds = time.perf_counter() - start
     rows = result.rows()
     mean_ratio = sum(r["ratio_mean"] for r in rows) / max(len(rows), 1)

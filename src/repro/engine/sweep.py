@@ -1,42 +1,43 @@
-"""The scenario sweep runner: scenarios x algorithms x backends, one matrix.
+"""The legacy scenario-sweep entry point, now a shim over the run-spec facade.
 
-:class:`ScenarioSweep` turns the scenario registry and the algorithm registry
-into an open-ended evaluation matrix: every (scenario, algorithm) cell runs
-``num_trials`` independent trials through the engine's parallel trial
-executor (:func:`repro.analysis.trials.run_admission_trials`, with
-pre-dispatch seed derivation so ``jobs=N`` never changes a number), and the
-result aggregates competitive ratios into one cross-scenario comparison
-table.
+:class:`ScenarioSweep` predates the unified run-spec API (:mod:`repro.api`):
+it was the fourth bespoke way to run scenarios x algorithms x backends.  The
+class survives as a deprecation shim — construction emits a
+:class:`DeprecationWarning`, and :meth:`ScenarioSweep.run` compiles the sweep
+into :class:`~repro.api.spec.RunSpec` cells executed by
+:class:`~repro.api.runner.Runner` — so existing call sites keep producing
+bit-identical numbers while new code writes::
 
-Cell seeds are derived with :func:`repro.utils.rng.stable_seed` from
-``(master seed, scenario key, algorithm key)`` — *not* from the cell's
-position in the grid — so adding or removing a scenario never perturbs the
-numbers of the others, and a single cell can be reproduced in isolation::
+    from repro.api import RunSpec, Runner
 
-    ScenarioSweep(["bursty"], ["fractional"], seed=7).run()
+    specs = RunSpec.grid(["bursty", "flash_crowd"], ["fractional", "randomized"],
+                         backends=["numpy"], trials=3, seed=7)
+    results = Runner().run(specs)
+    print(results.comparison_table())
 
-The factories that cross the executor boundary
-(:class:`ScenarioInstanceFactory`, :class:`SweepAlgorithmFactory`) are
-module-level dataclasses, so cells fan out over *processes* whenever the
-scenario's builder pickles (all built-ins do).
+Cell seeds still derive with :func:`repro.utils.rng.stable_seed` from
+``(master seed, scenario key, algorithm key)`` — the derivation now lives in
+:meth:`RunSpec.grid` — so adding or removing a scenario never perturbs the
+numbers of the others, and a single cell can be reproduced in isolation.
+
+The picklable factories that cross the executor boundary moved to
+:mod:`repro.api.sources`; their historical names are re-exported here.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
 from repro.analysis.report import format_table
-from repro.analysis.trials import TrialSummary, run_admission_trials
+from repro.analysis.trials import TrialSummary
+from repro.api.sources import RegistryAlgorithmFactory, ScenarioSource
 from repro.engine.config import EngineConfig
-from repro.engine.runtime import ensure_builtin_registrations, make_admission_algorithm
-from repro.instances.admission import AdmissionInstance
+from repro.engine.runtime import ensure_builtin_registrations
 from repro.scenarios.registry import Scenario, get_scenario
-from repro.utils.rng import stable_seed
 
 __all__ = [
     "ScenarioSweep",
@@ -45,34 +46,10 @@ __all__ = [
     "SweepAlgorithmFactory",
 ]
 
-
-@dataclass(frozen=True)
-class ScenarioInstanceFactory:
-    """Picklable ``rng -> instance`` factory for one scenario.
-
-    Carries the :class:`~repro.scenarios.registry.Scenario` object itself
-    (not just its key), so process-pool workers need no registry state.
-    """
-
-    scenario: Scenario
-    overrides: Tuple[Tuple[str, Any], ...] = ()
-
-    def __call__(self, rng: np.random.Generator) -> AdmissionInstance:
-        return self.scenario.build(random_state=rng, **dict(self.overrides))
-
-
-@dataclass(frozen=True)
-class SweepAlgorithmFactory:
-    """Picklable ``(instance, rng) -> algorithm`` factory for one registry key."""
-
-    key: str
-    config: EngineConfig
-    kwargs: Tuple[Tuple[str, Any], ...] = ()
-
-    def __call__(self, instance: AdmissionInstance, rng: np.random.Generator):
-        return make_admission_algorithm(
-            self.key, instance, random_state=rng, backend=self.config, **dict(self.kwargs)
-        )
+#: Historical names of the picklable factories (canonical homes are in
+#: :mod:`repro.api.sources`); kept so existing imports and pickles keep working.
+ScenarioInstanceFactory = ScenarioSource
+SweepAlgorithmFactory = RegistryAlgorithmFactory
 
 
 @dataclass
@@ -158,8 +135,85 @@ class SweepResult:
         return path
 
 
+def run_sweep_specs(
+    scenarios: Sequence[Scenario],
+    algorithms: Sequence[str],
+    *,
+    config: EngineConfig,
+    num_trials: int,
+    seed: int,
+    offline: str,
+    ilp_time_limit: Optional[float],
+    streaming: bool = False,
+    overrides: Optional[Dict[str, Tuple[Tuple[str, Any], ...]]] = None,
+) -> SweepResult:
+    """Compile a sweep into run specs, execute them, and adapt the result.
+
+    Shared by the :class:`ScenarioSweep` shim and the CLI's ``sweep``
+    subcommand (which no longer goes through the deprecated class).  Cell
+    seeds, factories and the execution path are exactly those of
+    :meth:`repro.api.spec.RunSpec.grid` + :class:`repro.api.runner.Runner`.
+    """
+    from repro.api import Runner, RunSpec
+
+    from repro.engine.streaming import STREAMING_ALGORITHMS
+    from repro.utils.rng import stable_seed
+
+    if not scenarios:
+        raise ValueError("need at least one scenario")
+    if not algorithms:
+        raise ValueError("need at least one algorithm")
+    keys = [s.key for s in scenarios]
+    dup = sorted({k for k in keys if keys.count(k) > 1})
+    if dup:
+        raise ValueError(f"duplicate scenario keys in sweep: {dup}")
+    dup = sorted({a for a in algorithms if list(algorithms).count(a) > 1})
+    if dup:
+        raise ValueError(f"duplicate algorithm keys in sweep: {dup}")
+    overrides = overrides or {}
+    mode = "streaming" if streaming else ("compiled" if config.compile else "batch")
+    runner = Runner()
+    summaries: Dict[Tuple[str, str], TrialSummary] = {}
+    for scenario in scenarios:
+        for algorithm in algorithms:
+            # The facade's eager validation restricts mode="streaming" to the
+            # streaming-capable registry keys; the legacy sweep also streamed
+            # baselines through the session's per-request fallback.  Keep that
+            # behaviour by handing such cells a pre-built (callable) factory,
+            # which the spec accepts for externally-managed algorithms.
+            spec_algorithm: Any = algorithm
+            if streaming and algorithm not in STREAMING_ALGORITHMS:
+                spec_algorithm = RegistryAlgorithmFactory(algorithm, config, (), "admission")
+            spec = RunSpec(
+                scenario=scenario,
+                algorithm=spec_algorithm,
+                backend=config.backend,
+                mode=mode,
+                seed=stable_seed(seed, scenario.key, algorithm, "sweep"),
+                scenario_params=dict(overrides.get(scenario.key, ())),
+                trials=num_trials,
+                # The spec requires an explicit positive worker count; resolve
+                # the legacy "0 = all cores" convention before building it.
+                jobs=config.effective_jobs,
+                record=config.record,
+                offline=offline,
+                ilp_time_limit=ilp_time_limit,
+                label=f"{scenario.key} x {algorithm}",
+            )
+            summaries[(scenario.key, algorithm)] = runner.run_summary(spec)
+    return SweepResult(
+        summaries=summaries,
+        scenarios=[s.key for s in scenarios],
+        algorithms=list(algorithms),
+        backend=config.backend,
+        seed=seed,
+        num_trials=num_trials,
+        offline=offline,
+    )
+
+
 class ScenarioSweep:
-    """Fan scenarios x algorithms out through the parallel trial executor.
+    """Deprecated sweep runner: a shim over ``RunSpec.grid`` + ``Runner``.
 
     Parameters
     ----------
@@ -191,11 +245,14 @@ class ScenarioSweep:
         Route every trial through the serving layer
         (:class:`~repro.engine.streaming.StreamingSession` micro-batches)
         instead of the batch pipeline.  Decisions — and therefore every
-        reported number — are identical; the knob exists so sweeps exercise
-        the streaming code end to end (``repro sweep --streaming``).
+        reported number — are identical.
     scenario_overrides:
         Optional per-scenario parameter overrides:
         ``{"bursty": {"num_requests": 1000}}``.
+
+    .. deprecated::
+        Use :meth:`repro.api.RunSpec.grid` with :class:`repro.api.Runner`;
+        this class delegates to them and produces identical numbers.
     """
 
     def __init__(
@@ -214,6 +271,12 @@ class ScenarioSweep:
         streaming: bool = False,
         scenario_overrides: Optional[Dict[str, Dict[str, Any]]] = None,
     ):
+        warnings.warn(
+            "ScenarioSweep is deprecated; use repro.api.RunSpec.grid(...) with "
+            "repro.api.Runner instead (numbers are identical)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not scenarios:
             raise ValueError("need at least one scenario")
         if not algorithms:
@@ -243,32 +306,15 @@ class ScenarioSweep:
         }
 
     def run(self) -> SweepResult:
-        """Run every (scenario, algorithm) cell and aggregate the records."""
-        summaries: Dict[Tuple[str, str], TrialSummary] = {}
-        for scenario in self.scenarios:
-            instance_factory = ScenarioInstanceFactory(
-                scenario, self._overrides.get(scenario.key, ())
-            )
-            for algorithm in self.algorithms:
-                cell_seed = stable_seed(self.seed, scenario.key, algorithm, "sweep")
-                summaries[(scenario.key, algorithm)] = run_admission_trials(
-                    instance_factory,
-                    SweepAlgorithmFactory(algorithm, self.config),
-                    num_trials=self.num_trials,
-                    random_state=cell_seed,
-                    label=f"{scenario.key} x {algorithm}",
-                    offline=self.offline,
-                    ilp_time_limit=self.ilp_time_limit,
-                    jobs=self.config.jobs,
-                    compile_instances=self.config.compile,
-                    streaming=self.streaming,
-                )
-        return SweepResult(
-            summaries=summaries,
-            scenarios=[s.key for s in self.scenarios],
-            algorithms=list(self.algorithms),
-            backend=self.config.backend,
-            seed=self.seed,
+        """Run every (scenario, algorithm) cell through the run-spec facade."""
+        return run_sweep_specs(
+            self.scenarios,
+            self.algorithms,
+            config=self.config,
             num_trials=self.num_trials,
+            seed=self.seed,
             offline=self.offline,
+            ilp_time_limit=self.ilp_time_limit,
+            streaming=self.streaming,
+            overrides=self._overrides,
         )

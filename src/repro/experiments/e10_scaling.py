@@ -9,21 +9,20 @@ Two questions a downstream user asks before adopting the library:
 
 The experiment sweeps instance sizes, measures both, and emits an ASCII series
 table (the "figure") alongside the usual rows.
+
+Each size is one single-trial :class:`~repro.api.spec.RunSpec`; the online
+wall-clock (compilation + arrival streaming, excluding the offline solve)
+comes back on the row's ``extra["online_seconds"]``.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 from repro.analysis.ascii_plot import ascii_series_table
+from repro.api import FixedSeedAlgorithmFactory, Runner, RunSpec
 from repro.core.bounds import randomized_admission_bound, set_cover_randomized_bound
-from repro.core.protocols import run_admission, run_setcover
-from repro.engine.runtime import make_admission_algorithm, make_setcover_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
-from repro.instances.compiled import compile_instance
-from repro.offline import solve_admission_lp, solve_set_multicover_lp
-from repro.utils.mathx import safe_ratio
 from repro.utils.rng import as_generator, stable_seed
 from repro.workloads import overloaded_edge_adversary, random_setcover_instance
 
@@ -54,6 +53,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Run the scaling sweep; LP comparators keep large sizes tractable."""
     config = config or ExperimentConfig()
     result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
+    runner = Runner()
 
     admission_sizes = _admission_sizes(config)
     ratios = []
@@ -65,23 +65,25 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         instance = overloaded_edge_adversary(
             num_edges=m, capacity=c, num_hot_edges=max(2, m // 8), overload_factor=3.0, random_state=rng
         )
-        algorithm = make_admission_algorithm(
-            "randomized",
-            instance,
-            weighted=False,
-            random_state=as_generator(stable_seed(config.seed, m, "algo")),
-            backend=config.engine,
+        spec = RunSpec(
+            instance=instance,
+            algorithm=FixedSeedAlgorithmFactory(
+                "randomized",
+                config.engine,
+                stable_seed(config.seed, m, "algo"),
+                (("weighted", False),),
+            ),
+            backend=config.backend,
+            mode="compiled" if config.compile else "batch",
+            record=config.record,
+            trials=1,
+            offline="lp",
+            label=f"E10 admission m={m}",
         )
-        start = time.perf_counter()
-        # Compilation is part of the measured runtime: it is what a
-        # production run pays per instance before streaming arrivals.
-        compiled = compile_instance(instance) if config.compile else None
-        online = run_admission(algorithm, instance, compiled=compiled)
-        elapsed = time.perf_counter() - start
-        opt = solve_admission_lp(instance)
-        ratio = safe_ratio(online.rejection_cost, opt.cost)
+        [row] = runner.run(spec)
+        elapsed = float(row.extra["online_seconds"])
         bound = randomized_admission_bound(m, c, weighted=False).value
-        ratios.append(ratio)
+        ratios.append(row.ratio)
         bounds.append(bound)
         runtimes.append(elapsed)
         result.rows.append(
@@ -89,9 +91,9 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                 "problem": "admission",
                 "size": m,
                 "requests": instance.num_requests,
-                "ratio": ratio,
+                "ratio": row.ratio,
                 "bound": bound,
-                "ratio/bound": ratio / bound,
+                "ratio/bound": row.ratio / bound,
                 "runtime_s": elapsed,
             }
         )
@@ -113,29 +115,34 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             membership_probability=min(0.5, 4.0 / m + 0.1),
             random_state=stable_seed(config.seed, n, m, "e10-sc"),
         )
-        algorithm = make_setcover_algorithm(
-            "reduction",
-            instance,
-            random_state=stable_seed(config.seed, n, m, "sc-algo"),
-            backend=config.engine,
+        spec = RunSpec(
+            problem="setcover",
+            instance=instance,
+            algorithm=FixedSeedAlgorithmFactory(
+                "reduction",
+                config.engine,
+                stable_seed(config.seed, n, m, "sc-algo"),
+                problem="setcover",
+            ),
+            backend=config.backend,
+            record=config.record,
+            trials=1,
+            offline="lp",
+            label=f"E10 setcover n={n} m={m}",
         )
-        start = time.perf_counter()
-        online = run_setcover(algorithm, instance)
-        elapsed = time.perf_counter() - start
-        opt = solve_set_multicover_lp(instance.system, instance.demands())
-        ratio = safe_ratio(online.cost, opt.cost)
+        [row] = runner.run(spec)
         bound = set_cover_randomized_bound(m, n).value
-        sc_ratios.append(ratio)
+        sc_ratios.append(row.ratio)
         sc_bounds.append(bound)
         result.rows.append(
             {
                 "problem": "setcover",
                 "size": n,
                 "requests": instance.num_arrivals,
-                "ratio": ratio,
+                "ratio": row.ratio,
                 "bound": bound,
-                "ratio/bound": ratio / bound,
-                "runtime_s": elapsed,
+                "ratio/bound": row.ratio / bound,
+                "runtime_s": float(row.extra["online_seconds"]),
             }
         )
     result.metadata["setcover_series"] = ascii_series_table(

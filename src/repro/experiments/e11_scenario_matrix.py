@@ -4,18 +4,19 @@ The theorems promise competitiveness against *every* adversary, but E1–E10
 each probe one hand-picked construction.  E11 runs the paper's algorithms
 over the scenario registry's serving-style families — bursty/MMPP arrivals,
 Zipf cost mixes, diurnal curves, flash crowds, interleaved adversaries,
-topology stress — next to a naive baseline, through the
-:class:`~repro.engine.sweep.ScenarioSweep` runner.  The quantity to watch is
-the *spread*: the paper's algorithms should stay within a small factor of the
-offline bound on every row, while the baseline's ratio varies wildly with the
-traffic shape.
+topology stress — next to a naive baseline, through
+:meth:`repro.api.RunSpec.grid` and the :class:`~repro.api.Runner` (the same
+cells, seeds and numbers the legacy sweep produced).  The quantity to watch
+is the *spread*: the paper's algorithms should stay within a small factor of
+the offline bound on every row, while the baseline's ratio varies wildly
+with the traffic shape.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.engine.sweep import ScenarioSweep
+from repro.api import Runner, RunSpec
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 
 EXPERIMENT_ID = "E11"
@@ -46,21 +47,24 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Run the scenario matrix and return one row per (scenario, algorithm)."""
     config = config or ExperimentConfig()
     result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
-    sweep = ScenarioSweep(
+    specs = RunSpec.grid(
         _scenarios(config),
         _algorithms(config),
-        backend=config.backend,
-        jobs=config.jobs,
-        num_trials=config.scaled_trials(5),
+        backends=[config.backend],
+        modes=["compiled" if config.compile else "batch"],
         seed=config.seed,
+        trials=config.scaled_trials(5),
+        jobs=config.engine.effective_jobs,
+        record=config.record,
         offline="lp",
         ilp_time_limit=config.ilp_time_limit,
-        compile=config.compile,
-        record=config.record,
     )
-    outcome = sweep.run()
-    result.rows = outcome.rows()
-    result.metadata["comparison"] = outcome.comparison_table()
+    outcome = Runner().run(specs)
+    result.rows = [
+        {"scenario": row.pop("source"), **row}
+        for row in outcome.aggregate(by=("source", "algorithm"))
+    ]
+    result.metadata["comparison"] = outcome.comparison_table(index="source")
     result.notes.append(
         "offline=lp is a lower bound on OPT, so ratios are conservative (upper bounds); "
         "the paper's algorithms should stay flat across rows while the baseline swings."

@@ -7,19 +7,27 @@ and reports the ratio of the fractional online cost to the optimal fractional
 cost next to the ``log2(mc)`` (weighted) / ``log2(c)`` (unweighted) bound.
 The quantity to watch is ``ratio / bound``: Theorem 2 says it stays bounded by
 a constant as ``m`` and ``c`` grow.
+
+Each grid cell is one :class:`~repro.api.spec.RunSpec` executed by the
+:class:`~repro.api.runner.Runner`; the workload builders and the oracle-alpha
+algorithm factory are module-level dataclasses so cells can fan out over
+processes.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
+import numpy as np
+
+from repro.api import Runner, RunSpec
 from repro.core.bounds import fractional_admission_bound
+from repro.engine.config import EngineConfig
 from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
-from repro.instances.compiled import compile_instance
-from repro.offline import solve_admission_lp
-from repro.utils.mathx import safe_ratio
-from repro.utils.rng import spawn_generators, stable_seed
+from repro.offline import solve_admission_lp_cached
+from repro.utils.rng import stable_seed
 from repro.workloads import overloaded_edge_adversary, pareto_costs, single_edge_workload
 
 EXPERIMENT_ID = "E1"
@@ -33,6 +41,54 @@ USES_SETCOVER = ()
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
 
+@dataclass(frozen=True)
+class E1Workload:
+    """Picklable workload builder for one (m, c, weighted) grid cell."""
+
+    m: int
+    c: int
+    weighted: bool
+
+    def __call__(self, rng: np.random.Generator):
+        if self.weighted:
+            return single_edge_workload(
+                num_edges=self.m,
+                num_requests=4 * self.m,
+                capacity=self.c,
+                concentration=1.2,
+                cost_sampler=lambda count, r: pareto_costs(count, shape=1.5, random_state=r),
+                random_state=rng,
+            )
+        return overloaded_edge_adversary(
+            num_edges=self.m,
+            capacity=self.c,
+            num_hot_edges=max(2, self.m // 8),
+            overload_factor=2.5,
+            random_state=rng,
+        )
+
+
+@dataclass(frozen=True)
+class OracleAlphaFractional:
+    """Build the fractional algorithm with ``alpha`` set to the LP optimum.
+
+    Theorem 2 analyses the algorithm *after* the guess-and-double reduction,
+    i.e. with the optimal fractional cost supplied; the factory computes it
+    per instance inside the worker so specs stay declarative.
+    """
+
+    config: EngineConfig
+    __name__ = "fractional[alpha=opt]"
+
+    def __call__(self, instance, rng: np.random.Generator):
+        # Cached: the trial evaluation solves the same instance's LP as the
+        # comparator, so the pair costs one solve per instance, not two.
+        opt = solve_admission_lp_cached(instance)
+        return make_admission_algorithm(
+            "fractional", instance, alpha=max(opt.cost, 1e-9), backend=self.config
+        )
+
+
 def _grid(config: ExperimentConfig):
     if config.quick:
         return [(8, 2), (16, 4), (32, 8)]
@@ -44,40 +100,24 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     config = config or ExperimentConfig()
     result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
     trials = config.scaled_trials(5)
+    runner = Runner()
 
     for m, c in _grid(config):
         for weighted in (False, True):
-            generators = spawn_generators(stable_seed(config.seed, m, c, weighted), trials)
-            ratios: List[float] = []
-            for rng in generators:
-                if weighted:
-                    instance = single_edge_workload(
-                        num_edges=m,
-                        num_requests=4 * m,
-                        capacity=c,
-                        concentration=1.2,
-                        cost_sampler=lambda count, r: pareto_costs(count, shape=1.5, random_state=r),
-                        random_state=rng,
-                    )
-                else:
-                    instance = overloaded_edge_adversary(
-                        num_edges=m,
-                        capacity=c,
-                        num_hot_edges=max(2, m // 8),
-                        overload_factor=2.5,
-                        random_state=rng,
-                    )
-                opt = solve_admission_lp(instance)
-                algo = make_admission_algorithm(
-                    "fractional",
-                    instance,
-                    alpha=max(opt.cost, 1e-9) if weighted else None,
-                    backend=config.engine,
-                )
-                algo.process_sequence(
-                    compile_instance(instance) if config.compile else instance.requests
-                )
-                ratios.append(safe_ratio(algo.fractional_cost(), opt.cost))
+            spec = RunSpec(
+                factory=E1Workload(m, c, weighted),
+                algorithm=(
+                    OracleAlphaFractional(config.engine) if weighted else "fractional"
+                ),
+                backend=config.backend,
+                mode="compiled" if config.compile else "batch",
+                record=config.record,
+                trials=trials,
+                jobs=config.engine.effective_jobs,
+                seed=stable_seed(config.seed, m, c, weighted),
+                label=f"E1 m={m} c={c} weighted={weighted}",
+            )
+            ratios = runner.run(spec).ratios()
             bound = fractional_admission_bound(m, c, weighted=weighted)
             mean_ratio = sum(ratios) / len(ratios)
             result.rows.append(

@@ -5,18 +5,25 @@ The experiment runs the fractional algorithm with the optimal fractional cost
 augmentations actually performed, and compares them with the explicit bound
 ``alpha * log2(2 g c)``.  The reported ``augs/bound`` column must never exceed
 1 if the implementation matches the proof.
+
+Each grid cell is one :class:`~repro.api.spec.RunSpec`; the augmentation
+count and the mechanism parameters (``g``, ``c``, ``alpha``) come back on
+each trial row's ``extra``, so the bound is evaluated from the result set
+rather than from a live algorithm object.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
+from repro.api import Runner, RunSpec
 from repro.core.bounds import lemma1_augmentation_bound
-from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
-from repro.instances.compiled import compile_instance
-from repro.offline import solve_admission_lp
-from repro.utils.rng import spawn_generators, stable_seed
+from repro.experiments.e1_fractional import OracleAlphaFractional
+from repro.utils.rng import stable_seed
 from repro.workloads import single_edge_workload, uniform_costs
 
 EXPERIMENT_ID = "E2"
@@ -30,6 +37,24 @@ USES_SETCOVER = ()
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
 
+@dataclass(frozen=True)
+class E2Workload:
+    """Picklable congestion workload builder for one (m, c) grid cell."""
+
+    m: int
+    c: int
+
+    def __call__(self, rng: np.random.Generator):
+        return single_edge_workload(
+            num_edges=self.m,
+            num_requests=5 * self.m,
+            capacity=self.c,
+            concentration=1.0,
+            cost_sampler=lambda count, r: uniform_costs(count, 1.0, 4.0, random_state=r),
+            random_state=rng,
+        )
+
+
 def _grid(config: ExperimentConfig):
     if config.quick:
         return [(8, 2), (16, 4), (32, 4)]
@@ -41,36 +66,34 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     config = config or ExperimentConfig()
     result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
     trials = config.scaled_trials(5)
+    runner = Runner()
 
     for m, c in _grid(config):
-        generators = spawn_generators(stable_seed(config.seed, m, c, "e2"), trials)
+        spec = RunSpec(
+            factory=E2Workload(m, c),
+            algorithm=OracleAlphaFractional(config.engine),
+            backend=config.backend,
+            mode="compiled" if config.compile else "batch",
+            record=config.record,
+            trials=trials,
+            jobs=config.engine.effective_jobs,
+            seed=stable_seed(config.seed, m, c, "e2"),
+            label=f"E2 m={m} c={c}",
+        )
         worst_fraction = 0.0
         total_augs = 0
         total_bound = 0.0
         violations = 0
-        for rng in generators:
-            instance = single_edge_workload(
-                num_edges=m,
-                num_requests=5 * m,
-                capacity=c,
-                concentration=1.0,
-                cost_sampler=lambda count, r: uniform_costs(count, 1.0, 4.0, random_state=r),
-                random_state=rng,
+        for row in runner.run(spec):
+            augmentations = int(row.extra["num_augmentations"])
+            bound = lemma1_augmentation_bound(
+                row.extra["alpha"], row.extra["g"], row.extra["c"]
             )
-            opt = solve_admission_lp(instance)
-            alpha = max(opt.cost, 1e-9)
-            algo = make_admission_algorithm(
-                "fractional", instance, alpha=alpha, backend=config.engine
-            )
-            algo.process_sequence(
-                compile_instance(instance) if config.compile else instance.requests
-            )
-            bound = lemma1_augmentation_bound(alpha, algo.g, algo.c)
-            total_augs += algo.num_augmentations
+            total_augs += augmentations
             total_bound += bound
             if bound > 0:
-                worst_fraction = max(worst_fraction, algo.num_augmentations / bound)
-            if algo.num_augmentations > bound + 1e-9:
+                worst_fraction = max(worst_fraction, augmentations / bound)
+            if augmentations > bound + 1e-9:
                 violations += 1
         result.rows.append(
             {

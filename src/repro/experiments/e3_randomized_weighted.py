@@ -5,15 +5,19 @@ pipeline a user would deploy: no oracle knowledge of OPT) on weighted
 congestion workloads with heavy-tailed and bimodal costs, and reports the
 measured competitive ratio against the exact integral optimum next to the
 ``log2(mc)^2`` bound.
+
+Every (workload, m, c) cell is one :class:`~repro.api.spec.RunSpec` executed
+by the :class:`~repro.api.runner.Runner`; seeds, factories and the offline
+comparator are exactly those of the legacy trial runner, so the numbers are
+unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis.trials import run_admission_trials
+from repro.api import Runner, RunSpec
 from repro.core.bounds import randomized_admission_bound
-from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.utils.rng import stable_seed
 from repro.workloads import (
@@ -45,6 +49,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     config = config or ExperimentConfig()
     result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
     trials = config.scaled_trials(5)
+    runner = Runner()
 
     workloads = {
         "pareto-single-edge": lambda m, c, rng: single_edge_workload(
@@ -71,22 +76,22 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     for m, c in _grid(config):
         bound = randomized_admission_bound(m, c, weighted=True)
         for workload_name, make in workloads.items():
-            summary = run_admission_trials(
-                instance_factory=lambda rng, make=make, m=m, c=c: make(m, c, rng),
-                algorithm_factory=lambda instance, rng, backend=config.engine: make_admission_algorithm(
-                    "doubling", instance, weighted=True, random_state=rng, backend=backend
-                ),
-                num_trials=trials,
-                random_state=stable_seed(config.seed, m, c, workload_name),
-                label=f"{workload_name} m={m} c={c}",
+            spec = RunSpec(
+                factory=lambda rng, make=make, m=m, c=c: make(m, c, rng),
+                algorithm="doubling",
+                algorithm_params={"weighted": True},
+                backend=config.backend,
+                mode="compiled" if config.compile else "batch",
+                record=config.record,
+                trials=trials,
+                jobs=config.engine.effective_jobs,
+                seed=stable_seed(config.seed, m, c, workload_name),
                 offline="ilp",
                 ilp_time_limit=config.ilp_time_limit,
-                jobs=config.jobs,
-                # Compile each trial instance once; the doubling algorithm
-                # streams it through the indexed fast path (identical output).
-                compile_instances=config.compile,
+                label=f"{workload_name} m={m} c={c}",
             )
-            stats = summary.ratio_stats()
+            cell = runner.run(spec)
+            stats = cell.ratio_stats()
             result.rows.append(
                 {
                     "workload": workload_name,
@@ -97,7 +102,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                     "ratio_max": stats.maximum,
                     "bound": bound.value,
                     "ratio/bound": stats.mean / bound.value,
-                    "feasible": summary.all_feasible(),
+                    "feasible": cell.all_feasible(),
                 }
             )
     result.notes.append(

@@ -3,15 +3,17 @@
 Unit-cost congestion workloads, sweeping ``m`` and ``c`` independently so the
 two logarithmic factors can be seen separately.  The comparator is the exact
 integral optimum; the bound column is ``log2(m) * log2(c)``.
+
+Each (workload, m, c) cell is one :class:`~repro.api.spec.RunSpec` with the
+legacy seeds and factories, so the numbers are unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis.trials import run_admission_trials
+from repro.api import Runner, RunSpec
 from repro.core.bounds import randomized_admission_bound
-from repro.engine.runtime import make_admission_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.utils.rng import stable_seed
 from repro.workloads import overloaded_edge_adversary, repeated_overload_adversary
@@ -38,6 +40,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     config = config or ExperimentConfig()
     result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
     trials = config.scaled_trials(5)
+    runner = Runner()
 
     workloads = {
         "overloaded-edges": lambda m, c, rng: overloaded_edge_adversary(
@@ -55,21 +58,23 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     for m, c in _grid(config):
         bound = randomized_admission_bound(m, c, weighted=False)
         for workload_name, make in workloads.items():
-            summary = run_admission_trials(
-                instance_factory=lambda rng, make=make, m=m, c=c: make(m, c, rng),
-                algorithm_factory=lambda instance, rng, backend=config.engine: make_admission_algorithm(
-                    "randomized", instance, weighted=False, random_state=rng, backend=backend
-                ),
-                num_trials=trials,
-                random_state=stable_seed(config.seed, m, c, workload_name, "e4"),
-                label=f"{workload_name} m={m} c={c}",
+            spec = RunSpec(
+                factory=lambda rng, make=make, m=m, c=c: make(m, c, rng),
+                algorithm="randomized",
+                algorithm_params={"weighted": False},
+                backend=config.backend,
+                mode="compiled" if config.compile else "batch",
+                record=config.record,
+                trials=trials,
+                jobs=config.engine.effective_jobs,
+                seed=stable_seed(config.seed, m, c, workload_name, "e4"),
                 offline="ilp",
-                randomized_bound=True,
                 ilp_time_limit=config.ilp_time_limit,
-                jobs=config.jobs,
-                compile_instances=config.compile,
+                randomized_bound=True,
+                label=f"{workload_name} m={m} c={c}",
             )
-            stats = summary.ratio_stats()
+            cell = runner.run(spec)
+            stats = cell.ratio_stats()
             result.rows.append(
                 {
                     "workload": workload_name,
@@ -80,7 +85,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                     "ratio_max": stats.maximum,
                     "bound": bound.value,
                     "ratio/bound": stats.mean / bound.value,
-                    "feasible": summary.all_feasible(),
+                    "feasible": cell.all_feasible(),
                 }
             )
     result.notes.append("ratio/bound staying bounded as m, c grow is Theorem 4's prediction.")

@@ -8,23 +8,26 @@ random and adversarial set systems with repeated arrivals, verifying that
   the reduction), and
 * the cost ratio against the exact multi-cover optimum stays within the
   polylog bound.
+
+Each (workload, n, m) cell is one :class:`~repro.api.spec.RunSpec` with
+``problem="setcover"``; seeds and factories match the legacy trial runner,
+so the numbers are unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis.trials import run_setcover_trials
+from repro.api import Runner, RunSpec
 from repro.core.bounds import set_cover_randomized_bound
-from repro.engine.runtime import make_setcover_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
+from repro.instances.setcover import SetCoverInstance
 from repro.utils.rng import stable_seed
 from repro.workloads import (
     disjoint_blocks_instance,
     random_setcover_instance,
     repetition_heavy_arrivals,
 )
-from repro.instances.setcover import SetCoverInstance
 from repro.workloads.setcover_random import random_set_system
 
 EXPERIMENT_ID = "E5"
@@ -49,6 +52,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     config = config or ExperimentConfig()
     result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
     trials = config.scaled_trials(5)
+    runner = Runner()
 
     def random_instance(n, m, rng):
         return random_setcover_instance(
@@ -83,19 +87,21 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     for n, m in _grid(config):
         bound = set_cover_randomized_bound(m, n, weighted=False)
         for workload_name, make in workloads.items():
-            summary = run_setcover_trials(
-                instance_factory=lambda rng, make=make, n=n, m=m: make(n, m, rng),
-                algorithm_factory=lambda instance, rng, backend=config.engine: make_setcover_algorithm(
-                    "reduction", instance, random_state=rng, backend=backend
-                ),
-                num_trials=trials,
-                random_state=stable_seed(config.seed, n, m, workload_name, "e5"),
-                label=f"{workload_name} n={n} m={m}",
+            spec = RunSpec(
+                problem="setcover",
+                factory=lambda rng, make=make, n=n, m=m: make(n, m, rng),
+                algorithm="reduction",
+                backend=config.backend,
+                record=config.record,
+                trials=trials,
+                jobs=config.engine.effective_jobs,
+                seed=stable_seed(config.seed, n, m, workload_name, "e5"),
                 offline="ilp",
                 ilp_time_limit=config.ilp_time_limit,
-                jobs=config.jobs,
+                label=f"{workload_name} n={n} m={m}",
             )
-            stats = summary.ratio_stats()
+            cell = runner.run(spec)
+            stats = cell.ratio_stats()
             result.rows.append(
                 {
                     "workload": workload_name,
@@ -106,7 +112,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                     "ratio_max": stats.maximum,
                     "bound": bound.value,
                     "ratio/bound": stats.mean / bound.value,
-                    "all_covered": summary.all_feasible(),
+                    "all_covered": cell.all_feasible(),
                 }
             )
     result.notes.append("all_covered must be 'yes' everywhere: the reduction always yields a feasible multi-cover.")

@@ -7,20 +7,25 @@ optimum, the worst per-element coverage fraction actually achieved, and the
 
 * ``ratio/bound`` stays bounded (competitiveness), and
 * ``min_coverage_fraction >= 1 - eps`` (the bicriteria guarantee).
+
+Each (n, m, eps) cell is one :class:`~repro.api.spec.RunSpec` with
+``problem="setcover"``; the per-element coverage fractions are extracted by a
+measurement probe that runs in the worker while the algorithm object is
+alive.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
 
+import numpy as np
+
+from repro.api import Runner, RunSpec
 from repro.core.bounds import bicriteria_set_cover_bound
-from repro.core.protocols import run_setcover
-from repro.engine.runtime import make_setcover_algorithm
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
 from repro.instances.setcover import SetCoverInstance
-from repro.offline import solve_set_multicover_ilp
-from repro.utils.mathx import safe_ratio
-from repro.utils.rng import spawn_generators, stable_seed
+from repro.utils.rng import stable_seed
 from repro.workloads.setcover_random import random_set_system, repetition_heavy_arrivals
 
 EXPERIMENT_ID = "E6"
@@ -32,6 +37,33 @@ USES_ADMISSION = ()
 USES_SETCOVER = ("bicriteria",)
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
+
+
+@dataclass(frozen=True)
+class E6Workload:
+    """Picklable repetition-heavy set-cover workload for one (n, m) cell."""
+
+    n: int
+    m: int
+
+    def __call__(self, rng: np.random.Generator) -> SetCoverInstance:
+        system = random_set_system(
+            self.n, self.m, min(0.5, 4.0 / self.m + 0.1), random_state=rng
+        )
+        arrivals = repetition_heavy_arrivals(system, random_state=rng)
+        return SetCoverInstance(system, arrivals, name=f"repetition n={self.n} m={self.m}")
+
+
+def coverage_probe(instance: SetCoverInstance, algorithm: Any) -> Dict[str, Any]:
+    """Measure the worst per-element coverage fraction of a finished run."""
+    min_fraction = 1.0
+    for element, demand in instance.demands().items():
+        fraction = algorithm.coverage(element) / demand if demand else 1.0
+        min_fraction = min(min_fraction, fraction)
+    return {
+        "min_coverage_fraction": min_fraction,
+        "num_augmentations": algorithm.num_augmentations,
+    }
 
 
 def _grid(config: ExperimentConfig):
@@ -51,28 +83,31 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     config = config or ExperimentConfig()
     result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
     trials = config.scaled_trials(4)
+    runner = Runner()
 
     for n, m in _grid(config):
         bound = bicriteria_set_cover_bound(m, n)
         for eps in _eps_values(config):
-            generators = spawn_generators(stable_seed(config.seed, n, m, eps, "e6"), trials)
-            ratios = []
-            min_fraction = 1.0
-            augmentations = 0
-            for rng in generators:
-                system = random_set_system(n, m, min(0.5, 4.0 / m + 0.1), random_state=rng)
-                arrivals = repetition_heavy_arrivals(system, random_state=rng)
-                instance = SetCoverInstance(system, arrivals, name=f"repetition n={n} m={m}")
-                algorithm = make_setcover_algorithm(
-                    "bicriteria", instance, eps=eps, backend=config.engine
-                )
-                run_setcover(algorithm, instance)
-                opt = solve_set_multicover_ilp(system, instance.demands(), time_limit=config.ilp_time_limit)
-                ratios.append(safe_ratio(algorithm.cost(), opt.cost))
-                augmentations += algorithm.num_augmentations
-                for element, demand in instance.demands().items():
-                    fraction = algorithm.coverage(element) / demand if demand else 1.0
-                    min_fraction = min(min_fraction, fraction)
+            spec = RunSpec(
+                problem="setcover",
+                factory=E6Workload(n, m),
+                algorithm="bicriteria",
+                algorithm_params={"eps": eps},
+                backend=config.backend,
+                record=config.record,
+                trials=trials,
+                jobs=config.engine.effective_jobs,
+                seed=stable_seed(config.seed, n, m, eps, "e6"),
+                offline="ilp",
+                ilp_time_limit=config.ilp_time_limit,
+                bicriteria_bound=True,
+                probe=coverage_probe,
+                label=f"E6 n={n} m={m} eps={eps}",
+            )
+            cell = runner.run(spec)
+            ratios = cell.ratios()
+            min_fraction = min(row.extra["min_coverage_fraction"] for row in cell)
+            augmentations = sum(int(row.extra["num_augmentations"]) for row in cell)
             mean_ratio = sum(ratios) / len(ratios)
             result.rows.append(
                 {

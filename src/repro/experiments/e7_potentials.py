@@ -10,23 +10,29 @@ Two families of checks:
   exceeds ``n^2``, no augmentation increases it, at most ``2 ln n`` sets are
   selected per augmentation, and the number of augmentations respects
   Lemma 5's bound computed from the offline optimum.
+
+The checks need the *live* algorithm object after its run, which is exactly
+what the run-spec facade's measurement probes provide: each configuration is
+one :class:`~repro.api.spec.RunSpec` whose probe performs the invariant
+checks inside the worker and returns booleans on the row's ``extra``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
 
 from repro.analysis.invariants import check_bicriteria_state, check_fractional_state
+from repro.api import Runner, RunSpec
 from repro.core.potential import check_lemma1
-from repro.engine.runtime import make_admission_algorithm, make_setcover_algorithm
-from repro.core.protocols import run_setcover
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
+from repro.experiments.e1_fractional import OracleAlphaFractional
+from repro.experiments.e6_bicriteria import E6Workload
+from repro.instances.admission import AdmissionInstance
 from repro.instances.setcover import SetCoverInstance
-from repro.instances.compiled import compile_instance
-from repro.offline import solve_admission_lp, solve_set_multicover_ilp
-from repro.utils.rng import spawn_generators, stable_seed
+from repro.offline import solve_admission_lp_cached, solve_set_multicover_ilp
+from repro.utils.rng import stable_seed
 from repro.workloads import single_edge_workload, uniform_costs
-from repro.workloads.setcover_random import random_set_system, repetition_heavy_arrivals
 
 EXPERIMENT_ID = "E7"
 TITLE = "Potential-function invariants (Lemmas 1, 5 and 6)"
@@ -39,92 +45,124 @@ USES_SETCOVER = ("bicriteria",)
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "VALIDATES"]
 
 
+@dataclass(frozen=True)
+class E7Workload:
+    """Picklable congestion workload builder for the Lemma 1 checks."""
+
+    m: int
+    c: int
+
+    def __call__(self, rng):
+        return single_edge_workload(
+            num_edges=self.m,
+            num_requests=4 * self.m,
+            capacity=self.c,
+            concentration=1.1,
+            cost_sampler=lambda count, r: uniform_costs(count, 1.0, 3.0, random_state=r),
+            random_state=rng,
+        )
+
+
+def lemma1_probe(instance: AdmissionInstance, algorithm: Any) -> Dict[str, Any]:
+    """Check Lemma 1's state invariants and potential bounds on a finished run."""
+    # Cached: the oracle-alpha factory and the trial comparator already solved
+    # this instance's LP in the same worker.
+    opt = solve_admission_lp_cached(instance)
+    alpha = max(opt.cost, 1e-9)
+    report = check_fractional_state(algorithm, optimal_cost=alpha)
+    # Potential check needs the optimal fractional solution expressed in
+    # the algorithm's normalised cost units.
+    normalized_costs = {
+        rid: algorithm.weight_state.cost_of(rid) for rid in algorithm.weight_state.weights()
+    }
+    fractions = {rid: opt.fractions.get(rid, 0.0) for rid in normalized_costs}
+    normalized_alpha = sum(fractions[rid] * normalized_costs[rid] for rid in fractions)
+    check = check_lemma1(
+        algorithm.weight_state,
+        fractions,
+        normalized_costs,
+        alpha=max(normalized_alpha, 1e-9),
+        g=algorithm.g,
+        c=algorithm.c,
+    )
+    return {"invariant_ok": bool(report.ok), "potential_ok": bool(check.all_ok)}
+
+
+@dataclass(frozen=True)
+class Lemma56Probe:
+    """Check Lemmas 5 and 6 on a finished bicriteria run (needs the ILP OPT)."""
+
+    ilp_time_limit: Optional[float]
+
+    def __call__(self, instance: SetCoverInstance, algorithm: Any) -> Dict[str, Any]:
+        opt = solve_set_multicover_ilp(
+            instance.system, instance.demands(), time_limit=self.ilp_time_limit
+        )
+        report = check_bicriteria_state(algorithm, optimal_cost=opt.cost)
+        return {
+            "invariant_ok": bool(report.ok),
+            "potential_fraction": algorithm.max_potential_seen / (max(algorithm.n, 2) ** 2),
+        }
+
+
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Run the invariant checks and return one row per configuration."""
     config = config or ExperimentConfig()
     result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
     trials = config.scaled_trials(4)
+    runner = Runner()
     sizes = [(8, 2), (16, 4), (32, 8)] if config.quick else [(8, 2), (16, 4), (32, 8), (64, 8), (128, 16)]
 
     # -- Lemma 1 on the fractional algorithm -------------------------------------
     for m, c in sizes:
-        generators = spawn_generators(stable_seed(config.seed, m, c, "e7-frac"), trials)
-        checks_ok = 0
-        invariant_ok = 0
-        for rng in generators:
-            instance = single_edge_workload(
-                num_edges=m,
-                num_requests=4 * m,
-                capacity=c,
-                concentration=1.1,
-                cost_sampler=lambda count, r: uniform_costs(count, 1.0, 3.0, random_state=r),
-                random_state=rng,
-            )
-            opt = solve_admission_lp(instance)
-            alpha = max(opt.cost, 1e-9)
-            algo = make_admission_algorithm(
-                "fractional", instance, alpha=alpha, backend=config.engine
-            )
-            algo.process_sequence(
-                compile_instance(instance) if config.compile else instance.requests
-            )
-            report = check_fractional_state(algo, optimal_cost=alpha)
-            invariant_ok += int(report.ok)
-            # Potential check needs the optimal fractional solution expressed in
-            # the algorithm's normalised cost units.
-            normalized_costs = {
-                rid: algo.weight_state.cost_of(rid)
-                for rid in algo.weight_state.weights()
-            }
-            fractions = {rid: opt.fractions.get(rid, 0.0) for rid in normalized_costs}
-            normalized_alpha = sum(fractions[rid] * normalized_costs[rid] for rid in fractions)
-            check = check_lemma1(
-                algo.weight_state,
-                fractions,
-                normalized_costs,
-                alpha=max(normalized_alpha, 1e-9),
-                g=algo.g,
-                c=algo.c,
-            )
-            checks_ok += int(check.all_ok)
+        spec = RunSpec(
+            factory=E7Workload(m, c),
+            algorithm=OracleAlphaFractional(config.engine),
+            backend=config.backend,
+            mode="compiled" if config.compile else "batch",
+            record=config.record,
+            trials=trials,
+            jobs=config.engine.effective_jobs,
+            seed=stable_seed(config.seed, m, c, "e7-frac"),
+            probe=lemma1_probe,
+            label=f"E7 lemma1 m={m} c={c}",
+        )
+        cell = runner.run(spec)
         result.rows.append(
             {
                 "check": "lemma1",
                 "size": f"m={m},c={c}",
                 "trials": trials,
-                "invariants_ok": invariant_ok,
-                "potential_ok": checks_ok,
+                "invariants_ok": sum(int(row.extra["invariant_ok"]) for row in cell),
+                "potential_ok": sum(int(row.extra["potential_ok"]) for row in cell),
             }
         )
 
     # -- Lemmas 5 and 6 on the bicriteria algorithm --------------------------------
     sc_sizes = [(16, 8), (32, 16)] if config.quick else [(16, 8), (32, 16), (64, 24), (128, 32)]
     for n, m in sc_sizes:
-        generators = spawn_generators(stable_seed(config.seed, n, m, "e7-bic"), trials)
-        invariant_ok = 0
-        max_potential_fraction = 0.0
-        for rng in generators:
-            system = random_set_system(n, m, min(0.5, 4.0 / m + 0.1), random_state=rng)
-            arrivals = repetition_heavy_arrivals(system, random_state=rng)
-            instance = SetCoverInstance(system, arrivals)
-            algorithm = make_setcover_algorithm(
-                "bicriteria", instance, eps=0.2, backend=config.engine
-            )
-            run_setcover(algorithm, instance)
-            opt = solve_set_multicover_ilp(system, instance.demands(), time_limit=config.ilp_time_limit)
-            report = check_bicriteria_state(algorithm, optimal_cost=opt.cost)
-            invariant_ok += int(report.ok)
-            max_potential_fraction = max(
-                max_potential_fraction,
-                algorithm.max_potential_seen / (max(algorithm.n, 2) ** 2),
-            )
+        spec = RunSpec(
+            problem="setcover",
+            factory=E6Workload(n, m),
+            algorithm="bicriteria",
+            algorithm_params={"eps": 0.2},
+            backend=config.backend,
+            record=config.record,
+            trials=trials,
+            jobs=config.engine.effective_jobs,
+            seed=stable_seed(config.seed, n, m, "e7-bic"),
+            offline="lp",  # the probe does its own exact solve; keep the row's comparator cheap
+            probe=Lemma56Probe(config.ilp_time_limit),
+            label=f"E7 lemma5+6 n={n} m={m}",
+        )
+        cell = runner.run(spec)
         result.rows.append(
             {
                 "check": "lemma5+6",
                 "size": f"n={n},m={m}",
                 "trials": trials,
-                "invariants_ok": invariant_ok,
-                "max_potential/n^2": max_potential_fraction,
+                "invariants_ok": sum(int(row.extra["invariant_ok"]) for row in cell),
+                "max_potential/n^2": max(row.extra["potential_fraction"] for row in cell),
             }
         )
     result.notes.append("invariants_ok must equal trials in every row; max_potential/n^2 must stay <= 1.")

@@ -7,17 +7,19 @@ polylogarithmic one is achievable.  The experiment plays the paper's
 algorithms and the baseline family on the adversarial workload suite and
 reports one row per (workload, algorithm) with the measured ratio, so the
 "who wins, by roughly what factor" shape can be read off directly.
+
+Each (workload, algorithm) pair is one single-trial
+:class:`~repro.api.spec.RunSpec` over the pre-built adversarial instance;
+the algorithm rng is pinned per pair (exactly the legacy seeds), so the
+numbers are unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.analysis.competitive import evaluate_admission_run
-from repro.core.protocols import run_admission
-from repro.engine.runtime import make_admission_algorithm
+from repro.api import FixedSeedAlgorithmFactory, Runner, RunSpec
 from repro.experiments.base import ExperimentConfig, ExperimentResult, register
-from repro.instances.compiled import compile_instance
 from repro.utils.rng import as_generator, stable_seed
 from repro.workloads import (
     benefit_objective_trap,
@@ -65,46 +67,45 @@ def _workloads(config: ExperimentConfig) -> Dict[str, Callable]:
     }
 
 
-def _algorithms(config: ExperimentConfig):
-    """Display label -> factory; every algorithm resolves through the registry."""
-    return {
-        label: lambda inst, rng, key=key, extra=extra: make_admission_algorithm(
-            key, inst, random_state=rng, backend=config.engine, **extra
-        )
-        for label, (key, extra) in ALGORITHM_TABLE.items()
-    }
-
-
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Run every algorithm on every adversarial workload and tabulate the ratios."""
     config = config or ExperimentConfig()
     result = ExperimentResult(EXPERIMENT_ID, TITLE, VALIDATES)
+    runner = Runner()
 
     for workload_name, make in _workloads(config).items():
         rng = as_generator(stable_seed(config.seed, workload_name, "e8"))
+        # One instance serves every algorithm on this workload; compilation
+        # is memoized on the instance, so one compile serves them all too.
         instance = make(rng)
-        # One compilation serves every algorithm on this workload (baselines
-        # without an indexed path fall back transparently).
-        compiled = compile_instance(instance) if config.compile else None
-        for algo_name, factory in _algorithms(config).items():
-            algo_rng = as_generator(stable_seed(config.seed, workload_name, algo_name, "e8"))
-            algorithm = factory(instance, algo_rng)
-            record = evaluate_admission_run(
-                instance,
-                run_admission(algorithm, instance, compiled=compiled),
+        for algo_name, (key, extra) in ALGORITHM_TABLE.items():
+            spec = RunSpec(
+                instance=instance,
+                algorithm=FixedSeedAlgorithmFactory(
+                    key,
+                    config.engine,
+                    stable_seed(config.seed, workload_name, algo_name, "e8"),
+                    tuple(sorted(extra.items())),
+                ),
+                backend=config.backend,
+                mode="compiled" if config.compile else "batch",
+                record=config.record,
+                trials=1,
                 offline="ilp",
                 ilp_time_limit=config.ilp_time_limit,
+                label=f"{workload_name} x {algo_name}",
             )
-            result.rows.append(
-                {
-                    "workload": workload_name,
-                    "algorithm": algo_name,
-                    "online": record.online_cost,
-                    "offline": record.offline_cost,
-                    "ratio": record.ratio,
-                    "feasible": record.feasible,
-                }
-            )
+            for row in runner.run(spec):
+                result.rows.append(
+                    {
+                        "workload": workload_name,
+                        "algorithm": algo_name,
+                        "online": row.online_cost,
+                        "offline": row.offline_cost,
+                        "ratio": row.ratio,
+                        "feasible": row.feasible,
+                    }
+                )
     result.notes.append(
         "Expected shape: the non-preemptive and benefit-maximising baselines blow up on "
         "cheap-then-expensive / long-vs-short / benefit-trap, while the paper's algorithms stay polylogarithmic."

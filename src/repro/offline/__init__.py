@@ -21,7 +21,11 @@ from repro.offline.admission_greedy import (
     greedy_accept_by_density,
 )
 from repro.offline.admission_ilp import IntegralSolution, solve_admission_ilp
-from repro.offline.admission_lp import FractionalSolution, solve_admission_lp
+from repro.offline.admission_lp import (
+    FractionalSolution,
+    solve_admission_lp,
+    solve_admission_lp_cached,
+)
 from repro.offline.set_multicover import (
     CoverSolution,
     FractionalCoverSolution,
@@ -39,6 +43,7 @@ __all__ = [
     "solve_admission_ilp",
     "FractionalSolution",
     "solve_admission_lp",
+    "solve_admission_lp_cached",
     "CoverSolution",
     "FractionalCoverSolution",
     "demands_from_instance",

@@ -28,7 +28,11 @@ from scipy.optimize import linprog
 
 from repro.instances.admission import AdmissionInstance
 
-__all__ = ["FractionalSolution", "solve_admission_lp"]
+__all__ = ["FractionalSolution", "solve_admission_lp", "solve_admission_lp_cached"]
+
+#: Attribute used to memoize the LP solution on the instance (mirrors the
+#: compiled-instance cache in :mod:`repro.instances.compiled`).
+_CACHE_ATTR = "_lp_solution_cache"
 
 
 @dataclass
@@ -106,3 +110,25 @@ def solve_admission_lp(instance: AdmissionInstance) -> FractionalSolution:
         requests[i].request_id: float(np.clip(result.x[i], 0.0, 1.0)) for i in range(n)
     }
     return FractionalSolution(cost=float(result.fun), fractions=fractions, status="optimal")
+
+
+def solve_admission_lp_cached(instance: AdmissionInstance) -> FractionalSolution:
+    """Like :func:`solve_admission_lp`, memoized on the instance.
+
+    The run-spec pipeline can need the fractional optimum several times for
+    one instance in one worker — the oracle-alpha algorithm factory, the LP
+    comparator, an invariant probe — and instances are immutable once built,
+    so the solution is cached on the instance exactly the way
+    :func:`repro.instances.compiled.compile_instance` caches its arrays.
+    Callers that mutate an instance in place (none in the library) must use
+    the uncached solver.
+    """
+    cached = getattr(instance, _CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+    solution = solve_admission_lp(instance)
+    try:
+        setattr(instance, _CACHE_ATTR, solution)
+    except (AttributeError, TypeError):  # pragma: no cover - exotic instance types
+        pass
+    return solution

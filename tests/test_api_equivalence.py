@@ -1,0 +1,219 @@
+"""Equivalence pins: `Runner.run(RunSpec(...))` reproduces every legacy path.
+
+The facade owns no numerics: a spec in ``batch`` / ``compiled`` /
+``streaming`` mode must reproduce the decision logs and competitive ratios of
+the corresponding legacy entry point (direct ``run_admission``, the compiled
+fast path, a hand-driven :class:`StreamingSession`), and a ``RunSpec.grid``
+must reproduce :class:`ScenarioSweep` — at 1e-9, on both weight backends.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analysis.competitive import evaluate_admission_run
+from repro.api import Runner, RunSpec
+from repro.core.protocols import run_admission
+from repro.engine.config import EngineConfig
+from repro.engine.executor import derive_seed_pairs
+from repro.engine.runtime import make_admission_algorithm
+from repro.engine.streaming import StreamingSession
+from repro.instances.compiled import compile_instance
+from repro.utils.rng import as_generator
+from repro.workloads import bursty_workload
+
+BACKENDS = ["python", "numpy"]
+SEEDS = [3, 11, 20050718]
+
+
+def make_instance(seed=7):
+    return bursty_workload(num_edges=12, num_requests=90, capacity=3, random_state=seed)
+
+
+def capture_decisions(instance, algorithm):
+    """Probe: the full decision log as comparable tuples."""
+    return {
+        "decisions": [
+            (d.request_id, str(d.kind), d.at_request) for d in algorithm.decisions()
+        ]
+    }
+
+
+def legacy_algorithm(instance, key, master_seed, backend, **kwargs):
+    """Build the algorithm with the exact rng a single-trial spec derives."""
+    _, algo_seed = derive_seed_pairs(master_seed, 1)[0]
+    return make_admission_algorithm(
+        key, instance, random_state=as_generator(algo_seed),
+        backend=EngineConfig(backend=backend), **kwargs
+    )
+
+
+def decision_log(result):
+    return [(d.request_id, str(d.kind), d.at_request) for d in result.decisions]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestBatchAndCompiledEquivalence:
+    def run_spec(self, instance, mode, backend, seed):
+        [row] = Runner().run(
+            RunSpec(
+                instance=instance, algorithm="doubling", backend=backend,
+                mode=mode, trials=1, seed=seed, offline="lp",
+                probe=capture_decisions,
+            )
+        )
+        return row
+
+    def test_batch_mode_matches_direct_run(self, backend, seed):
+        instance = make_instance()
+        row = self.run_spec(instance, "batch", backend, seed)
+        algorithm = legacy_algorithm(instance, "doubling", seed, backend)
+        result = run_admission(algorithm, instance)
+        record = evaluate_admission_run(instance, result, offline="lp")
+        assert row.extra["decisions"] == decision_log(result)
+        assert row.online_cost == pytest.approx(record.online_cost, abs=1e-9)
+        assert row.ratio == pytest.approx(record.ratio, abs=1e-9)
+
+    def test_compiled_mode_matches_compiled_run(self, backend, seed):
+        instance = make_instance()
+        row = self.run_spec(instance, "compiled", backend, seed)
+        algorithm = legacy_algorithm(instance, "doubling", seed, backend)
+        result = run_admission(algorithm, instance, compiled=compile_instance(instance))
+        record = evaluate_admission_run(instance, result, offline="lp")
+        assert row.extra["decisions"] == decision_log(result)
+        assert row.online_cost == pytest.approx(record.online_cost, abs=1e-9)
+        assert row.ratio == pytest.approx(record.ratio, abs=1e-9)
+
+    def test_streaming_mode_matches_session(self, backend, seed):
+        instance = make_instance()
+        row = self.run_spec(instance, "streaming", backend, seed)
+        algorithm = legacy_algorithm(instance, "doubling", seed, backend)
+        session = StreamingSession(
+            instance.capacities, algorithm=algorithm, name=instance.name
+        )
+        session.submit_stream(iter(instance.requests))
+        result = algorithm.result()
+        record = evaluate_admission_run(instance, result, offline="lp")
+        assert row.extra["decisions"] == decision_log(result)
+        assert row.online_cost == pytest.approx(record.online_cost, abs=1e-9)
+        assert row.ratio == pytest.approx(record.ratio, abs=1e-9)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestModeCrossEquivalence:
+    """The three execution modes agree with each other on every algorithm."""
+
+    @pytest.mark.parametrize("algorithm", ["fractional", "randomized", "doubling"])
+    def test_modes_agree(self, backend, algorithm):
+        instance = make_instance()
+        ratios = {}
+        for mode in ("batch", "compiled", "streaming"):
+            results = Runner().run(
+                RunSpec(
+                    instance=instance, algorithm=algorithm, backend=backend,
+                    mode=mode, trials=2, seed=5, offline="lp",
+                )
+            )
+            ratios[mode] = results.ratios()
+        assert ratios["batch"] == pytest.approx(ratios["compiled"], abs=1e-9)
+        assert ratios["batch"] == pytest.approx(ratios["streaming"], abs=1e-9)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSweepEquivalence:
+    def test_grid_reproduces_scenario_sweep(self, backend):
+        kwargs = dict(
+            scenarios=["cheap_expensive", "bursty"],
+            algorithms=["fractional", "randomized"],
+            backend=backend, num_trials=2, seed=13, offline="lp",
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.engine.sweep import ScenarioSweep
+
+            legacy = ScenarioSweep(**kwargs).run()
+        grid = RunSpec.grid(
+            kwargs["scenarios"], kwargs["algorithms"], backends=[backend],
+            seed=13, trials=2, offline="lp",
+        )
+        results = Runner().run(grid)
+        for (scenario, algorithm), summary in legacy.summaries.items():
+            cell = results.filter(source=scenario, algorithm=algorithm)
+            assert cell.ratios() == pytest.approx(summary.ratios(), abs=1e-9)
+            assert [r.online_cost for r in cell] == pytest.approx(
+                [rec.online_cost for rec in summary.records], abs=1e-9
+            )
+
+    def test_trials_deprecated_runner_matches_facade(self, backend):
+        """run_admission_trials (the deprecated batch-trials path) == facade."""
+        from repro.analysis.trials import run_admission_trials
+
+        def factory(rng):
+            return bursty_workload(num_edges=10, num_requests=60, capacity=3, random_state=rng)
+
+        def algorithm_factory(instance, rng):
+            return make_admission_algorithm(
+                "randomized", instance, random_state=rng,
+                backend=EngineConfig(backend=backend),
+            )
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = run_admission_trials(
+                factory, algorithm_factory, num_trials=3, random_state=21,
+                offline="lp", jobs=1,
+            )
+        results = Runner().run(
+            RunSpec(
+                factory=factory, algorithm=algorithm_factory, backend=backend,
+                mode="compiled", trials=3, seed=21, offline="lp",
+            )
+        )
+        assert results.ratios() == pytest.approx(legacy.ratios(), abs=1e-9)
+
+
+class TestCliRoutesThroughFacade:
+    def test_repro_run_uses_facade(self, monkeypatch):
+        """`repro run E1` executes through Runner.run_summary."""
+        import io
+
+        from repro.api import runner as runner_module
+        from repro.cli import main
+
+        calls = []
+        original = runner_module.Runner.run_summary
+
+        def spy(self, spec):
+            calls.append(spec)
+            return original(self, spec)
+
+        monkeypatch.setattr(runner_module.Runner, "run_summary", spy)
+        out = io.StringIO()
+        code = main(["run", "E1", "--quick", "--trials", "1"], out=out)
+        assert code == 0
+        assert calls, "repro run must dispatch through the run-spec facade"
+
+    def test_repro_sweep_uses_facade(self, monkeypatch):
+        import io
+
+        from repro.api import runner as runner_module
+        from repro.cli import main
+
+        calls = []
+        original = runner_module.Runner.run_summary
+
+        def spy(self, spec):
+            calls.append(spec)
+            return original(self, spec)
+
+        monkeypatch.setattr(runner_module.Runner, "run_summary", spy)
+        out = io.StringIO()
+        code = main(
+            ["sweep", "--scenarios", "cheap_expensive", "--algorithms",
+             "fractional", "--trials", "1"],
+            out=out,
+        )
+        assert code == 0
+        assert len(calls) == 1
+        assert calls[0].source_key == "cheap_expensive"

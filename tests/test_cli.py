@@ -36,6 +36,40 @@ class TestListCommand:
         for k in range(1, 11):
             assert f"E{k}" in output
 
+    def test_lists_every_registry_section(self):
+        code, output = run_cli(["list"])
+        assert code == 0
+        for heading in ("[experiments]", "[admission algorithms]", "[set-cover algorithms]",
+                        "[streaming algorithms]", "[scenarios]", "[weight backends]"):
+            assert heading in output
+        assert "fractional" in output
+        assert "bursty" in output
+        assert "numpy" in output
+
+    def test_list_single_section(self):
+        code, output = run_cli(["list", "backends"])
+        assert code == 0
+        assert output.split() == ["numpy", "python"]
+
+    def test_list_algorithms_keeps_registry_headings(self):
+        # Keys like "doubling" appear in several registries; the headings are
+        # what disambiguates them whenever more than one section prints.
+        code, output = run_cli(["list", "algorithms"])
+        assert code == 0
+        for heading in ("[admission algorithms]", "[set-cover algorithms]",
+                        "[streaming algorithms]"):
+            assert heading in output
+
+    def test_list_scenarios_matches_sweep_list_alias(self):
+        code_new, scenarios = run_cli(["list", "scenarios"])
+        code_old, alias = run_cli(["sweep", "--list"])
+        assert code_new == code_old == 0
+        assert scenarios == alias
+
+    def test_list_rejects_unknown_section(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list", "nonsense"])
+
 
 class TestRunCommand:
     def test_run_single_experiment_quick(self):

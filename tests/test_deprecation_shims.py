@@ -1,0 +1,127 @@
+"""Deprecation shims: the legacy entry points warn but keep their numerics."""
+
+import warnings
+
+import pytest
+
+from repro.analysis.trials import run_admission_trials, run_setcover_trials
+from repro.engine.runtime import make_admission_algorithm, make_setcover_algorithm
+from repro.workloads import bursty_workload, random_setcover_instance
+
+
+def admission_factory(rng):
+    return bursty_workload(num_edges=10, num_requests=50, capacity=3, random_state=rng)
+
+
+def admission_algorithm(instance, rng):
+    return make_admission_algorithm("randomized", instance, random_state=rng)
+
+
+def setcover_factory(rng):
+    return random_setcover_instance(20, 10, 30, random_state=rng)
+
+
+def setcover_algorithm(instance, rng):
+    return make_setcover_algorithm("reduction", instance, random_state=rng)
+
+
+class TestRunAdmissionTrialsShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="run_admission_trials.*RunSpec"):
+            run_admission_trials(
+                admission_factory, admission_algorithm,
+                num_trials=1, random_state=5, offline="lp",
+            )
+
+    def test_numerics_unchanged_under_the_warning(self):
+        """The shim delegates to the same suite the facade uses: same numbers."""
+        from repro.api import Runner, RunSpec
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = run_admission_trials(
+                admission_factory, admission_algorithm,
+                num_trials=3, random_state=17, offline="lp",
+            )
+        facade = Runner().run(
+            RunSpec(
+                factory=admission_factory, algorithm=admission_algorithm,
+                mode="compiled", trials=3, seed=17, offline="lp",
+            )
+        )
+        assert facade.ratios() == pytest.approx(legacy.ratios(), abs=1e-9)
+        assert [r.online_cost for r in facade] == pytest.approx(
+            [rec.online_cost for rec in legacy.records], abs=1e-9
+        )
+
+
+class TestRunSetcoverTrialsShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="run_setcover_trials.*setcover"):
+            run_setcover_trials(
+                setcover_factory, setcover_algorithm,
+                num_trials=1, random_state=5, offline="lp",
+            )
+
+    def test_numerics_unchanged_under_the_warning(self):
+        from repro.api import Runner, RunSpec
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = run_setcover_trials(
+                setcover_factory, setcover_algorithm,
+                num_trials=2, random_state=9, offline="lp",
+            )
+        facade = Runner().run(
+            RunSpec(
+                problem="setcover", factory=setcover_factory,
+                algorithm=setcover_algorithm, trials=2, seed=9, offline="lp",
+            )
+        )
+        assert facade.ratios() == pytest.approx(legacy.ratios(), abs=1e-9)
+
+
+class TestScenarioSweepShim:
+    def test_emits_deprecation_warning(self):
+        from repro.engine.sweep import ScenarioSweep
+
+        with pytest.warns(DeprecationWarning, match="ScenarioSweep.*RunSpec.grid"):
+            ScenarioSweep(["cheap_expensive"], ["fractional"], num_trials=1)
+
+    def test_numerics_unchanged_under_the_warning(self):
+        from repro.api import Runner, RunSpec
+        from repro.engine.sweep import ScenarioSweep
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = ScenarioSweep(
+                ["cheap_expensive", "bursty"], ["fractional", "randomized"],
+                num_trials=2, seed=23, offline="lp",
+            ).run()
+        facade = Runner().run(
+            RunSpec.grid(
+                ["cheap_expensive", "bursty"], ["fractional", "randomized"],
+                seed=23, trials=2, offline="lp",
+            )
+        )
+        for (scenario, algorithm), summary in legacy.summaries.items():
+            cell = facade.filter(source=scenario, algorithm=algorithm)
+            assert cell.ratios() == pytest.approx(summary.ratios(), abs=1e-9)
+
+    def test_streaming_baseline_fallback_still_works(self):
+        """Legacy sweeps could stream baselines; the shim must keep that."""
+        from repro.engine.sweep import ScenarioSweep
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            batch = ScenarioSweep(
+                ["cheap_expensive"], ["reject-when-full"], num_trials=1, seed=3,
+            ).run()
+            streamed = ScenarioSweep(
+                ["cheap_expensive"], ["reject-when-full"], num_trials=1, seed=3,
+                streaming=True,
+            ).run()
+        cell = ("cheap_expensive", "reject-when-full")
+        assert streamed.summaries[cell].ratios() == pytest.approx(
+            batch.summaries[cell].ratios(), abs=1e-9
+        )

@@ -141,9 +141,17 @@ class TestExperimentsResolveViaRegistry:
 
     @pytest.mark.parametrize("k", range(1, 11))
     def test_experiment_builds_through_registry_helpers(self, k):
-        """The experiment source goes through the registry, not direct classes."""
+        """The experiment source goes through the registry, not direct classes.
+
+        Registry resolution takes one of two shapes: the direct
+        ``make_admission_algorithm`` / ``make_setcover_algorithm`` helpers,
+        or — since the unified run-spec API — a ``RunSpec`` whose algorithm
+        key the Runner resolves through the same registries.
+        """
         module = inspect.getmodule(EXPERIMENTS.get(f"E{k}"))
         source = inspect.getsource(module)
-        assert "make_admission_algorithm" in source or "make_setcover_algorithm" in source, (
-            f"E{k} does not resolve its algorithms through the engine registry"
-        )
+        assert (
+            "make_admission_algorithm" in source
+            or "make_setcover_algorithm" in source
+            or "RunSpec" in source
+        ), f"E{k} does not resolve its algorithms through the engine registry"
