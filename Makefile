@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint typecheck examples-smoke serve-smoke bench-smoke bench-baseline bench-suite profile ci
+.PHONY: test lint typecheck examples-smoke serve-smoke bench-smoke bench-baseline bench-suite profile profile-scaling ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -62,6 +62,14 @@ bench-smoke:
 profile:
 	$(PYTHON) -m cProfile -o .profile_e3.pstats -m repro run E3 --quick --trials 1
 	$(PYTHON) -c "import pstats; pstats.Stats('.profile_e3.pstats').sort_stats('cumulative').print_stats(20)"
+
+# cProfile the scaling_10k bench (the whole-trace executor's hot loop) on the
+# numpy backend and dump the top-25 cumulative entries.  This is the profile
+# that motivated the vectorized executor: on the saturated canonical workload
+# the time sits in the per-augmentation restore ufuncs, not in dispatch.
+profile-scaling:
+	$(PYTHON) -c "import cProfile; from repro.engine.benchmarking import run_scaling_bench; cProfile.run(\"print(run_scaling_bench('numpy'))\", '.profile_scaling.pstats')"
+	$(PYTHON) -c "import pstats; pstats.Stats('.profile_scaling.pstats').sort_stats('cumulative').print_stats(25)"
 
 # Refresh the committed baseline after an intentional perf change.
 bench-baseline:

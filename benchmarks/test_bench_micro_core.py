@@ -16,8 +16,10 @@ from repro.core.protocols import run_admission, run_setcover
 from repro.core.randomized import RandomizedAdmissionControl
 from repro.core.setcover_reduction import OnlineSetCoverViaAdmissionControl
 from repro.engine.benchmarking import (
+    SCALING_THROUGHPUT_FLOOR,
     run_scaling_bench,
     run_weight_update_bench,
+    scaling_100k_workload,
     scaling_workload,
     weight_update_workload,
 )
@@ -67,7 +69,13 @@ SCALING_WORKLOAD = scaling_workload()
 
 @pytest.mark.parametrize("backend", WEIGHT_BACKENDS.keys())
 def test_bench_scaling_10k_backend(benchmark, backend, bench_recorder):
-    """End-to-end cost of the compiled fractional pipeline at 10k requests."""
+    """End-to-end cost of the compiled fractional pipeline at 10k requests.
+
+    Runs through the whole-trace vectorized executor (the production default)
+    and enforces the absolute per-backend throughput floor the CLI bench gate
+    uses: backends listed in ``SCALING_THROUGHPUT_FLOOR`` must clear their
+    floor on the better of two rounds.
+    """
 
     def run():
         return run_scaling_bench(backend, SCALING_WORKLOAD)
@@ -80,6 +88,61 @@ def test_bench_scaling_10k_backend(benchmark, backend, bench_recorder):
         backend,
         augmentations=result.augmentations,
         requests=SCALING_WORKLOAD.num_requests,
+        requests_per_sec=result.requests_per_sec,
+    )
+    assert result.augmentations > 0
+    assert result.fractional_cost > 0.0
+    floor = SCALING_THROUGHPUT_FLOOR.get(backend)
+    if floor is not None:
+        assert result.requests_per_sec >= floor, (
+            f"scaling_10k[{backend}] at {result.requests_per_sec:,.0f} req/s is below "
+            f"the {floor:,.0f} req/s absolute floor"
+        )
+
+
+def test_bench_scaling_10k_scalar_numpy(benchmark, bench_recorder):
+    """Per-arrival escape hatch (``vectorized=False``) on the same workload.
+
+    Tracked so the dispatch-overhead delta the vectorized executor removes
+    stays visible PR-over-PR; never gated (the escape hatch optimises for
+    debuggability, not throughput).
+    """
+
+    def run():
+        return run_scaling_bench("numpy", SCALING_WORKLOAD, vectorized=False)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    result = min((result, run()), key=lambda r: r.seconds)
+    bench_recorder(
+        "scaling_10k_scalar[numpy]",
+        result.seconds,
+        "numpy",
+        augmentations=result.augmentations,
+        requests=SCALING_WORKLOAD.num_requests,
+        requests_per_sec=result.requests_per_sec,
+    )
+    assert result.augmentations > 0
+
+
+#: 10x the arrivals, same shape: amortizes fixed costs away so the number is
+#: almost purely the steady-state executor throughput.
+SCALING_100K_WORKLOAD = scaling_100k_workload()
+
+
+def test_bench_scaling_100k_numpy(benchmark, bench_recorder):
+    """Steady-state executor throughput at 100k requests (single round)."""
+
+    def run():
+        return run_scaling_bench("numpy", SCALING_100K_WORKLOAD, name="scaling_100k")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    bench_recorder(
+        "scaling_100k[numpy]",
+        result.seconds,
+        "numpy",
+        augmentations=result.augmentations,
+        requests=SCALING_100K_WORKLOAD.num_requests,
+        requests_per_sec=result.requests_per_sec,
     )
     assert result.augmentations > 0
     assert result.fractional_cost > 0.0

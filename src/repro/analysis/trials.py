@@ -130,12 +130,17 @@ class _TrialSpec:
     ilp_time_limit: Optional[float]
     compile_instances: bool = True
     streaming: bool = False
+    #: Route compiled runs through the whole-trace executor (never changes a
+    #: number; ``False`` is the per-arrival escape hatch).
+    vectorized: bool = True
     #: Optional ``(instance, algorithm) -> mapping`` measurement hook, run in
     #: the worker right after the online run; merged into the record's extras.
     probe: Optional[Callable[[Any, Any], Mapping[str, Any]]] = None
 
 
-def _stream_through_session(instance: AdmissionInstance, algorithm) -> None:
+def _stream_through_session(
+    instance: AdmissionInstance, algorithm, *, vectorized: bool = True
+) -> None:
     """Feed an instance through a :class:`StreamingSession` micro-batch loop.
 
     Decisions are identical to the batch pipelines (same per-arrival float
@@ -144,12 +149,19 @@ def _stream_through_session(instance: AdmissionInstance, algorithm) -> None:
     """
     from repro.engine.streaming import StreamingSession
 
-    session = StreamingSession(instance.capacities, algorithm=algorithm, name=instance.name)
+    session = StreamingSession(
+        instance.capacities, algorithm=algorithm, vectorized=vectorized, name=instance.name
+    )
     session.submit_stream(iter(instance.requests))
 
 
 def _evaluate_fractional_trial(
-    instance: AdmissionInstance, algorithm, *, compile_instances: bool, streaming: bool = False
+    instance: AdmissionInstance,
+    algorithm,
+    *,
+    compile_instances: bool,
+    streaming: bool = False,
+    vectorized: bool = True,
 ) -> CompetitiveRecord:
     """Evaluate a fractional-style algorithm (no integral ``result()``).
 
@@ -161,8 +173,15 @@ def _evaluate_fractional_trial(
     """
     start = time.perf_counter()
     if streaming:
-        _stream_through_session(instance, algorithm)
+        _stream_through_session(instance, algorithm, vectorized=vectorized)
+    elif compile_instances and hasattr(algorithm, "process_compiled_range"):
+        compiled = compile_instance(instance)
+        algorithm.process_compiled_range(
+            compiled, 0, compiled.num_requests, vectorized=vectorized
+        )
     else:
+        # Fractional-style algorithms without a range path (the doubling
+        # wrapper, externally-built objects) keep the sequence entry point.
         algorithm.process_sequence(
             compile_instance(instance) if compile_instances else instance.requests
         )
@@ -211,11 +230,12 @@ def _run_trial(spec: _TrialSpec) -> CompetitiveRecord:
                 algorithm,
                 compile_instances=spec.compile_instances,
                 streaming=spec.streaming,
+                vectorized=spec.vectorized,
             )
             return _apply_probe(spec, record, instance, algorithm)
         start = time.perf_counter()
         if spec.streaming:
-            _stream_through_session(instance, algorithm)
+            _stream_through_session(instance, algorithm, vectorized=spec.vectorized)
             result = algorithm.result()
         else:
             compiled = (
@@ -223,7 +243,9 @@ def _run_trial(spec: _TrialSpec) -> CompetitiveRecord:
                 if spec.compile_instances and hasattr(algorithm, "process_indexed")
                 else None
             )
-            result = run_admission(algorithm, instance, compiled=compiled)
+            result = run_admission(
+                algorithm, instance, compiled=compiled, vectorized=spec.vectorized
+            )
         online_seconds = time.perf_counter() - start
         record = evaluate_admission_run(
             instance,
@@ -277,6 +299,7 @@ def execute_trial_suite(
     jobs: int = 1,
     compile_instances: bool = True,
     streaming: bool = False,
+    vectorized: bool = True,
     probe: Optional[Callable[[Any, Any], Mapping[str, Any]]] = None,
 ) -> TrialSummary:
     """Run a suite of independent trials and aggregate the records.
@@ -299,6 +322,7 @@ def execute_trial_suite(
             ilp_time_limit=ilp_time_limit,
             compile_instances=compile_instances,
             streaming=streaming,
+            vectorized=vectorized,
             probe=probe,
         )
         for instance_seed, algo_seed in derive_seed_pairs(random_state, num_trials)

@@ -69,6 +69,7 @@ class Runner:
             jobs=spec.jobs,
             compile_instances=spec.mode == "compiled",
             streaming=spec.mode == "streaming",
+            vectorized=spec.vectorized,
             probe=spec.probe,
         )
 
@@ -91,6 +92,7 @@ class Runner:
             jobs=1,  # worker-side: trials already fanned out by the suite
             compile=spec.mode != "batch",
             record=spec.record,
+            vectorized=spec.vectorized,
         )
         return RegistryAlgorithmFactory(
             spec.algorithm, config, spec.algorithm_param_pairs, spec.problem

@@ -112,6 +112,11 @@ class RunSpec:
     record:
         Materialize per-arrival weight-mechanism diagnostics (as everywhere
         else in the engine; never changes a reported number).
+    vectorized:
+        Route compiled runs through the whole-trace executor
+        (:mod:`repro.engine.vectorized`) — the ``mode="compiled"`` default
+        fast path.  ``RunSpec(vectorized=False)`` is the per-arrival escape
+        hatch; like ``record`` it never changes a reported number.
     offline:
         Offline comparator for integral algorithms: ``"lp"`` (fast lower
         bound, the default) or ``"ilp"`` (exact OPT).  Fractional algorithms
@@ -145,6 +150,7 @@ class RunSpec:
     jobs: int = 1
     seed: int = 0
     record: bool = True
+    vectorized: bool = True
     offline: str = "lp"
     ilp_time_limit: Optional[float] = 20.0
     randomized_bound: bool = True

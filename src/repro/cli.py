@@ -75,12 +75,15 @@ from repro.analysis import evaluate_admission_run, evaluate_setcover_run, format
 from repro.core import run_admission, run_setcover
 from repro.engine.benchmarking import (
     REGRESSION_FACTOR,
+    SCALING_THROUGHPUT_FLOOR,
+    check_throughput_floor,
     compare_to_baseline,
     default_baseline_path,
     run_scaling_bench,
     run_stream_resume_bench,
     run_sweep_bench,
     run_weight_update_bench,
+    scaling_100k_workload,
     scaling_workload,
     stream_resume_workload,
     sweep_workload,
@@ -596,9 +599,33 @@ def _cmd_bench(args, out) -> int:
         print(
             f"scaling_10k[{result.backend}]: {result.seconds:.3f}s "
             f"({scaling.num_requests} requests end-to-end, "
-            f"{result.augmentations} augmentations)",
+            f"{result.augmentations} augmentations, "
+            f"{result.requests_per_sec:,.0f} req/s)",
             file=out,
         )
+    for backend in _backend_choices():
+        result = run_scaling_bench(backend, scaling, vectorized=False)
+        results.append(result)
+        print(
+            f"scaling_10k_scalar[{result.backend}]: {result.seconds:.3f}s "
+            f"(per-arrival escape hatch, {result.requests_per_sec:,.0f} req/s)",
+            file=out,
+        )
+    scaling_100k = scaling_100k_workload()
+    if not args.quick:
+        # 100k arrivals only on the backends the throughput floor gates — the
+        # scalar reference backend would dominate the bench's wall clock.
+        for backend in _backend_choices():
+            if backend not in SCALING_THROUGHPUT_FLOOR:
+                continue
+            result = run_scaling_bench(backend, scaling_100k, name="scaling_100k")
+            results.append(result)
+            print(
+                f"scaling_100k[{result.backend}]: {result.seconds:.3f}s "
+                f"({scaling_100k.num_requests} requests end-to-end, "
+                f"{result.requests_per_sec:,.0f} req/s)",
+                file=out,
+            )
     sweep = sweep_workload()
     for backend in _backend_choices():
         result = run_sweep_bench(backend, sweep)
@@ -635,6 +662,7 @@ def _cmd_bench(args, out) -> int:
             "workloads": {
                 "weight_update": dataclasses.asdict(workload),
                 "scaling_10k": dataclasses.asdict(scaling),
+                "scaling_100k": dataclasses.asdict(scaling_100k),
                 "sweep_small": dataclasses.asdict(sweep),
                 "stream_resume": dataclasses.asdict(stream),
             },
@@ -646,7 +674,8 @@ def _cmd_bench(args, out) -> int:
         return 0
 
     lines, failures = compare_to_baseline(results, baseline_path)
-    for line in lines:
+    floor_lines, floor_failures = check_throughput_floor(results)
+    for line in lines + floor_lines:
         print(line, file=out)
     if failures:
         print(
@@ -658,6 +687,10 @@ def _cmd_bench(args, out) -> int:
             "on different hardware refresh it with `make bench-baseline` before gating",
             file=out,
         )
+        return 1
+    if floor_failures:
+        for line in floor_failures:
+            print(f"FAIL: {line}", file=out)
         return 1
     print("benchmark gate passed", file=out)
     return 0

@@ -205,9 +205,19 @@ class DoublingFractionalAdmissionControl:
         )
 
     def process_sequence(
-        self, requests: Union["CompiledInstance", RequestSequence, Iterable[Request]]
+        self,
+        requests: Union["CompiledInstance", RequestSequence, Iterable[Request]],
+        *,
+        vectorized: bool = True,
     ) -> FractionalRunResult:
-        """Process a whole sequence (compiled or not) and return the run summary."""
+        """Process a whole sequence (compiled or not) and return the run summary.
+
+        ``vectorized`` is accepted for interface parity with the plain
+        fractional algorithm and ignored: the guess updates of the doubling
+        scheme fire between *every* pair of arrivals, so the whole-trace
+        executor's bulk stretches do not apply (see ARCHITECTURE.md).
+        """
+        del vectorized
         if isinstance(requests, CompiledInstance):
             for i in range(requests.num_requests):
                 self.process_indexed(requests, i)

@@ -316,10 +316,32 @@ class FractionalAdmissionControl:
             edge_idxs = translate[edge_idxs]
         return edge_idxs
 
-    def process_compiled_sequence(self, compiled: CompiledInstance) -> FractionalRunResult:
-        """Process every arrival of a compiled instance and return the summary."""
-        for i in range(compiled.num_requests):
+    def process_compiled_range(
+        self, compiled: CompiledInstance, lo: int, hi: int, *, vectorized: bool = True
+    ) -> None:
+        """Process the contiguous arrival range ``[lo, hi)`` of a compiled instance.
+
+        With ``vectorized=True`` (the default) the range goes through the
+        whole-trace executor of :mod:`repro.engine.vectorized`, which batches
+        provably inert stretches and fuses the rest — same decisions,
+        fractions, weights and exceptions as the per-arrival loop.  Subclasses
+        that customise :meth:`process_indexed` (the guess-and-double wrapper)
+        automatically fall back to the per-arrival loop so their hooks keep
+        firing.
+        """
+        if vectorized and type(self).process_indexed is FractionalAdmissionControl.process_indexed:
+            from repro.engine.vectorized import run_compiled_trace
+
+            run_compiled_trace(self, compiled, lo, hi)
+            return
+        for i in range(lo, hi):
             self.process_indexed(compiled, i)
+
+    def process_compiled_sequence(
+        self, compiled: CompiledInstance, *, vectorized: bool = True
+    ) -> FractionalRunResult:
+        """Process every arrival of a compiled instance and return the summary."""
+        self.process_compiled_range(compiled, 0, compiled.num_requests, vectorized=vectorized)
         return self.run_result()
 
     def _reject_small(self, request: Request) -> FractionalDecision:
@@ -471,16 +493,20 @@ class FractionalAdmissionControl:
         return cls(instance.capacities, **kwargs)
 
     def process_sequence(
-        self, requests: Union[CompiledInstance, RequestSequence, Iterable[Request]]
+        self,
+        requests: Union[CompiledInstance, RequestSequence, Iterable[Request]],
+        *,
+        vectorized: bool = True,
     ) -> FractionalRunResult:
         """Process a whole request sequence and return the run summary.
 
         A :class:`~repro.instances.compiled.CompiledInstance` is routed
-        through the array-native fast path; anything else streams through
-        :meth:`process` request by request.
+        through the array-native fast path (whole-trace vectorized unless
+        ``vectorized=False``); anything else streams through :meth:`process`
+        request by request.
         """
         if isinstance(requests, CompiledInstance):
-            return self.process_compiled_sequence(requests)
+            return self.process_compiled_sequence(requests, vectorized=vectorized)
         for request in requests:
             self.process(request)
         return self.run_result()

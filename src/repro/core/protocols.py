@@ -238,15 +238,22 @@ def run_admission(
     instance: AdmissionInstance,
     *,
     compiled: Optional["CompiledInstance"] = None,
+    vectorized: bool = True,
 ) -> AdmissionResult:
     """Feed every request of ``instance`` to ``algorithm`` and return the result.
 
     When a :class:`~repro.instances.compiled.CompiledInstance` view of the
-    same instance is supplied and the algorithm exposes ``process_indexed``,
-    arrivals stream through the array-native fast path; otherwise the classic
-    per-request path is used.  Results are identical either way.
+    same instance is supplied and the algorithm exposes
+    ``process_compiled_range`` (the whole-trace executor; ``vectorized=False``
+    is the per-arrival escape hatch) or ``process_indexed``, arrivals stream
+    through the array-native fast path; otherwise the classic per-request
+    path is used.  Results are identical either way.
     """
-    if compiled is not None and hasattr(algorithm, "process_indexed"):
+    if compiled is not None and hasattr(algorithm, "process_compiled_range"):
+        algorithm.process_compiled_range(
+            compiled, 0, compiled.num_requests, vectorized=vectorized
+        )
+    elif compiled is not None and hasattr(algorithm, "process_indexed"):
         for i in range(compiled.num_requests):
             algorithm.process_indexed(compiled, i)
     else:

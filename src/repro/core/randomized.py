@@ -39,6 +39,7 @@ from repro.core.fractional import CostClass, FractionalAdmissionControl, Fractio
 from repro.core.protocols import OnlineAdmissionAlgorithm
 from repro.engine.backends import BackendSpec
 from repro.engine.registry import ADMISSION_ALGORITHMS
+from repro.engine.sampling import bernoulli_batch
 from repro.instances.admission import AdmissionInstance
 from repro.instances.request import Decision, EdgeId, Request
 from repro.instances.serialize import (
@@ -232,14 +233,10 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
                 elif self._evict(rid, arriving_id):
                     self.num_threshold_rejections += 1
 
-        # Step 3: independent coin per weight increase.
-        for rid, delta in sorted(frac.outcome.deltas.items()):
-            if self._shadow.cost_class(rid) != CostClass.NORMAL:
-                continue
-            probability = min(1.0, self.prob_factor * delta)
-            if probability <= 0.0:
-                continue
-            if self.rng.random() < probability:
+        # Step 3: independent coin per weight increase, batched into one
+        # generator call (stream-identical to per-request draws).
+        for rid, hit in self._step3_coins(frac.outcome.deltas):
+            if hit:
                 if rid == arriving_id:
                     arriving_rejected = True
                 elif self._evict(rid, arriving_id):
@@ -270,13 +267,9 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
                 if self._shadow.weight_state.weight(rid) >= self.weight_threshold:
                     if self._evict(rid, arriving_id):
                         self.num_threshold_rejections += 1
-            for rid, delta in sorted(frac.outcome.deltas.items()):
-                if self._shadow.cost_class(rid) != CostClass.NORMAL:
-                    continue
-                probability = min(1.0, self.prob_factor * delta)
-                if probability > 0.0 and self.rng.random() < probability:
-                    if self._evict(rid, arriving_id):
-                        self.num_coin_rejections += 1
+            for rid, hit in self._step3_coins(frac.outcome.deltas):
+                if hit and self._evict(rid, arriving_id):
+                    self.num_coin_rejections += 1
 
         decision = self._accept(request)
         self._restore_feasibility(request.ordered_edges, arriving_id)
@@ -318,6 +311,31 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
                 self.num_feasibility_preemptions += 1
 
     # -- helpers -----------------------------------------------------------------------------
+    def _step3_coins(self, deltas: Mapping[int, float]):
+        """The step-3 coin flips for one arrival's weight deltas, batched.
+
+        Yields ``(request_id, hit)`` for every NORMAL request whose rejection
+        probability is positive, in sorted-id order.  All coins come from one
+        ``rng.random(k)`` call, which consumes the PCG64 stream exactly like
+        ``k`` scalar draws — the trajectory is bit-identical to the
+        per-request loop for the same seed (requests with zero probability
+        are skipped before drawing, as the scalar loop did).
+        """
+        shadow_class = self._shadow.cost_class
+        rids = []
+        probs = []
+        for rid, delta in sorted(deltas.items()):
+            if shadow_class(rid) != CostClass.NORMAL:
+                continue
+            probability = min(1.0, self.prob_factor * delta)
+            if probability <= 0.0:
+                continue
+            rids.append(rid)
+            probs.append(probability)
+        if not rids:
+            return []
+        return zip(rids, bernoulli_batch(self.rng, probs).tolist())
+
     def _evict(self, request_id: int, at_request: int) -> bool:
         """Preempt ``request_id`` if it is currently accepted; True if something happened."""
         if request_id in self._permanent:

@@ -51,6 +51,10 @@ from repro.engine.runtime import (
     make_setcover_algorithm,
 )
 
+# Registers the optional "numba" backend when numba is installed (a no-op
+# otherwise); must come after the backends import it builds on.
+from repro.engine import numba_backend as _numba_backend  # noqa: E402,F401
+
 def __getattr__(name: str):
     # Lazy: repro.engine.sweep imports repro.analysis (which imports
     # repro.core, which imports repro.engine.registry); importing it at the

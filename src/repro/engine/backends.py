@@ -339,7 +339,19 @@ class WeightBackend:
         self._decrease_capacity_indexed(k, amount)
 
     def _decrease_capacity_indexed(self, eidx: int, amount: int = 1) -> None:
-        self._cap[eidx] = max(0, self._cap[eidx] - amount)
+        self._decrease_capacities_indexed((eidx,), amount)
+
+    def _decrease_capacities_indexed(self, edge_idxs: Sequence[int], amount: int = 1) -> None:
+        """Decrease several edges' capacities in one call (floor at zero).
+
+        The batch primitive behind :meth:`process_capacity_reduction_batch`;
+        the scalar :meth:`_decrease_capacity_indexed` delegates here so the
+        clamping rule lives in exactly one place.
+        """
+        cap = self._cap
+        for eidx in edge_idxs:
+            new = cap[eidx] - amount
+            cap[eidx] = new if new > 0 else 0
 
     def excess(self, edge: EdgeId) -> int:
         """``n_e = |ALIVE_e| - c_e`` (may be negative)."""
@@ -455,12 +467,71 @@ class WeightBackend:
         With ``record=False`` no outcome is materialized.
         """
         idxs = self._normalize_indices(edge_idxs)
-        for eidx in idxs:
-            self._decrease_capacity_indexed(eidx, amount)
+        self._decrease_capacities_indexed(idxs, amount)
         outcome = ArrivalOutcome(request_id=triggered_by) if record else None
         for eidx in idxs:
             self._restore_edge_indexed(eidx, triggered_by, outcome)
         return outcome
+
+    # -- whole-trace executor protocol (see repro.engine.vectorized) -------------------
+    def _alive_counts_array(self) -> np.ndarray:
+        """``int64[m]`` of per-edge alive counts (the executor's horizon scan).
+
+        The base implementation loops the scalar query; array-backed backends
+        override it with a bulk view.  Called once per executor scheduling
+        cycle, never per arrival.
+        """
+        return np.fromiter(
+            (self._alive_count_indexed(k) for k in range(self.num_edges)),
+            dtype=np.int64,
+            count=self.num_edges,
+        )
+
+    def register_batch_indexed(
+        self,
+        request_ids: Sequence[int],
+        costs: np.ndarray,
+        flat_edge_idxs: np.ndarray,
+        offsets: np.ndarray,
+    ) -> None:
+        """Register a run of requests (weight 0) in arrival order, in one call.
+
+        Request ``r`` carries cost ``costs[r]`` and the dense edge indices
+        ``flat_edge_idxs[offsets[r]:offsets[r + 1]]``.  Equivalent to calling
+        :meth:`_register_indexed` per request in order — the whole-trace
+        executor uses it for stretches it has proven cannot trigger any
+        augmentation, where registration order is the only thing that matters.
+        """
+        fl = flat_edge_idxs.tolist()
+        offs = offsets.tolist()
+        for r, rid in enumerate(request_ids):
+            self._register_indexed(rid, tuple(fl[offs[r] : offs[r + 1]]), float(costs[r]))
+
+    def process_arrival_block_indexed(
+        self,
+        request_ids: Sequence[int],
+        costs: np.ndarray,
+        flat_edge_idxs: np.ndarray,
+        offsets: np.ndarray,
+    ) -> np.ndarray:
+        """Record-free :meth:`process_arrival_indexed` over a run of arrivals.
+
+        Returns ``float64[k]`` of each request's own rejected fraction
+        ``min(f_i, 1)`` captured right after its arrival (later arrivals in
+        the same block may grow it further).  The base implementation loops
+        the scalar fast path; array-backed backends override it with a fused
+        per-block kernel.  Weights, kills and the augmentation counter evolve
+        exactly as with per-arrival processing.
+        """
+        fractions = np.empty(len(request_ids), dtype=np.float64)
+        fl = flat_edge_idxs.tolist()
+        offs = offsets.tolist()
+        for r, rid in enumerate(request_ids):
+            self.process_arrival_indexed(
+                rid, tuple(fl[offs[r] : offs[r + 1]]), float(costs[r]), record=False
+            )
+            fractions[r] = min(self.weight(rid), 1.0)
+        return fractions
 
     # -- checkpoint state (used by the streaming layer) --------------------------------
     def _request_ids_in_order(self) -> List[int]:
@@ -870,6 +941,85 @@ class NumpyWeightBackend(WeightBackend):
             else:
                 requests.append(request_id)
 
+    def _edge_extend(self, eidx: int, slots: np.ndarray) -> None:
+        """Append a run of slots to an edge's vector (amortised growth)."""
+        k = slots.shape[0]
+        arr = self._edge_slots[eidx]
+        used = self._edge_used[eidx] if arr is not None else 0
+        need = used + k
+        if arr is None or need > arr.shape[0]:
+            grown = np.empty(max(8, 2 * need), dtype=np.intp)
+            if used:
+                grown[:used] = arr[:used]
+            self._edge_slots[eidx] = arr = grown
+        arr[used:need] = slots
+        self._edge_used[eidx] = need
+
+    def register_batch_indexed(
+        self,
+        request_ids: Sequence[int],
+        costs: np.ndarray,
+        flat_edge_idxs: np.ndarray,
+        offsets: np.ndarray,
+    ) -> None:
+        k = len(request_ids)
+        if k == 0:
+            return
+        slot_of = self._slot
+        seen: Set[int] = set()
+        for rid in request_ids:
+            if rid in slot_of or rid in seen:
+                raise ValueError(f"request {rid} already registered")
+            seen.add(rid)
+        while self._w.shape[0] < self._n + k:
+            size = 2 * self._w.shape[0]
+            for attr, fill in (("_w", 0.0), ("_cost", 1.0)):
+                old = getattr(self, attr)
+                grown = np.full(size, fill, dtype=np.float64)
+                grown[: old.shape[0]] = old
+                setattr(self, attr, grown)
+            alive = np.zeros(size, dtype=bool)
+            alive[: self._alive.shape[0]] = self._alive
+            self._alive = alive
+        base = self._n
+        self._n = base + k
+        self._w[base : base + k] = 0.0
+        self._cost[base : base + k] = costs
+        self._alive[base : base + k] = True
+        fl = flat_edge_idxs.tolist()
+        offs = offsets.tolist()
+        ids = self._ids
+        by_id = self._edge_idxs_by_id
+        for r, rid in enumerate(request_ids):
+            ids.append(rid)
+            slot_of[rid] = base + r
+            by_id[rid] = tuple(fl[offs[r] : offs[r + 1]])
+        # Per-edge appends, grouped: a stable sort of the flat CSR entries by
+        # edge keeps each edge's entries in arrival order, so the resulting
+        # slot vectors are byte-identical to per-request _edge_append calls.
+        lengths = np.diff(offsets)
+        entry_slots = np.repeat(np.arange(base, base + k, dtype=np.intp), lengths)
+        entry_req = np.repeat(np.arange(k, dtype=np.intp), lengths)
+        order = np.argsort(flat_edge_idxs, kind="stable")
+        sorted_edges = flat_edge_idxs[order]
+        sorted_slots = entry_slots[order]
+        sorted_req = entry_req[order].tolist()
+        bounds = np.nonzero(np.diff(sorted_edges))[0] + 1
+        starts = [0, *bounds.tolist(), sorted_edges.shape[0]]
+        edge_alive = self._edge_alive
+        edge_requests = self._edge_requests
+        for b in range(len(starts) - 1):
+            lo, hi = starts[b], starts[b + 1]
+            eidx = int(sorted_edges[lo])
+            self._edge_extend(eidx, sorted_slots[lo:hi])
+            edge_alive[eidx] += hi - lo
+            rids = [request_ids[sorted_req[t]] for t in range(lo, hi)]
+            requests = edge_requests[eidx]
+            if requests is None:
+                edge_requests[eidx] = rids
+            else:
+                requests.extend(rids)
+
     # -- queries -----------------------------------------------------------------
     def weight(self, request_id: int) -> float:
         return float(self._w[self._slot[request_id]])
@@ -897,6 +1047,9 @@ class NumpyWeightBackend(WeightBackend):
 
     def _alive_count_indexed(self, eidx: int) -> int:
         return self._edge_alive[eidx]
+
+    def _alive_counts_array(self) -> np.ndarray:
+        return np.asarray(self._edge_alive, dtype=np.int64)
 
     def _alive_weight_sum_indexed(self, eidx: int) -> float:
         return float(self._w[self._alive_slots(eidx)].sum())
@@ -1026,6 +1179,129 @@ class NumpyWeightBackend(WeightBackend):
             for k in changed.tolist():
                 rid = ids[int(first_idx[k])]
                 deltas[rid] = deltas.get(rid, 0.0) + float(diff[k])
+
+    # -- whole-trace block kernel (see repro.engine.vectorized) ------------------------
+    def _restore_edge_norecord(self, eidx: int, cap: int) -> None:
+        """Record-free restore with a tracked kill-check upper bound.
+
+        Performs the exact same weight mutations (same gathers, same
+        multiplies, same pairwise sums, same kills) as
+        :meth:`_restore_edge_indexed` with ``outcome=None``, but replaces the
+        per-iteration ``w.max()`` reduction with a scalar upper bound
+        ``ub' = ub * max(factor)``: IEEE-754 rounding is monotone, so the
+        tracked bound never falls below the true maximum and the real
+        reduction only runs when the bound crosses 1 — which is exactly when
+        a kill is possible.
+        """
+        idx = self._alive_slots(eidx)
+        w = self._w[idx]
+        n_e = int(idx.shape[0]) - cap
+        add_reduce = np.add.reduce
+        max_reduce = np.maximum.reduce
+        multiply = np.multiply
+        slack = 1.0 - SUM_TOLERANCE
+        if add_reduce(w) >= n_e * slack:
+            return
+        zero_mask = w == 0.0
+        if zero_mask.any():
+            w[zero_mask] = self.seed_weight
+        cost_idx = self._cost[idx]
+        factor: Optional[np.ndarray] = None
+        fmax = 1.0
+        ub = float(max_reduce(w))
+        augmentations = 0
+        while True:
+            if factor is None:
+                factor = 1.0 + 1.0 / (n_e * cost_idx)
+                fmax = float(max_reduce(factor))
+            multiply(w, factor, out=w)
+            augmentations += 1
+            ub *= fmax
+            if ub >= 1.0:
+                true_max = float(max_reduce(w))
+                if true_max >= 1.0:
+                    kill_mask = w >= 1.0
+                    killed_slots = idx[kill_mask]
+                    self._w[killed_slots] = w[kill_mask]
+                    for slot in killed_slots.tolist():
+                        self._kill_slot(slot)
+                    keep = ~kill_mask
+                    idx = idx[keep]
+                    w = w[keep]
+                    cost_idx = cost_idx[keep]
+                    factor = None
+                    ub = float(max_reduce(w)) if w.shape[0] else 0.0
+                else:
+                    ub = true_max
+            n_e = int(idx.shape[0]) - cap
+            if n_e <= 0:
+                break
+            if add_reduce(w) >= n_e * slack:
+                break
+        self.total_augmentations += augmentations
+        if idx.shape[0]:
+            self._w[idx] = w
+
+    def process_arrival_block_indexed(
+        self,
+        request_ids: Sequence[int],
+        costs: np.ndarray,
+        flat_edge_idxs: np.ndarray,
+        offsets: np.ndarray,
+    ) -> np.ndarray:
+        """Fused record-free arrival loop: no per-arrival wrapper frames.
+
+        Registration, the O(1) excess screens and the restore dispatch run
+        inline over plain lists; only the augmentation arithmetic touches
+        NumPy.  Exactly equivalent to per-arrival
+        ``process_arrival_indexed(..., record=False)`` calls in order.
+        """
+        k = len(request_ids)
+        fractions = np.empty(k, dtype=np.float64)
+        if k == 0:
+            return fractions
+        fl = flat_edge_idxs.tolist()
+        offs = offsets.tolist()
+        cost_list = np.asarray(costs, dtype=np.float64).tolist()
+        slot_of = self._slot
+        ids = self._ids
+        by_id = self._edge_idxs_by_id
+        cap = self._cap
+        edge_alive = self._edge_alive
+        edge_requests = self._edge_requests
+        for r in range(k):
+            rid = request_ids[r]
+            if rid in slot_of:
+                raise ValueError(f"request {rid} already registered")
+            self._ensure_slot_capacity()
+            w_all = self._w
+            slot = self._n
+            self._n = slot + 1
+            ids.append(rid)
+            slot_of[rid] = slot
+            cost = cost_list[r]
+            if not cost > 0:
+                raise ValueError(f"cost must be > 0, got {cost!r}")
+            w_all[slot] = 0.0
+            self._cost[slot] = cost
+            self._alive[slot] = True
+            path = fl[offs[r] : offs[r + 1]]
+            by_id[rid] = tuple(path)
+            for e in path:
+                self._edge_append(e, slot)
+                edge_alive[e] += 1
+                requests = edge_requests[e]
+                if requests is None:
+                    edge_requests[e] = [rid]
+                else:
+                    requests.append(rid)
+            for e in path:
+                cap_e = cap[e]
+                if edge_alive[e] - cap_e > 0:
+                    self._restore_edge_norecord(e, cap_e)
+            f = w_all[slot]
+            fractions[r] = f if f < 1.0 else 1.0
+        return fractions
 
 
 def resolve_backend_name(spec: BackendSpec) -> str:

@@ -54,6 +54,12 @@ class EngineConfig:
         the pure fractional paths (algorithms that *consume* deltas — the
         randomized rounding — keep recording regardless).  Never changes a
         reported number.
+    vectorized:
+        Route compiled contiguous arrival ranges through the whole-trace
+        executor (:mod:`repro.engine.vectorized`), which batches provably
+        inert stretches and fuses the rest.  ``False`` is the per-arrival
+        escape hatch.  Only applies where ``compile`` applies; never changes
+        a reported number.
     """
 
     backend: str = DEFAULT_BACKEND
@@ -61,6 +67,7 @@ class EngineConfig:
     batching: str = "none"
     compile: bool = True
     record: bool = True
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.batching not in ("none", "tag"):

@@ -218,10 +218,23 @@ class SimulationEngine:
         if self.config.compile and hasattr(algo, "process_indexed"):
             compiled = compile_instance(instance)
         if compiled is not None:
+            ranged = hasattr(algo, "process_compiled_range")
             for index_batch in self.iter_index_batches(compiled):
                 batch_sizes.append(len(index_batch))
-                for i in index_batch:
-                    algo.process_indexed(compiled, i)
+                if ranged:
+                    # Index batches are contiguous by construction, so the
+                    # whole batch goes through the trace executor in one call
+                    # (vectorized per config; the executor is the escape-hatch
+                    # per-arrival loop when config.vectorized is off).
+                    algo.process_compiled_range(
+                        compiled,
+                        index_batch[0],
+                        index_batch[-1] + 1,
+                        vectorized=self.config.vectorized,
+                    )
+                else:
+                    for i in index_batch:
+                        algo.process_indexed(compiled, i)
         else:
             for batch in self.iter_batches(instance.requests):
                 batch_sizes.append(len(batch))

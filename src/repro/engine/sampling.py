@@ -1,0 +1,85 @@
+"""Vectorized sampling primitives for the randomized rounding layer.
+
+Two utilities back the Section-3 randomized algorithm's coin flips:
+
+* :func:`bernoulli_batch` draws one coin per entry of a probability vector in
+  a single generator call.  For NumPy's ``Generator`` (PCG64),
+  ``rng.random(k)`` consumes the bit stream exactly as ``k`` scalar
+  ``rng.random()`` calls would, so batching the step-3 coins is
+  **stream-identical** to the per-request loop: the same seed produces the
+  same accept/reject trajectory.  Callers must pre-filter entries whose
+  probability is zero or negative — the scalar loop skips those *without
+  drawing*, and keeping them in the batch would shift the stream.
+* :func:`inverse_weighted_sample` draws a weighted sample *without*
+  replacement via the inverse-weight exponential-key ordering (one uniform
+  per element, ``u_i ** (1/w_i)`` keys, take the largest): one vectorized
+  pass instead of ``k`` sequential roulette spins.  The rounding layer uses
+  it to pick eviction candidates proportionally to their shadow weights in
+  analysis tooling; it is also the building block for batch preemption
+  experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = ["bernoulli_batch", "inverse_weighted_sample"]
+
+
+def bernoulli_batch(
+    rng: np.random.Generator, probabilities: Union[np.ndarray, Sequence[float]]
+) -> np.ndarray:
+    """One Bernoulli coin per probability, drawn in a single generator call.
+
+    Returns ``bool[k]`` where entry ``i`` is ``True`` with probability
+    ``probabilities[i]`` (the scalar equivalent of
+    ``rng.random() < probabilities[i]``, in order).  Entries must be strictly
+    positive: the scalar loops this replaces skip non-positive probabilities
+    *before* drawing, so including them here would desynchronise the stream.
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    k = probs.shape[0]
+    if k == 0:
+        return np.zeros(0, dtype=bool)
+    try:
+        draws = rng.random(k)
+    except TypeError:
+        # Duck-typed generators (test stubs, legacy RandomState wrappers) may
+        # only expose scalar random(); fall back to k sequential draws, which
+        # is what the batched call is stream-equivalent to anyway.
+        draws = np.fromiter((rng.random() for _ in range(k)), dtype=np.float64, count=k)
+    return draws < probs
+
+
+def inverse_weighted_sample(
+    rng: np.random.Generator,
+    weights: Union[np.ndarray, Sequence[float]],
+    k: int,
+) -> np.ndarray:
+    """Weighted sampling without replacement via inverse-weight keys.
+
+    Draws ``min(k, #nonzero)`` distinct indices with probability proportional
+    to ``weights`` using the exponential-key ordering: one uniform ``u_i`` per
+    element, key ``u_i ** (1 / w_i)``, keep the ``k`` largest keys.  Zero
+    weights never get sampled (and consume no randomness beyond their uniform
+    draw being skipped entirely).
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1:
+        w = w.ravel()
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    nonzero = np.nonzero(w > 0)[0]
+    if k == 0 or nonzero.shape[0] == 0:
+        return np.zeros(0, dtype=np.intp)
+    u = rng.random(nonzero.shape[0])
+    keys = u ** (1.0 / w[nonzero])
+    take = min(k, nonzero.shape[0])
+    # argpartition bounds the sort to the k survivors, then order them by key.
+    part = np.argpartition(keys, keys.shape[0] - take)[keys.shape[0] - take :]
+    order = part[np.argsort(keys[part])[::-1]]
+    return nonzero[order].astype(np.intp, copy=False)

@@ -160,6 +160,11 @@ class StreamingSession:
         a file): :meth:`submit`/:meth:`submit_batch` still return each
         batch's entries and :attr:`num_decisions` still counts them, but
         nothing accumulates in the session.
+    vectorized:
+        Route compiled micro-batches through the whole-trace executor
+        (:mod:`repro.engine.vectorized`) when the algorithm supports it.
+        A runtime preference like ``retain_log`` — it never changes a
+        decision, so it is not checkpoint state and is chosen per session.
     """
 
     def __init__(
@@ -172,6 +177,7 @@ class StreamingSession:
         seed: Optional[int] = None,
         algorithm_kwargs: Optional[Dict[str, Any]] = None,
         retain_log: bool = True,
+        vectorized: bool = True,
         name: str = "streaming-session",
     ):
         self._capacities: Dict[EdgeId, int] = {e: int(c) for e, c in capacities.items()}
@@ -180,6 +186,7 @@ class StreamingSession:
         self.backend = resolve_backend_name(backend)
         self.record = resolve_record_flag(backend, record)
         self.seed = None if seed is None else int(seed)
+        self.vectorized = bool(vectorized)
         self.name = name
         self._kwargs: Dict[str, Any] = dict(algorithm_kwargs or {})
         self.num_processed = 0
@@ -264,16 +271,25 @@ class StreamingSession:
 
         The batch is compiled against the session capacities (same interning
         as the weight backend, so no per-arrival translation) and streamed
-        through the algorithm's ``process_indexed``; algorithms without an
-        indexed path fall back to per-request processing.  Decisions are
-        identical to submitting one by one — batching is purely mechanical.
+        through the algorithm's ``process_compiled_range`` (the whole-trace
+        executor when the session is ``vectorized``) or ``process_indexed``;
+        algorithms without an indexed path fall back to per-request
+        processing.  Decisions are identical to submitting one by one —
+        batching is purely mechanical.
         Returns every decision entry the batch produced, preemptions
         included.
         """
         batch = list(requests)
         if not batch:
             return []
-        if hasattr(self._algorithm, "process_indexed"):
+        if hasattr(self._algorithm, "process_compiled_range"):
+            compiled = compile_sequence(
+                RequestSequence(batch), self._capacities, name=f"{self.name}-batch"
+            )
+            self._algorithm.process_compiled_range(
+                compiled, 0, compiled.num_requests, vectorized=self.vectorized
+            )
+        elif hasattr(self._algorithm, "process_indexed"):
             compiled = compile_sequence(
                 RequestSequence(batch), self._capacities, name=f"{self.name}-batch"
             )
@@ -446,6 +462,7 @@ class ShardedStreamRouter:
         namespace_of: Optional[Callable[[EdgeId], str]] = None,
         algorithm_kwargs: Optional[Dict[str, Any]] = None,
         retain_log: bool = True,
+        vectorized: bool = True,
         name: str = "stream-router",
     ):
         if num_shards < 1:
@@ -470,6 +487,7 @@ class ShardedStreamRouter:
                 seed=stable_seed(self.seed, "stream-shard", k),
                 algorithm_kwargs=algorithm_kwargs,
                 retain_log=retain_log,
+                vectorized=vectorized,
                 name=f"{name}/shard{k}",
             )
             if caps

@@ -384,6 +384,7 @@ class TestBenchCommand:
         assert set(payload["benchmarks"]) == {
             "weight_update[python]", "weight_update[numpy]",
             "scaling_10k[python]", "scaling_10k[numpy]",
+            "scaling_10k_scalar[python]", "scaling_10k_scalar[numpy]",
             "sweep_small[python]", "sweep_small[numpy]",
             "stream_resume[python]", "stream_resume[numpy]",
         }

@@ -1,0 +1,340 @@
+"""Equivalence gate for the whole-trace vectorized executor.
+
+The executor (:mod:`repro.engine.vectorized`) must be indistinguishable from
+the per-arrival reference path: same decision log, same fractions, same
+fractional cost, same augmentation count, same exported weight state — on
+every backend, with and without diagnostics recording, across canonical,
+random, unit-cost, alpha-classed and forced-tag workloads.  The repo-wide
+tolerance contract is 1e-9 relative; in practice the executor is bit-exact
+(the bulk path performs zero float operations and the dense path calls the
+same kernels in the same order), so most asserts below are plain ``==``.
+
+Also pinned here:
+
+* the batched randomized-rounding coins (:func:`repro.engine.sampling.
+  bernoulli_batch`) are stream-identical to per-request scalar draws, so a
+  seeded randomized run is unchanged by the batching;
+* :func:`repro.engine.sampling.inverse_weighted_sample`'s contract;
+* the numba restore kernel's *logic* (exercised as plain Python, so the gate
+  runs in environments without numba) matches the scalar reference backend;
+  backend-registration tests auto-skip when numba is absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fractional import FractionalAdmissionControl
+from repro.core.randomized import RandomizedAdmissionControl
+from repro.core.protocols import run_admission
+from repro.engine.numba_backend import NUMBA_AVAILABLE, NumbaWeightBackend, mwu_edge_restore
+from repro.engine.registry import WEIGHT_BACKENDS
+from repro.engine.sampling import bernoulli_batch, inverse_weighted_sample
+from repro.engine.backends import SUM_TOLERANCE, make_weight_backend
+from repro.engine.streaming import StreamingSession
+from repro.instances.admission import AdmissionInstance
+from repro.instances.compiled import compile_instance
+from repro.instances.request import Request, RequestSequence
+from repro.workloads.admission_adversarial import overloaded_edge_adversary
+
+BACKENDS = [k for k in WEIGHT_BACKENDS.keys() if k in ("python", "numpy", "numba")]
+
+RANDOM_SEEDS = list(range(10))
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+def random_instance(seed: int, *, num_requests: int = 120) -> AdmissionInstance:
+    """Small random multi-edge instance with tight capacities (lots of kills)."""
+    rng = np.random.default_rng(1000 + seed)
+    edges = [f"e{j}" for j in range(12)]
+    capacities = {e: int(rng.integers(1, 4)) for e in edges}
+    requests = []
+    for rid in range(num_requests):
+        k = int(rng.integers(1, 4))
+        path = rng.choice(len(edges), size=k, replace=False)
+        requests.append(
+            Request(rid, frozenset(edges[j] for j in path), float(rng.uniform(0.5, 6.0)))
+        )
+    return AdmissionInstance(capacities, RequestSequence(requests), name=f"vec-rand-{seed}")
+
+
+def unit_cost_instance() -> AdmissionInstance:
+    """Unit-cost adversary (drives the ``unweighted`` classification branch)."""
+    return overloaded_edge_adversary(16, 2, num_hot_edges=4, random_state=5)
+
+
+def tagged_instance() -> AdmissionInstance:
+    """Instance where some arrivals carry a force-accept tag (SYNC class)."""
+    base = random_instance(3, num_requests=80)
+    requests = [
+        Request(r.request_id, r.edges, r.cost, tag="vip" if r.request_id % 7 == 0 else None)
+        for r in base.requests
+    ]
+    return AdmissionInstance(base.capacities, RequestSequence(requests), name="vec-tagged")
+
+
+def run_pair(instance: AdmissionInstance, *, backend: str, record: bool, **kwargs):
+    """Run the same compiled trace vectorized and per-arrival; return both algos."""
+    compiled = compile_instance(instance)
+    algos = []
+    for vectorized in (True, False):
+        algo = FractionalAdmissionControl.for_instance(
+            instance, backend=backend, record=record, **kwargs
+        )
+        algo.process_compiled_sequence(compiled, vectorized=vectorized)
+        algos.append(algo)
+    return algos
+
+
+def assert_equivalent(vec: FractionalAdmissionControl, ref: FractionalAdmissionControl):
+    """The full executor contract: decisions, costs, counters, weight state."""
+    vec_log = [(d.request_id, d.cost_class, d.fraction_rejected) for d in vec.decisions()]
+    ref_log = [(d.request_id, d.cost_class, d.fraction_rejected) for d in ref.decisions()]
+    assert vec_log == ref_log
+    assert vec.num_augmentations == ref.num_augmentations
+    vc, rc = vec.fractional_cost(), ref.fractional_cost()
+    assert vc == pytest.approx(rc, rel=1e-9, abs=1e-9)
+    assert vec.export_state() == ref.export_state()
+
+
+# ---------------------------------------------------------------------------
+# Vectorized executor vs per-arrival reference
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("record", [True, False])
+def test_canonical_adversary_equivalence(backend, record):
+    instance = overloaded_edge_adversary(24, 2, num_hot_edges=6, random_state=2)
+    vec, ref = run_pair(instance, backend=backend, record=record)
+    assert_equivalent(vec, ref)
+    assert vec.num_augmentations > 0  # the workload actually exercises restores
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_random_instances_equivalence(backend, seed):
+    vec, ref = run_pair(random_instance(seed), backend=backend, record=False)
+    assert_equivalent(vec, ref)
+
+
+@pytest.mark.parametrize("record", [True, False])
+def test_unit_cost_equivalence(record):
+    vec, ref = run_pair(unit_cost_instance(), backend="numpy", record=record)
+    assert_equivalent(vec, ref)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_alpha_classing_equivalence(backend):
+    """Small/big cost classes (alpha set) synchronize correctly."""
+    rng = np.random.default_rng(77)
+    base = random_instance(7, num_requests=100)
+    requests = [
+        Request(r.request_id, r.edges, float(rng.choice([0.001, 0.5, 1.5, 4.0, 9.0])))
+        for r in base.requests
+    ]
+    instance = AdmissionInstance(base.capacities, RequestSequence(requests), name="vec-alpha")
+    vec, ref = run_pair(instance, backend=backend, record=True, alpha=1.0)
+    assert_equivalent(vec, ref)
+    classes = {d.cost_class for d in vec.decisions()}
+    assert len(classes) > 1  # the alpha thresholds actually fired
+
+
+def test_forced_tag_equivalence():
+    vec, ref = run_pair(
+        tagged_instance(), backend="numpy", record=False, force_accept_tags=("vip",)
+    )
+    assert_equivalent(vec, ref)
+
+
+def test_duplicate_request_raises_at_same_position():
+    """Replayed arrivals raise identically (classified SYNC, not bulk-absorbed).
+
+    ``RequestSequence`` rejects duplicate ids at construction, so the only way
+    a duplicate reaches the executor is replaying a compiled trace into an
+    already-populated algorithm — which must fail on the first arrival on
+    both paths, with the same decision count and message.
+    """
+    instance = random_instance(1, num_requests=40)
+    compiled = compile_instance(instance)
+    errors = []
+    for vectorized in (True, False):
+        algo = FractionalAdmissionControl.for_instance(instance, backend="numpy")
+        algo.process_compiled_sequence(compiled, vectorized=vectorized)
+        with pytest.raises(ValueError) as exc:
+            algo.process_compiled_sequence(compiled, vectorized=vectorized)
+        errors.append((str(exc.value), len(algo.decisions())))
+    assert errors[0] == errors[1]
+
+
+def test_streaming_session_vectorized_equivalence():
+    instance = random_instance(4)
+    logs = []
+    for vectorized in (True, False):
+        session = StreamingSession(
+            instance.capacities, "fractional", backend="numpy", vectorized=vectorized
+        )
+        session.submit_stream(iter(instance.requests), batch_size=16)
+        logs.append(session.decision_log())
+    assert logs[0] == logs[1]
+
+
+# ---------------------------------------------------------------------------
+# Randomized rounding: batched coins are stream-identical
+# ---------------------------------------------------------------------------
+
+
+def test_bernoulli_batch_stream_identity():
+    """rng.random(k) consumes the PCG64 stream exactly like k scalar draws."""
+    probs = np.random.default_rng(3).uniform(0.01, 0.99, size=257)
+    batched = bernoulli_batch(np.random.default_rng(42), probs)
+    rng = np.random.default_rng(42)
+    scalar = np.array([rng.random() < p for p in probs])
+    assert np.array_equal(batched, scalar)
+
+
+def test_bernoulli_batch_scalar_rng_fallback():
+    """Duck-typed generators exposing only scalar random() still work."""
+
+    class ScalarOnly:
+        def __init__(self):
+            self._rng = np.random.default_rng(9)
+
+        def random(self):
+            return self._rng.random()
+
+    got = bernoulli_batch(ScalarOnly(), [0.2, 0.8, 0.5])
+    rng = np.random.default_rng(9)
+    expected = [rng.random() < p for p in (0.2, 0.8, 0.5)]
+    assert got.tolist() == expected
+
+
+def test_randomized_identical_across_execution_paths():
+    """Same seed -> identical randomized decisions, compiled or per-request.
+
+    The step-3 coins are drawn through :func:`bernoulli_batch`; stream
+    identity means the execution path never perturbs a seeded trajectory.
+    """
+    instance = overloaded_edge_adversary(32, 2, num_hot_edges=8, random_state=11)
+    compiled = compile_instance(instance)
+    logs = []
+    for use_compiled in (True, False):
+        algo = RandomizedAdmissionControl.for_instance(instance, random_state=123)
+        run_admission(algo, instance, compiled=compiled if use_compiled else None)
+        logs.append([(d.request_id, d.kind, d.at_request) for d in algo.decisions()])
+    assert logs[0] == logs[1]
+
+
+def test_inverse_weighted_sample_contract():
+    rng = np.random.default_rng(0)
+    weights = np.array([0.0, 1.0, 2.0, 0.0, 3.0])
+    sample = inverse_weighted_sample(rng, weights, 3)
+    assert len(sample) == 3
+    assert len(set(sample.tolist())) == 3
+    assert not {0, 3} & set(sample.tolist())  # zero weights never sampled
+    # k larger than the nonzero support clamps
+    assert len(inverse_weighted_sample(rng, weights, 10)) == 3
+    assert len(inverse_weighted_sample(rng, weights, 0)) == 0
+    assert len(inverse_weighted_sample(rng, np.zeros(4), 2)) == 0
+    with pytest.raises(ValueError):
+        inverse_weighted_sample(rng, weights, -1)
+    with pytest.raises(ValueError):
+        inverse_weighted_sample(rng, np.array([1.0, -0.5]), 1)
+
+
+def test_inverse_weighted_sample_prefers_heavy_weights():
+    rng = np.random.default_rng(5)
+    heavy = sum(
+        int(inverse_weighted_sample(rng, np.array([1.0, 1e9]), 1)[0] == 1)
+        for _ in range(200)
+    )
+    assert heavy >= 195
+
+
+# ---------------------------------------------------------------------------
+# Numba restore kernel (plain-Python logic; backend tests gate on install)
+# ---------------------------------------------------------------------------
+
+
+def _reference_restore(w, cost, cap, seed, tol):
+    """Straight transliteration of the paper's restore loop (test oracle)."""
+    w = list(w)
+    alive = [True] * len(w)
+    n_alive = len(w)
+    n_e = n_alive - cap
+    augmentations = 0
+    if sum(w) >= n_e * (1.0 - tol):
+        return w, alive, 0
+    w = [seed if x == 0.0 else x for x in w]
+    while True:
+        for i in range(len(w)):
+            if alive[i]:
+                w[i] *= 1.0 + 1.0 / (n_e * cost[i])
+                if w[i] >= 1.0:
+                    alive[i] = False
+                    n_alive -= 1
+        augmentations += 1
+        n_e = n_alive - cap
+        if n_e <= 0:
+            break
+        if sum(w[i] for i in range(len(w)) if alive[i]) >= n_e * (1.0 - tol):
+            break
+    return w, alive, augmentations
+
+
+@pytest.mark.parametrize("case", range(8))
+def test_mwu_edge_restore_matches_reference(case):
+    rng = np.random.default_rng(200 + case)
+    n = int(rng.integers(3, 40))
+    cap = int(rng.integers(1, max(2, n - 1)))
+    w = np.where(rng.random(n) < 0.4, 0.0, rng.uniform(0.0, 0.9, size=n))
+    cost = rng.uniform(0.5, 8.0, size=n)
+    seed = 1.0 / (64.0 * max(cap, 1))
+
+    kernel_w = w.copy()
+    alive = np.ones(n, dtype=np.bool_)
+    augs = mwu_edge_restore(kernel_w, cost, alive, cap, seed, SUM_TOLERANCE)
+    ref_w, ref_alive, ref_augs = _reference_restore(w.tolist(), cost.tolist(), cap, seed, SUM_TOLERANCE)
+    assert augs == ref_augs
+    assert alive.tolist() == ref_alive
+    assert kernel_w.tolist() == ref_w  # bit-exact: same scalar operations
+
+
+@pytest.mark.parametrize("record", [True, False])
+def test_numba_backend_matches_python_backend(record):
+    """The NumbaWeightBackend class (plain kernel when numba is absent) agrees
+    with the scalar reference to the repo's 1e-9 contract."""
+    capacities = {j: 2 if j < 3 else 1000 for j in range(8)}
+    rng = np.random.default_rng(31)
+    arrivals = [
+        (rid, (rid % 3, int(rng.integers(3, 8))), float(rng.uniform(1.0, 6.0)))
+        for rid in range(150)
+    ]
+    ref = make_weight_backend("python", capacities, g=64.0)
+    nb = NumbaWeightBackend(capacities, g=64.0)
+    for rid, edges, cost in arrivals:
+        ref.process_arrival_indexed(rid, edges, cost, record=record)
+        nb.process_arrival_indexed(rid, edges, cost, record=record)
+    assert nb.total_augmentations == ref.total_augmentations
+    assert nb.fractional_cost() == pytest.approx(ref.fractional_cost(), rel=1e-9)
+    ref_fracs = ref.fractional_rejections()
+    nb_fracs = nb.fractional_rejections()
+    assert set(nb_fracs) == set(ref_fracs)
+    for rid, frac in ref_fracs.items():
+        assert nb_fracs[rid] == pytest.approx(frac, rel=1e-9, abs=1e-12)
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+def test_numba_backend_registered():
+    assert "numba" in WEIGHT_BACKENDS
+    assert WEIGHT_BACKENDS.get("numba") is NumbaWeightBackend
+
+
+@pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba installed")
+def test_numba_backend_not_registered_without_numba():
+    assert "numba" not in WEIGHT_BACKENDS
