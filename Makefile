@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint typecheck examples-smoke serve-smoke bench-smoke bench-baseline bench-suite profile profile-scaling ci
+.PHONY: test lint typecheck examples-smoke serve-smoke shard-smoke bench-smoke bench-baseline bench-suite profile profile-scaling ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,9 +48,31 @@ serve-smoke:
 	@rm -rf .serve-smoke
 	@echo "serve smoke passed: resumed decision log identical to uninterrupted run"
 
+# Multi-process pool smoke: serve half a namespaced trace across 2 worker
+# processes with a checkpoint, resume the pool in a fresh process, and verify
+# the combined decision log is byte-for-byte identical to an uninterrupted
+# 2-worker run.  Finishes by asserting no shared-memory segments leaked.
+shard-smoke:
+	@rm -rf .shard-smoke && mkdir -p .shard-smoke
+	$(PYTHON) -c "from repro.scenarios.trace import record_trace; \
+	from repro.workloads.admission_traffic import adversarial_mix_workload; \
+	record_trace(adversarial_mix_workload(num_edges=8, capacity=2, random_state=7), '.shard-smoke/t.jsonl')"
+	$(PYTHON) -m repro serve --trace .shard-smoke/t.jsonl --algorithm fractional --seed 5 \
+		--workers 2 --checkpoint .shard-smoke/ck.json --checkpoint-every 20 --max-arrivals 35 \
+		--log .shard-smoke/part.jsonl
+	$(PYTHON) -m repro serve --trace .shard-smoke/t.jsonl --resume \
+		--checkpoint .shard-smoke/ck.json --log .shard-smoke/part.jsonl
+	$(PYTHON) -m repro serve --trace .shard-smoke/t.jsonl --algorithm fractional --seed 5 \
+		--workers 2 --log .shard-smoke/full.jsonl
+	cmp .shard-smoke/part.jsonl .shard-smoke/full.jsonl
+	$(PYTHON) -c "import glob; leaks = glob.glob('/dev/shm/psm_*'); \
+	assert not leaks, 'leaked shared memory segments: %r' % leaks"
+	@rm -rf .shard-smoke
+	@echo "shard smoke passed: 2-worker pool resume identical to uninterrupted run"
+
 # Reproduce the CI pipeline locally: lint, typecheck, tests, examples smoke,
-# serve smoke, bench gate.
-ci: lint typecheck test examples-smoke serve-smoke bench-smoke
+# serve smoke, shard smoke, bench gate.
+ci: lint typecheck test examples-smoke serve-smoke shard-smoke bench-smoke
 
 # Weight-update + 10k-request scaling benchmarks per backend; fails on a >2x
 # regression against benchmarks/baseline_bench.json.

@@ -57,6 +57,8 @@ def test_bench_weight_update_backend(benchmark, backend, bench_recorder):
         result.seconds,
         backend,
         augmentations=result.augmentations,
+        requests=result.requests,
+        requests_per_sec=result.requests_per_sec,
     )
     assert result.augmentations > 0
     assert result.fractional_cost > 0.0

@@ -136,6 +136,13 @@ class _TrialSpec:
     #: Optional ``(instance, algorithm) -> mapping`` measurement hook, run in
     #: the worker right after the online run; merged into the record's extras.
     probe: Optional[Callable[[Any, Any], Mapping[str, Any]]] = None
+    #: Streaming scale-out config (shards/workers/strategy + the algorithm
+    #: key and backend knobs needed to build per-shard sessions).  When set,
+    #: the trial runs through :class:`~repro.engine.streaming.
+    #: ShardedStreamRouter` (in-process) or :class:`~repro.engine.shards.
+    #: ProcessShardPool` (worker processes) instead of a single algorithm
+    #: object; the ``algorithm_factory`` is bypassed.
+    sharding: Optional[Dict[str, Any]] = None
 
 
 def _stream_through_session(
@@ -217,9 +224,114 @@ def _evaluate_fractional_trial(
     )
 
 
+def _evaluate_sharded_trial(instance: AdmissionInstance, spec: _TrialSpec) -> CompetitiveRecord:
+    """Evaluate one trial through the sharded streaming layer.
+
+    Builds a :class:`~repro.engine.streaming.ShardedStreamRouter` (in-process,
+    ``workers == 1``) or a :class:`~repro.engine.shards.ProcessShardPool`
+    (one worker process per shard) over the instance's capacities, streams the
+    arrivals through it, and aggregates the per-shard fractional costs.  Under
+    the ``namespace`` strategy the aggregate equals a single-process router
+    run at 1e-9 (the pool builds the identical sessions), so the reported
+    ratio is independent of worker count.  The comparator is the *global* LP
+    optimum, as in :func:`_evaluate_fractional_trial`.
+    """
+    sharding = spec.sharding or {}
+    algorithm_key = sharding["algorithm"]
+    strategy = sharding.get("strategy", "namespace")
+    workers = int(sharding.get("workers", 1))
+    shards = int(sharding.get("shards", 1))
+    kwargs = dict(sharding.get("algorithm_kwargs") or {})
+    vectorized = bool(sharding.get("vectorized", True))
+    # The fractional mechanism is deterministic; the session seed is provenance
+    # only, but derive it from the trial's seed pair so it stays reproducible.
+    seed = int(as_generator(spec.algo_seed).integers(2**31 - 1))
+
+    start = time.perf_counter()
+    shard_lines: List[Dict[str, Any]]
+    if workers > 1:
+        from repro.engine.shards import ProcessShardPool
+
+        with ProcessShardPool(
+            instance.capacities,
+            workers,
+            algorithm_key,
+            strategy=strategy,
+            backend=sharding.get("backend"),
+            record=sharding.get("record"),
+            seed=seed,
+            algorithm_kwargs=kwargs,
+            retain_log=False,
+            vectorized=vectorized,
+            name=instance.name,
+        ) as pool:
+            pool.submit_stream(iter(instance.requests))
+            shard_lines = list(pool.summary()["shards"].values())
+    else:
+        from repro.engine.streaming import ShardedStreamRouter
+
+        router = ShardedStreamRouter(
+            instance.capacities,
+            shards,
+            algorithm_key,
+            backend=sharding.get("backend"),
+            record=sharding.get("record"),
+            seed=seed,
+            algorithm_kwargs=kwargs,
+            retain_log=False,
+            vectorized=vectorized,
+            name=instance.name,
+        )
+        router.submit_batch(list(instance.requests))
+        shard_lines = []
+        for _, session in router.sessions():
+            line = session.summary()
+            line["augmentations"] = getattr(session.algorithm, "num_augmentations", None)
+            shard_lines.append(line)
+    online_seconds = time.perf_counter() - start
+
+    missing = [line["name"] for line in shard_lines if "fractional_cost" not in line]
+    if missing:
+        raise TypeError(
+            f"sharded trials aggregate fractional costs, but shards {missing} report "
+            f"none; algorithm {algorithm_key!r} is not fractional-style"
+        )
+    online_cost = float(sum(line["fractional_cost"] for line in shard_lines))
+    augmentations = [line.get("augmentations") for line in shard_lines]
+    opt = solve_admission_lp_cached(instance)
+    ratio = safe_ratio(online_cost, opt.cost)
+    bound = fractional_admission_bound(
+        instance.num_edges, max(instance.max_capacity, 1), weighted=not instance.is_unit_cost()
+    )
+    return CompetitiveRecord(
+        algorithm=algorithm_key,
+        instance_name=instance.name,
+        online_cost=online_cost,
+        offline_cost=opt.cost,
+        offline_kind=f"lp:{opt.status}",
+        ratio=ratio,
+        bound=bound,
+        normalized_ratio=bound.normalized(ratio),
+        feasible=True,
+        extra={
+            "num_augmentations": (
+                None if any(a is None for a in augmentations) else int(sum(augmentations))
+            ),
+            "online_seconds": online_seconds,
+            "shards": shards,
+            "workers": workers,
+            "strategy": strategy,
+        },
+    )
+
+
 def _run_trial(spec: _TrialSpec) -> CompetitiveRecord:
     """Execute one trial (worker function; module-level so it can pickle)."""
     instance = spec.instance_factory(as_generator(spec.instance_seed))
+    if spec.sharding is not None:
+        # Sharded streaming builds its sessions per shard from the algorithm
+        # registry key; the single-object algorithm factory is bypassed.
+        return _evaluate_sharded_trial(instance, spec)
     algorithm = spec.algorithm_factory(instance, as_generator(spec.algo_seed))
     if spec.kind == "admission":
         if not hasattr(algorithm, "result"):
@@ -301,6 +413,7 @@ def execute_trial_suite(
     streaming: bool = False,
     vectorized: bool = True,
     probe: Optional[Callable[[Any, Any], Mapping[str, Any]]] = None,
+    sharding: Optional[Dict[str, Any]] = None,
 ) -> TrialSummary:
     """Run a suite of independent trials and aggregate the records.
 
@@ -324,6 +437,7 @@ def execute_trial_suite(
             streaming=streaming,
             vectorized=vectorized,
             probe=probe,
+            sharding=None if sharding is None else dict(sharding),
         )
         for instance_seed, algo_seed in derive_seed_pairs(random_state, num_trials)
     ]

@@ -71,7 +71,24 @@ class Runner:
             streaming=spec.mode == "streaming",
             vectorized=spec.vectorized,
             probe=spec.probe,
+            sharding=self._sharding(spec),
         )
+
+    @staticmethod
+    def _sharding(spec: RunSpec):
+        """The trial suite's scale-out config, or ``None`` for plain specs."""
+        if spec.mode != "streaming" or (spec.shards == 1 and spec.workers == 1):
+            return None
+        return {
+            "shards": spec.shards,
+            "workers": spec.workers,
+            "strategy": spec.strategy,
+            "algorithm": spec.algorithm,
+            "backend": spec.backend,
+            "record": spec.record,
+            "algorithm_kwargs": spec.algorithm_param_dict(),
+            "vectorized": spec.vectorized,
+        }
 
     # -- spec compilation --------------------------------------------------------
     @staticmethod

@@ -117,6 +117,17 @@ class RunSpec:
         (:mod:`repro.engine.vectorized`) — the ``mode="compiled"`` default
         fast path.  ``RunSpec(vectorized=False)`` is the per-arrival escape
         hatch; like ``record`` it never changes a reported number.
+    shards / workers / strategy:
+        Streaming scale-out (``mode="streaming"`` only).  ``shards`` runs the
+        arrival stream through an in-process
+        :class:`~repro.engine.streaming.ShardedStreamRouter` partition;
+        ``workers`` > 1 promotes the same vector of sessions to a
+        :class:`~repro.engine.shards.ProcessShardPool` (one worker process
+        per shard, shared-memory compiled traces).  ``strategy`` is a
+        :data:`~repro.engine.shards.ROUTING_STRATEGIES` key; ``"namespace"``
+        (the default) is bit-compatible with the single-process router, so
+        reported numbers are independent of ``workers``.  ``shards`` defaults
+        to ``workers`` when only ``workers`` is given.
     offline:
         Offline comparator for integral algorithms: ``"lp"`` (fast lower
         bound, the default) or ``"ilp"`` (exact OPT).  Fractional algorithms
@@ -151,6 +162,9 @@ class RunSpec:
     seed: int = 0
     record: bool = True
     vectorized: bool = True
+    shards: int = 1
+    workers: int = 1
+    strategy: str = "namespace"
     offline: str = "lp"
     ilp_time_limit: Optional[float] = 20.0
     randomized_bound: bool = True
@@ -166,6 +180,7 @@ class RunSpec:
         self._validate_backend()
         self._validate_counts()
         self._validate_streaming_conflicts()
+        self._validate_sharding()
         # Normalise the parameter mappings into hashable tuples so specs stay
         # frozen, comparable, and picklable.
         object.__setattr__(
@@ -295,6 +310,52 @@ class RunSpec:
                 f"algorithm {self.algorithm!r} cannot run in mode='streaming'; "
                 f"streaming-capable algorithms: {_known(STREAMING_ALGORITHMS.keys())}. "
                 f"Use mode='batch' or mode='compiled' for offline-style algorithms."
+            )
+
+    def _validate_sharding(self) -> None:
+        for field_name in ("shards", "workers"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise RunSpecError(f"{field_name} must be a positive integer, got {value!r}")
+        if not isinstance(self.strategy, str) or not self.strategy.strip():
+            raise RunSpecError(f"strategy must be a routing-strategy key, got {self.strategy!r}")
+        object.__setattr__(self, "strategy", self.strategy.strip().lower())
+        # `workers` alone means "one shard per worker" — normalise before the
+        # consistency checks so downstream layers see one shard count.
+        if self.workers > 1 and self.shards == 1:
+            object.__setattr__(self, "shards", self.workers)
+        if self.shards == 1 and self.workers == 1 and self.strategy == "namespace":
+            return  # the default: no scale-out, nothing further to validate
+        from repro.engine.shards import ROUTING_STRATEGIES
+
+        ROUTING_STRATEGIES.get(self.strategy)  # unknown keys raise UnknownKeyError
+        if self.mode != "streaming":
+            raise RunSpecError(
+                f"shards={self.shards}/workers={self.workers}/strategy={self.strategy!r} "
+                f"require mode='streaming'; got mode={self.mode!r}"
+            )
+        if self.workers > 1 and self.shards != self.workers:
+            raise RunSpecError(
+                f"a process pool runs one shard per worker; got shards={self.shards} "
+                f"with workers={self.workers} (pass shards=workers, or shards= alone "
+                f"for the in-process router)"
+            )
+        if self.workers == 1 and self.shards > 1 and self.strategy != "namespace":
+            raise RunSpecError(
+                f"the in-process router supports only strategy='namespace'; "
+                f"strategy={self.strategy!r} needs workers={self.shards} "
+                f"(a process pool with replicated capacity maps)"
+            )
+        if not isinstance(self.algorithm, str):
+            raise RunSpecError(
+                "sharded streaming requires an algorithm registry key (sessions are "
+                "built per shard/worker); callable algorithms cannot be sharded"
+            )
+        if self.probe is not None:
+            raise RunSpecError(
+                "probe= is incompatible with sharded streaming (there is no single "
+                "in-process algorithm object to probe); drop the probe or run with "
+                "shards=1, workers=1"
             )
 
     # -- derived views ----------------------------------------------------------------

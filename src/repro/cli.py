@@ -66,6 +66,7 @@ import argparse
 import dataclasses
 import json
 import os
+import signal
 import sys
 import time
 from pathlib import Path
@@ -76,10 +77,12 @@ from repro.core import run_admission, run_setcover
 from repro.engine.benchmarking import (
     REGRESSION_FACTOR,
     SCALING_THROUGHPUT_FLOOR,
+    check_shard_scaling,
     check_throughput_floor,
     compare_to_baseline,
     default_baseline_path,
     run_scaling_bench,
+    run_shard_scaling_suite,
     run_stream_resume_bench,
     run_sweep_bench,
     run_weight_update_bench,
@@ -224,8 +227,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument("--seed", type=int, default=0, help="session RNG seed")
     serve_parser.add_argument(
-        "--shards", type=int, default=1,
-        help="partition namespaced edges across N independent sessions (default: 1)",
+        "--shards", type=int, default=None,
+        help="partition namespaced edges across N independent sessions, in-process "
+        "(default: 1; on --resume the checkpoint's count, which must match when given)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="run the shards in N worker processes (a ProcessShardPool with "
+        "shared-memory traces) instead of in-process (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--strategy", default="namespace",
+        help="routing strategy for --workers pools: namespace (bit-compatible with "
+        "the in-process router), round_robin, least_loaded, cost_aware "
+        "(default: namespace)",
     )
     serve_parser.add_argument(
         "--batch", type=int, default=64, help="micro-batch size through the compiled path"
@@ -270,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--scaling-requests", type=int, default=None,
         help="override the scaling workload's request count (testing hook)",
+    )
+    bench_parser.add_argument(
+        "--shard-requests", type=int, default=None,
+        help="override the shard-scaling workload's arrival count (testing hook; "
+        "also forces the shard sweep to run under --quick)",
     )
     bench_parser.add_argument(
         "--stream-requests", type=int, default=None,
@@ -439,12 +459,16 @@ def _cmd_serve(args, out) -> int:
     """Stream a JSONL trace through the streaming admission service.
 
     The loop is deliberately dumb: read arrivals, micro-batch them into the
-    session (or the sharded router), append decisions to ``--log``, write a
-    checkpoint every ``--checkpoint-every`` arrivals and once more at the
-    end.  ``--resume`` restores the checkpoint and skips the arrivals it
-    already processed, so an interrupted serve continues exactly where it
-    stopped — the combined decision log is identical to an uninterrupted run.
+    session (or the sharded router, or a multi-process pool with
+    ``--workers``), append decisions to ``--log``, write a checkpoint every
+    ``--checkpoint-every`` arrivals and once more at the end.  ``--resume``
+    restores the checkpoint and skips the arrivals it already processed, so
+    an interrupted serve continues exactly where it stopped — the combined
+    decision log is identical to an uninterrupted run.  SIGTERM triggers a
+    graceful shutdown: the in-flight micro-batch drains, the checkpoint is
+    written, and the process exits 0 — so ``--resume`` continues seamlessly.
     """
+    from repro.engine.shards import POOL_CHECKPOINT_KIND, ProcessShardPool
     from repro.engine.streaming import (
         ROUTER_CHECKPOINT_KIND,
         ShardedStreamRouter,
@@ -462,27 +486,91 @@ def _cmd_serve(args, out) -> int:
     if args.checkpoint_every > 0 and args.checkpoint is None:
         print("error: --checkpoint-every requires --checkpoint", file=out)
         return 2
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be >= 1", file=out)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=out)
+        return 2
+    if args.shards is not None and args.workers > 1 and args.shards != args.workers:
+        print(
+            f"error: a worker pool runs one shard per worker; "
+            f"got --shards {args.shards} with --workers {args.workers}",
+            file=out,
+        )
+        return 2
+    if args.workers == 1 and args.strategy != "namespace":
+        print(
+            f"error: --strategy {args.strategy} routes across worker processes; "
+            f"it requires --workers >= 2 (the in-process router is namespace-only)",
+            file=out,
+        )
+        return 2
 
+    pool: Optional[ProcessShardPool] = None
     stream = stream_trace(args.trace)
     if args.resume:
         # The checkpoint is self-describing: dispatch on its kind so a
-        # sharded run resumes correctly whether or not --shards is repeated.
+        # sharded run resumes correctly whether or not --shards/--workers is
+        # repeated — but when they *are* repeated they must agree with the
+        # checkpoint (a namespace partition is only valid at its own count).
         document = load_checkpoint(args.checkpoint, expected_kind=None)
-        if document.get("kind") == ROUTER_CHECKPOINT_KIND:
+        kind = document.get("kind")
+        if kind == POOL_CHECKPOINT_KIND:
+            if args.workers > 1 and int(document["num_workers"]) != args.workers:
+                print(
+                    f"error: checkpoint was written by a {document['num_workers']}-worker "
+                    f"pool; resume with --workers {document['num_workers']} (or omit "
+                    f"--workers to accept the checkpoint's count)",
+                    file=out,
+                )
+                return 2
+            service = pool = ProcessShardPool.restore(
+                document, backend=args.backend, retain_log=False
+            )
+        elif kind == ROUTER_CHECKPOINT_KIND:
+            if args.shards is not None and int(document["num_shards"]) != args.shards:
+                print(
+                    f"error: checkpoint was written by a {document['num_shards']}-shard "
+                    f"router; resume with --shards {document['num_shards']} (or omit "
+                    f"--shards to accept the checkpoint's count)",
+                    file=out,
+                )
+                return 2
             service = ShardedStreamRouter.restore(
                 document, backend=args.backend, retain_log=False
             )
         else:
+            if args.workers > 1 or (args.shards is not None and args.shards > 1):
+                print(
+                    "error: checkpoint holds a single un-sharded session; resume "
+                    "without --shards/--workers (re-sharding a live run would "
+                    "misroute its state)",
+                    file=out,
+                )
+                return 2
             service = StreamingSession.restore(
                 document, backend=args.backend, retain_log=False
             )
         skip = service.num_processed
     else:
         backend = args.backend or "python"
-        if args.shards > 1:
+        shards = args.shards if args.shards is not None else 1
+        if args.workers > 1:
+            service = pool = ProcessShardPool(
+                stream.capacities,
+                args.workers,
+                algorithm=args.algorithm,
+                strategy=args.strategy,
+                backend=backend,
+                seed=args.seed,
+                retain_log=False,
+                name=f"serve:{args.trace.stem}",
+            )
+        elif shards > 1:
             service = ShardedStreamRouter(
                 stream.capacities,
-                args.shards,
+                shards,
                 algorithm=args.algorithm,
                 backend=backend,
                 seed=args.seed,
@@ -511,6 +599,20 @@ def _cmd_serve(args, out) -> int:
         if len(lines) > service.num_decisions:
             with open(args.log, "w", encoding="utf-8") as fh:
                 fh.writelines(lines[: service.num_decisions])
+
+    # Graceful shutdown: SIGTERM sets a flag the serve loop checks between
+    # micro-batches — the in-flight batch drains, the checkpoint is written,
+    # and --resume later continues exactly where the signal landed.
+    shutdown_requested = False
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal timing
+        nonlocal shutdown_requested
+        shutdown_requested = True
+
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - non-main-thread (embedded) use
+        previous_sigterm = None
 
     log_fh = open(args.log, "a", encoding="utf-8") if args.log is not None else None
     processed = 0
@@ -550,7 +652,7 @@ def _cmd_serve(args, out) -> int:
         # decode, no Request construction — so resume costs O(remaining).
         stream.skip(skip)
         for request in stream:
-            if processed >= budget:
+            if processed >= budget or shutdown_requested:
                 break
             chunk.append(request)
             if len(chunk) >= min(args.batch, budget - processed):
@@ -560,16 +662,29 @@ def _cmd_serve(args, out) -> int:
             flush(chunk)
         if args.checkpoint is not None:
             save_checkpoint()
+        summary = service.summary()
     finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
         if log_fh is not None:
             log_fh.close()
         stream.close()
+        if pool is not None:
+            # Stops the workers and unlinks any shared-memory segments, on
+            # the success and failure paths alike.
+            pool.close()
 
-    summary = service.summary()
+    if shutdown_requested:
+        print(
+            f"SIGTERM: drained in-flight batch and "
+            f"{'checkpointed' if args.checkpoint is not None else 'stopped'} "
+            f"after {processed} arrivals this run",
+            file=out,
+        )
     verb = "resumed at" if args.resume else "served from"
+    total = summary.get("processed", processed + skip)
     print(
-        f"{verb} arrival {skip}: processed {processed} arrivals "
-        f"({service.num_processed} total)",
+        f"{verb} arrival {skip}: processed {processed} arrivals ({total} total)",
         file=out,
     )
     print(json.dumps(summary, sort_keys=True, indent=2), file=out)
@@ -626,6 +741,22 @@ def _cmd_bench(args, out) -> int:
                 f"{result.requests_per_sec:,.0f} req/s)",
                 file=out,
             )
+    shard_workload = scaling_100k
+    if args.shard_requests is not None:
+        shard_workload = dataclasses.replace(scaling_100k, num_requests=args.shard_requests)
+    shard_results = []
+    if not args.quick or args.shard_requests is not None:
+        # Multi-process sweep on the numpy backend only: the pool measures
+        # process scale-out, and one compiled trace is shared across counts.
+        shard_results = run_shard_scaling_suite("numpy", shard_workload)
+        results.extend(shard_results)
+        for result in shard_results:
+            print(
+                f"{result.name}[{result.backend}]: {result.seconds:.3f}s "
+                f"({result.requests} requests over the shared-memory pool, "
+                f"{result.requests_per_sec:,.0f} req/s)",
+                file=out,
+            )
     sweep = sweep_workload()
     for backend in _backend_choices():
         result = run_sweep_bench(backend, sweep)
@@ -663,6 +794,7 @@ def _cmd_bench(args, out) -> int:
                 "weight_update": dataclasses.asdict(workload),
                 "scaling_10k": dataclasses.asdict(scaling),
                 "scaling_100k": dataclasses.asdict(scaling_100k),
+                "shard_scaling": dataclasses.asdict(shard_workload),
                 "sweep_small": dataclasses.asdict(sweep),
                 "stream_resume": dataclasses.asdict(stream),
             },
@@ -675,7 +807,9 @@ def _cmd_bench(args, out) -> int:
 
     lines, failures = compare_to_baseline(results, baseline_path)
     floor_lines, floor_failures = check_throughput_floor(results)
-    for line in lines + floor_lines:
+    shard_lines, shard_failures = check_shard_scaling(shard_results)
+    floor_failures = floor_failures + shard_failures
+    for line in lines + floor_lines + shard_lines:
         print(line, file=out)
     if failures:
         print(

@@ -37,10 +37,11 @@ suite measure the same thing.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,11 +64,17 @@ __all__ = [
     "run_scaling_bench",
     "run_sweep_bench",
     "run_stream_resume_bench",
+    "run_shard_scaling_bench",
+    "run_shard_scaling_suite",
     "scaling_100k_workload",
     "compare_to_baseline",
     "check_throughput_floor",
+    "check_shard_scaling",
+    "available_cpus",
     "REGRESSION_FACTOR",
     "SCALING_THROUGHPUT_FLOOR",
+    "SHARD_SCALING_MIN_SPEEDUP",
+    "SHARD_SCALING_WORKER_COUNTS",
     "default_baseline_path",
 ]
 
@@ -89,6 +96,23 @@ SCALING_THROUGHPUT_FLOOR: Dict[str, float] = {
     "numpy": 15_000.0,
     "numba": 27_000.0,
 }
+
+#: Required aggregate-throughput speedup of the 4-worker shard pool over one
+#: worker on the 100k scaling trace — enforced only when the host actually has
+#: >= 4 CPUs (see :func:`check_shard_scaling`); a single-core container cannot
+#: demonstrate multi-process scaling no matter how good the code is.
+SHARD_SCALING_MIN_SPEEDUP = 2.5
+
+#: The worker counts the shard-scaling benchmark sweeps.
+SHARD_SCALING_WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -442,6 +466,145 @@ def run_stream_resume_bench(
         fractional_cost=session.algorithm.fractional_cost(),
         requests=workload.num_requests,
     )
+
+
+def run_shard_scaling_bench(
+    backend: str,
+    workload: Optional[ScalingWorkload] = None,
+    num_workers: int = 1,
+    *,
+    strategy: str = "round_robin",
+    chunk: int = 4096,
+    compiled=None,
+) -> BenchResult:
+    """Time the multi-process shard pool over the (shared-memory) scaling trace.
+
+    The compiled trace's CSR arrays are published once via shared memory and
+    mapped zero-copy by every worker; arrivals then stream as ``[lo, hi)``
+    ranges (two integers per batch over the pipe) routed by ``strategy``.
+    The measured window covers publish + routing + processing + drain — the
+    steady-state serving cost — but not pool construction (process startup is
+    a one-time service cost, not throughput).  Pass ``compiled`` to share one
+    compilation across worker counts, which is exactly what the pool design
+    pays for.
+
+    The scaling workload's integer edge ids all share the ``default``
+    namespace, so the sweep uses a replica strategy (``round_robin`` by
+    default): every worker holds the full capacity map and whole ranges
+    spread across them.
+    """
+    from repro.engine.shards import ProcessShardPool
+
+    workload = workload or scaling_100k_workload()
+    instance = workload.instance()
+    if compiled is None:
+        compiled = compile_instance(instance)
+    with ProcessShardPool(
+        instance.capacities,
+        num_workers,
+        "fractional",
+        strategy=strategy,
+        backend=backend,
+        record=False,
+        seed=workload.seed,
+        algorithm_kwargs={"g": workload.g},
+        retain_log=False,
+        name=f"shard-scaling-{num_workers}w",
+    ) as pool:
+        start = time.perf_counter()
+        pool.publish_trace(compiled)
+        for lo in range(0, compiled.num_requests, chunk):
+            pool.submit_range(lo, min(lo + chunk, compiled.num_requests))
+        pool.drain()
+        seconds = time.perf_counter() - start
+        summary = pool.summary()
+    lines = list(summary["shards"].values())
+    return BenchResult(
+        name=f"shard_scaling_{num_workers}w",
+        backend=backend,
+        seconds=seconds,
+        augmentations=int(sum(line.get("augmentations") or 0 for line in lines)),
+        fractional_cost=float(sum(line.get("fractional_cost") or 0.0 for line in lines)),
+        requests=workload.num_requests,
+    )
+
+
+def run_shard_scaling_suite(
+    backend: str,
+    workload: Optional[ScalingWorkload] = None,
+    *,
+    worker_counts: Sequence[int] = SHARD_SCALING_WORKER_COUNTS,
+    strategy: str = "round_robin",
+) -> List[BenchResult]:
+    """Sweep the shard pool over ``worker_counts``, compiling the trace once."""
+    workload = workload or scaling_100k_workload()
+    compiled = compile_instance(workload.instance())
+    return [
+        run_shard_scaling_bench(
+            backend, workload, n, strategy=strategy, compiled=compiled
+        )
+        for n in worker_counts
+    ]
+
+
+def check_shard_scaling(results: List[BenchResult]) -> Tuple[List[str], List[str]]:
+    """Gate the shard pool's 4-worker speedup over 1 worker.
+
+    The acceptance target is >= :data:`SHARD_SCALING_MIN_SPEEDUP` x aggregate
+    req/s at 4 workers vs 1 on the 100k scaling trace.  Multi-process scaling
+    is physically bounded by the host's cores, so the check *enforces* only
+    when :func:`available_cpus` reports >= 4 (and the workload is full-size);
+    otherwise it reports the honest numbers and records the gate as skipped —
+    a single-core CI runner measures IPC overhead, not scaling.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    by_count: Dict[int, BenchResult] = {}
+    for result in results:
+        if result.name.startswith("shard_scaling_") and result.name.endswith("w"):
+            try:
+                by_count[int(result.name[len("shard_scaling_") : -1])] = result
+            except ValueError:  # pragma: no cover - foreign result name
+                continue
+    if not by_count:
+        return lines, failures
+    base = by_count.get(1)
+    for count in sorted(by_count):
+        result = by_count[count]
+        if base is not None and base.requests_per_sec > 0:
+            factor = result.requests_per_sec / base.requests_per_sec
+            suffix = f" ({factor:.2f}x vs 1 worker)"
+        else:
+            suffix = ""
+        lines.append(
+            f"shard_scaling_{count}w[{result.backend}]: "
+            f"{result.requests_per_sec:,.0f} req/s{suffix}"
+        )
+    four = by_count.get(4)
+    if base is None or four is None or base.requests_per_sec <= 0:
+        return lines, failures
+    cpus = available_cpus()
+    if cpus < 4:
+        lines.append(
+            f"shard_scaling gate skipped: {cpus} CPU(s) available, >= 4 needed to "
+            f"demonstrate the {SHARD_SCALING_MIN_SPEEDUP:.1f}x target"
+        )
+        return lines, failures
+    if base.requests < 50_000:
+        lines.append(
+            "shard_scaling gate skipped: shrunken testing-hook workload "
+            "(fixed costs dominate below 50k arrivals)"
+        )
+        return lines, failures
+    speedup = four.requests_per_sec / base.requests_per_sec
+    line = (
+        f"shard_scaling 4w vs 1w: {speedup:.2f}x "
+        f"(target >= {SHARD_SCALING_MIN_SPEEDUP:.1f}x)"
+    )
+    lines.append(line)
+    if speedup < SHARD_SCALING_MIN_SPEEDUP:
+        failures.append(f"{line} — below the shard-scaling floor")
+    return lines, failures
 
 
 def default_baseline_path() -> Path:

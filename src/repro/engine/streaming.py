@@ -48,6 +48,7 @@ from repro.instances.request import EdgeId, Request, RequestSequence
 from repro.instances.serialize import (
     CHECKPOINT_KIND,
     CHECKPOINT_SCHEMA,
+    CheckpointFormatError,
     decode_edge_id,
     dump_checkpoint,
     encode_edge_id,
@@ -62,6 +63,7 @@ __all__ = [
     "STREAMING_ALGORITHMS",
     "ROUTER_CHECKPOINT_KIND",
     "default_namespace",
+    "validate_shard_partition",
 ]
 
 #: The ``kind`` field of a router checkpoint (a vector of session checkpoints).
@@ -301,6 +303,36 @@ class StreamingSession:
         self.num_processed += len(batch)
         return self._sync_log()
 
+    def submit_compiled_range(self, compiled, lo: int, hi: int) -> List[Dict[str, Any]]:
+        """Process arrivals ``lo..hi`` of an already-compiled trace.
+
+        The zero-copy sibling of :meth:`submit_batch`: when the caller holds a
+        :class:`~repro.instances.compiled.CompiledInstance` (recorded trace,
+        shared-memory segment mapped by a shard worker), streaming a range
+        through it skips the per-batch ``compile_sequence``.  The compiled
+        interning may differ from the session's — the algorithm's range path
+        translates (or fast-paths the identical-order case).  Decisions are
+        identical to :meth:`submit_batch` over the same requests.
+        """
+        if not 0 <= lo <= hi <= compiled.num_requests:
+            raise ValueError(
+                f"range [{lo}, {hi}) out of bounds for {compiled.num_requests} requests"
+            )
+        if lo == hi:
+            return []
+        if hasattr(self._algorithm, "process_compiled_range"):
+            self._algorithm.process_compiled_range(
+                compiled, lo, hi, vectorized=self.vectorized
+            )
+        elif hasattr(self._algorithm, "process_indexed"):
+            for i in range(lo, hi):
+                self._algorithm.process_indexed(compiled, i)
+        else:
+            for i in range(lo, hi):
+                self._algorithm.process(compiled.request(i))
+        self.num_processed += hi - lo
+        return self._sync_log()
+
     def submit_stream(
         self, requests: Iterable[Request], *, batch_size: int = 64
     ) -> int:
@@ -431,6 +463,48 @@ def default_namespace(edge: EdgeId) -> str:
     """
     text = edge if isinstance(edge, str) else repr(edge)
     return text.split(":", 1)[0] if ":" in text else "default"
+
+
+def validate_shard_partition(
+    shards: List[Optional[Mapping[str, Any]]],
+    num_shards: int,
+    namespace_of: Optional[Callable[[EdgeId], str]] = None,
+    *,
+    what: str = "checkpoint",
+) -> None:
+    """Check a vector of shard checkpoints against a shard count.
+
+    A namespace-partitioned checkpoint is only meaningful at the shard count
+    it was written with: ``stable_seed(namespace) % num_shards`` changes with
+    ``num_shards``, so resuming a 4-shard checkpoint as a 2-shard router would
+    silently misroute every future arrival (new traffic hashed to shard 1 of
+    2, historical weights sitting in shard 3 of 4).  This validates both the
+    vector length and — for every edge in every non-empty shard — that the
+    edge's namespace still hashes to the shard index it was checkpointed in.
+    Raises :class:`~repro.instances.serialize.CheckpointFormatError` on any
+    mismatch, naming the offending shard/namespace.
+    """
+    resolve = namespace_of or default_namespace
+    if len(shards) != int(num_shards):
+        raise CheckpointFormatError(
+            f"{what} carries {len(shards)} shard slots but num_shards={num_shards}; "
+            "a namespace partition is only valid at the shard count it was written "
+            "with — resume with the original count (or re-shard via a fresh run)"
+        )
+    for index, shard in enumerate(shards):
+        if shard is None:
+            continue
+        for item in shard.get("capacities", []):
+            edge = decode_edge_id(item["edge"])
+            namespace = resolve(edge)
+            expected = stable_seed(namespace, "stream-shard") % int(num_shards)
+            if expected != index:
+                raise CheckpointFormatError(
+                    f"{what} shard {index} holds edge {edge!r} whose namespace "
+                    f"{namespace!r} hashes to shard {expected} of {num_shards}; the "
+                    "checkpoint was written under a different partition (changed "
+                    "shard count or namespace_of) and cannot be resumed safely"
+                )
 
 
 class ShardedStreamRouter:
@@ -602,8 +676,20 @@ class ShardedStreamRouter:
 
         ``namespace_of`` is a callable and therefore not serialisable; pass
         the same one used originally if it was customised.
+
+        The shard partition is validated before any session is rebuilt: a
+        checkpoint written at a different shard count (or under a different
+        ``namespace_of``) raises
+        :class:`~repro.instances.serialize.CheckpointFormatError` instead of
+        silently misrouting namespaces whose hash slot moved.
         """
         validate_checkpoint(checkpoint, expected_kind=ROUTER_CHECKPOINT_KIND)
+        validate_shard_partition(
+            list(checkpoint["shards"]),
+            int(checkpoint["num_shards"]),
+            namespace_of,
+            what="router checkpoint",
+        )
         router = cls.__new__(cls)
         router.num_shards = int(checkpoint["num_shards"])
         router.algorithm_key = checkpoint["algorithm"]
