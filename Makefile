@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint typecheck examples-smoke serve-smoke shard-smoke bench-smoke bench-baseline bench-suite profile profile-scaling ci
+.PHONY: test lint typecheck examples-smoke serve-smoke shard-smoke service-smoke bench-smoke bench-baseline bench-suite profile profile-scaling ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -70,9 +70,17 @@ shard-smoke:
 	@rm -rf .shard-smoke
 	@echo "shard smoke passed: 2-worker pool resume identical to uninterrupted run"
 
+# Network admission-service smoke: start `repro serve --listen` as a real
+# subprocess (2-worker pool), drive every arrival over TCP through the
+# AdmissionClient SDK, SIGTERM it mid-stream, resume in a fresh process, and
+# verify the combined decision log is byte-identical to an uninterrupted
+# network run — then assert no shared-memory segments or processes leaked.
+service-smoke:
+	$(PYTHON) -m repro.service.smoke
+
 # Reproduce the CI pipeline locally: lint, typecheck, tests, examples smoke,
-# serve smoke, shard smoke, bench gate.
-ci: lint typecheck test examples-smoke serve-smoke shard-smoke bench-smoke
+# serve smoke, shard smoke, service smoke, bench gate.
+ci: lint typecheck test examples-smoke serve-smoke shard-smoke service-smoke bench-smoke
 
 # Weight-update + 10k-request scaling benchmarks per backend; fails on a >2x
 # regression against benchmarks/baseline_bench.json.

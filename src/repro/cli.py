@@ -53,6 +53,23 @@ appending decisions to ``--log``, and checkpointing to ``--checkpoint`` every
     python -m repro serve --trace day1.jsonl --checkpoint state.json --resume \
         --log decisions.jsonl                 # continues exactly where it stopped
 
+With ``--listen HOST:PORT`` the same subcommand becomes a long-lived network
+admission service (the asyncio front door in :mod:`repro.service`): arrivals
+come in over a versioned JSON wire protocol instead of the trace (the trace
+still supplies the capacity map), SIGTERM drains in-flight requests, writes
+the checkpoint and exits 0, and ``--resume`` restores a byte-identical
+decision log.  ``repro loadtest`` drives a running service and reports
+sustained req/s plus p50/p99 admission latency::
+
+    python -m repro serve --trace day1.jsonl --listen 127.0.0.1:7411 \
+        --workers 2 --checkpoint state.json --log decisions.jsonl
+    python -m repro loadtest --connect 127.0.0.1:7411 --trace day1.jsonl \
+        --concurrency 4 --batch 8
+
+Both subcommands are thin adapters over one frozen, eagerly-validated
+:class:`~repro.service.ServiceConfig` — the service-layer analogue of
+:class:`~repro.api.spec.RunSpec`.
+
 The CLI prints exactly the tables recorded in EXPERIMENTS.md (on the chosen
 grid) so results can be regenerated and diffed from a shell.  ``--backend``
 selects the weight-mechanism backend every algorithm is built with, and
@@ -65,8 +82,6 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
-import os
-import signal
 import sys
 import time
 from pathlib import Path
@@ -82,12 +97,14 @@ from repro.engine.benchmarking import (
     compare_to_baseline,
     default_baseline_path,
     run_scaling_bench,
+    run_service_loadtest_bench,
     run_shard_scaling_suite,
     run_stream_resume_bench,
     run_sweep_bench,
     run_weight_update_bench,
     scaling_100k_workload,
     scaling_workload,
+    service_loadtest_workload,
     stream_resume_workload,
     sweep_workload,
     weight_update_workload,
@@ -128,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "what",
         nargs="?",
         default="all",
-        choices=["all", "experiments", "algorithms", "scenarios", "backends"],
+        choices=["all", "experiments", "algorithms", "scenarios", "backends", "strategies"],
         help="which registry section to print (default: all)",
     )
 
@@ -217,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", type=Path, required=True, help="JSONL trace to stream (see `repro sweep --trace`)"
     )
     serve_parser.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve admission requests over TCP instead of replaying the trace "
+        "(the trace still supplies the capacity map; port 0 binds an ephemeral "
+        "port, printed on startup)",
+    )
+    serve_parser.add_argument(
         "--algorithm", default="doubling",
         help="streaming algorithm key: fractional, randomized, doubling, "
         "doubling-fractional (default: doubling)",
@@ -246,6 +269,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=64, help="micro-batch size through the compiled path"
     )
     serve_parser.add_argument(
+        "--batch-wait-ms", type=float, default=2.0, metavar="MS",
+        help="with --listen, wait up to MS milliseconds to coalesce concurrent "
+        "requests into one engine micro-batch (default: 2.0)",
+    )
+    serve_parser.add_argument(
         "--checkpoint", type=Path, default=None,
         help="checkpoint file to write (and to resume from with --resume)",
     )
@@ -264,6 +292,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--log", type=Path, default=None,
         help="append every decision as one JSONL line (resume keeps appending)",
+    )
+
+    loadtest_parser = subparsers.add_parser(
+        "loadtest",
+        help="drive a running admission service and report req/s + p50/p99 latency",
+    )
+    loadtest_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="address of the running service (see `repro serve --listen`)",
+    )
+    loadtest_parser.add_argument(
+        "--trace", type=Path, required=True,
+        help="JSONL trace supplying the arrivals to submit",
+    )
+    loadtest_parser.add_argument(
+        "--concurrency", type=int, default=1,
+        help="client connections driving the service in parallel (default: 1)",
+    )
+    loadtest_parser.add_argument(
+        "--batch", type=int, default=1,
+        help="arrivals per submit_batch round trip (1 = one submit per call)",
+    )
+    loadtest_parser.add_argument(
+        "--max-arrivals", type=int, default=None, metavar="N",
+        help="submit only the trace's first N arrivals",
+    )
+    loadtest_parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the measurements as JSON",
     )
 
     bench_parser = subparsers.add_parser(
@@ -294,6 +351,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--stream-requests", type=int, default=None,
         help="override the stream-resume workload's arrival count (testing hook)",
+    )
+    bench_parser.add_argument(
+        "--service-requests", type=int, default=None,
+        help="override the service-loadtest workload's request count (testing hook)",
     )
 
     return parser
@@ -336,6 +397,11 @@ def _cmd_list(args, out) -> int:
         sections.append(("scenarios", _scenario_lines()))
     if what in ("all", "backends"):
         sections.append(("weight backends", _backend_choices()))
+    if what in ("all", "strategies"):
+        ensure_builtin_registrations()
+        from repro.engine.shards import ROUTING_STRATEGIES
+
+        sections.append(("routing strategies", ROUTING_STRATEGIES.keys()))
     # Headings disambiguate whenever more than one registry prints (keys like
     # "doubling" legitimately appear in several registries).
     for index, (heading, lines) in enumerate(sections):
@@ -455,240 +521,92 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
-def _cmd_serve(args, out) -> int:
-    """Stream a JSONL trace through the streaming admission service.
+def _service_config_from_args(args):
+    """Compile serve's argparse namespace into one validated ServiceConfig."""
+    from repro.service import ServiceConfig
 
-    The loop is deliberately dumb: read arrivals, micro-batch them into the
-    session (or the sharded router, or a multi-process pool with
-    ``--workers``), append decisions to ``--log``, write a checkpoint every
-    ``--checkpoint-every`` arrivals and once more at the end.  ``--resume``
-    restores the checkpoint and skips the arrivals it already processed, so
-    an interrupted serve continues exactly where it stopped — the combined
-    decision log is identical to an uninterrupted run.  SIGTERM triggers a
-    graceful shutdown: the in-flight micro-batch drains, the checkpoint is
-    written, and the process exits 0 — so ``--resume`` continues seamlessly.
-    """
-    from repro.engine.shards import POOL_CHECKPOINT_KIND, ProcessShardPool
-    from repro.engine.streaming import (
-        ROUTER_CHECKPOINT_KIND,
-        ShardedStreamRouter,
-        StreamingSession,
+    return ServiceConfig(
+        trace=args.trace,
+        listen=args.listen,
+        algorithm=args.algorithm,
+        backend=args.backend,
+        seed=args.seed,
+        shards=args.shards,
+        workers=args.workers,
+        strategy=args.strategy,
+        batch=args.batch,
+        batch_wait_ms=args.batch_wait_ms,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        max_arrivals=args.max_arrivals,
+        log=args.log,
     )
-    from repro.instances.serialize import load_checkpoint
-    from repro.scenarios.trace import stream_trace
 
-    if args.batch < 1:
-        print("error: --batch must be >= 1", file=out)
-        return 2
-    if args.resume and args.checkpoint is None:
-        print("error: --resume requires --checkpoint", file=out)
-        return 2
-    if args.checkpoint_every > 0 and args.checkpoint is None:
-        print("error: --checkpoint-every requires --checkpoint", file=out)
-        return 2
-    if args.shards is not None and args.shards < 1:
-        print("error: --shards must be >= 1", file=out)
-        return 2
-    if args.workers < 1:
-        print("error: --workers must be >= 1", file=out)
-        return 2
-    if args.shards is not None and args.workers > 1 and args.shards != args.workers:
-        print(
-            f"error: a worker pool runs one shard per worker; "
-            f"got --shards {args.shards} with --workers {args.workers}",
-            file=out,
-        )
-        return 2
-    if args.workers == 1 and args.strategy != "namespace":
-        print(
-            f"error: --strategy {args.strategy} routes across worker processes; "
-            f"it requires --workers >= 2 (the in-process router is namespace-only)",
-            file=out,
-        )
-        return 2
 
-    pool: Optional[ProcessShardPool] = None
-    stream = stream_trace(args.trace)
-    if args.resume:
-        # The checkpoint is self-describing: dispatch on its kind so a
-        # sharded run resumes correctly whether or not --shards/--workers is
-        # repeated — but when they *are* repeated they must agree with the
-        # checkpoint (a namespace partition is only valid at its own count).
-        document = load_checkpoint(args.checkpoint, expected_kind=None)
-        kind = document.get("kind")
-        if kind == POOL_CHECKPOINT_KIND:
-            if args.workers > 1 and int(document["num_workers"]) != args.workers:
-                print(
-                    f"error: checkpoint was written by a {document['num_workers']}-worker "
-                    f"pool; resume with --workers {document['num_workers']} (or omit "
-                    f"--workers to accept the checkpoint's count)",
-                    file=out,
-                )
-                return 2
-            service = pool = ProcessShardPool.restore(
-                document, backend=args.backend, retain_log=False
-            )
-        elif kind == ROUTER_CHECKPOINT_KIND:
-            if args.shards is not None and int(document["num_shards"]) != args.shards:
-                print(
-                    f"error: checkpoint was written by a {document['num_shards']}-shard "
-                    f"router; resume with --shards {document['num_shards']} (or omit "
-                    f"--shards to accept the checkpoint's count)",
-                    file=out,
-                )
-                return 2
-            service = ShardedStreamRouter.restore(
-                document, backend=args.backend, retain_log=False
-            )
-        else:
-            if args.workers > 1 or (args.shards is not None and args.shards > 1):
-                print(
-                    "error: checkpoint holds a single un-sharded session; resume "
-                    "without --shards/--workers (re-sharding a live run would "
-                    "misroute its state)",
-                    file=out,
-                )
-                return 2
-            service = StreamingSession.restore(
-                document, backend=args.backend, retain_log=False
-            )
-        skip = service.num_processed
-    else:
-        backend = args.backend or "python"
-        shards = args.shards if args.shards is not None else 1
-        if args.workers > 1:
-            service = pool = ProcessShardPool(
-                stream.capacities,
-                args.workers,
-                algorithm=args.algorithm,
-                strategy=args.strategy,
-                backend=backend,
-                seed=args.seed,
-                retain_log=False,
-                name=f"serve:{args.trace.stem}",
-            )
-        elif shards > 1:
-            service = ShardedStreamRouter(
-                stream.capacities,
-                shards,
-                algorithm=args.algorithm,
-                backend=backend,
-                seed=args.seed,
-                # The serve loop streams entries straight to --log; keeping a
-                # second in-memory copy would grow without bound.
-                retain_log=False,
-                name=f"serve:{args.trace.stem}",
-            )
-        else:
-            service = StreamingSession(
-                stream.capacities,
-                algorithm=args.algorithm,
-                backend=backend,
-                seed=args.seed,
-                retain_log=False,
-                name=f"serve:{args.trace.stem}",
-            )
-        skip = 0
+def _cmd_serve(args, out) -> int:
+    """Thin adapter: argparse namespace -> ServiceConfig -> the right loop.
 
-    if args.resume and args.log is not None and args.log.exists():
-        # A crash can land between the last durable log flush and the next
-        # checkpoint; resume then reprocesses those arrivals and would append
-        # their decisions twice.  The checkpoint knows exactly how many
-        # decision entries it covers, so truncate the log to that prefix.
-        lines = args.log.read_text(encoding="utf-8").splitlines(keepends=True)
-        if len(lines) > service.num_decisions:
-            with open(args.log, "w", encoding="utf-8") as fh:
-                fh.writelines(lines[: service.num_decisions])
-
-    # Graceful shutdown: SIGTERM sets a flag the serve loop checks between
-    # micro-batches — the in-flight batch drains, the checkpoint is written,
-    # and --resume later continues exactly where the signal landed.
-    shutdown_requested = False
-
-    def _on_sigterm(signum, frame):  # pragma: no cover - signal timing
-        nonlocal shutdown_requested
-        shutdown_requested = True
+    Everything interesting lives in :mod:`repro.service`: the frozen config
+    validates eagerly (every ``error:`` line below is its message, verbatim),
+    ``serve_replay`` is the classic trace-replay loop, and
+    :class:`~repro.service.AdmissionService` is the asyncio front door that
+    ``--listen`` selects.
+    """
+    from repro.engine.registry import RegistryError
+    from repro.instances.serialize import CheckpointFormatError, TraceFormatError
+    from repro.service import AdmissionService, ServiceConfigError
+    from repro.service.runtime import serve_replay
 
     try:
-        previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
-    except ValueError:  # pragma: no cover - non-main-thread (embedded) use
-        previous_sigterm = None
+        config = _service_config_from_args(args)
+        if config.is_network:
+            return AdmissionService(config, out=out).run()
+        return serve_replay(config, out)
+    except (ServiceConfigError, RegistryError, CheckpointFormatError, TraceFormatError) as err:
+        print(f"error: {err}", file=out)
+        return 2
 
-    log_fh = open(args.log, "a", encoding="utf-8") if args.log is not None else None
-    processed = 0
-    since_checkpoint = 0
+
+def _cmd_loadtest(args, out) -> int:
+    """Drive a running admission service and report throughput + latency."""
+    from repro.instances.serialize import load_admission_trace
+    from repro.service import ServiceError, run_loadtest
+    from repro.service.config import ServiceConfigError, parse_address
+
     try:
-
-        def save_checkpoint() -> None:
-            # Durability order: the decision lines covered by a checkpoint
-            # must be on disk *before* the checkpoint claims them, or a crash
-            # right after the (atomic) checkpoint write would lose decisions
-            # that --resume will then never replay.
-            if log_fh is not None:
-                log_fh.flush()
-                os.fsync(log_fh.fileno())
-            service.save(args.checkpoint)
-
-        chunk = []
-        budget = args.max_arrivals if args.max_arrivals is not None else float("inf")
-
-        def flush(batch) -> None:
-            nonlocal processed, since_checkpoint
-            entries = service.submit_batch(batch)
-            if log_fh is not None:
-                for entry in entries:
-                    log_fh.write(json.dumps(entry, sort_keys=True) + "\n")
-            processed += len(batch)
-            since_checkpoint += len(batch)
-            if (
-                args.checkpoint is not None
-                and args.checkpoint_every > 0
-                and since_checkpoint >= args.checkpoint_every
-            ):
-                save_checkpoint()
-                since_checkpoint = 0
-
-        # Skip the arrivals the checkpoint attests to as raw lines — no JSON
-        # decode, no Request construction — so resume costs O(remaining).
-        stream.skip(skip)
-        for request in stream:
-            if processed >= budget or shutdown_requested:
-                break
-            chunk.append(request)
-            if len(chunk) >= min(args.batch, budget - processed):
-                flush(chunk)
-                chunk = []
-        if chunk:
-            flush(chunk)
-        if args.checkpoint is not None:
-            save_checkpoint()
-        summary = service.summary()
-    finally:
-        if previous_sigterm is not None:
-            signal.signal(signal.SIGTERM, previous_sigterm)
-        if log_fh is not None:
-            log_fh.close()
-        stream.close()
-        if pool is not None:
-            # Stops the workers and unlinks any shared-memory segments, on
-            # the success and failure paths alike.
-            pool.close()
-
-    if shutdown_requested:
-        print(
-            f"SIGTERM: drained in-flight batch and "
-            f"{'checkpointed' if args.checkpoint is not None else 'stopped'} "
-            f"after {processed} arrivals this run",
-            file=out,
+        host, port = parse_address(args.connect, flag="--connect")
+        if args.concurrency < 1:
+            raise ServiceConfigError("--concurrency must be >= 1")
+        if args.batch < 1:
+            raise ServiceConfigError("--batch must be >= 1")
+        if not args.trace.exists():
+            raise ServiceConfigError(f"trace file not found: {args.trace}")
+    except ServiceConfigError as err:
+        print(f"error: {err}", file=out)
+        return 2
+    requests = list(load_admission_trace(str(args.trace)).requests)
+    if args.max_arrivals is not None:
+        requests = requests[: args.max_arrivals]
+    try:
+        result = run_loadtest(
+            host, port, requests, concurrency=args.concurrency, batch=args.batch
         )
-    verb = "resumed at" if args.resume else "served from"
-    total = summary.get("processed", processed + skip)
+    except (ServiceError, OSError) as err:
+        print(f"error: {err}", file=out)
+        return 1
+    record = result.record()
     print(
-        f"{verb} arrival {skip}: processed {processed} arrivals ({total} total)",
+        f"loadtest: {record['requests']} requests over {args.concurrency} connection(s) "
+        f"in {record['seconds']:.3f}s — {record['requests_per_sec']:,.0f} req/s, "
+        f"p50 {record['p50_ms']:.3f}ms, p99 {record['p99_ms']:.3f}ms, "
+        f"{record['errors']} errors",
         file=out,
     )
-    print(json.dumps(summary, sort_keys=True, indent=2), file=out)
-    return 0
+    if args.out is not None:
+        args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"measurements written to {args.out}", file=out)
+    return 1 if record["errors"] else 0
 
 
 def _cmd_bench(args, out) -> int:
@@ -778,6 +696,21 @@ def _cmd_bench(args, out) -> int:
             f"fractional cost {result.fractional_cost:.1f})",
             file=out,
         )
+    service = service_loadtest_workload()
+    if args.service_requests is not None:
+        service = dataclasses.replace(service, num_requests=args.service_requests)
+    # Network loadtest on the numpy backend only: it measures the asyncio
+    # front door (wire codec + micro-batching dispatcher), not the engine —
+    # a second backend would time the same socket path twice.
+    result = run_service_loadtest_bench("numpy", service)
+    results.append(result)
+    print(
+        f"service_loadtest[{result.backend}]: {result.seconds:.3f}s "
+        f"({result.requests} requests over TCP, "
+        f"{result.requests_per_sec:,.0f} req/s, "
+        f"p50 {result.p50_ms:.3f}ms, p99 {result.p99_ms:.3f}ms)",
+        file=out,
+    )
     by_backend = {r.backend: r.seconds for r in results if r.name == "weight_update"}
     if "python" in by_backend and "numpy" in by_backend and by_backend["numpy"] > 0:
         print(
@@ -797,6 +730,7 @@ def _cmd_bench(args, out) -> int:
                 "shard_scaling": dataclasses.asdict(shard_workload),
                 "sweep_small": dataclasses.asdict(sweep),
                 "stream_resume": dataclasses.asdict(stream),
+                "service_loadtest": dataclasses.asdict(service),
             },
             "benchmarks": {f"{r.name}[{r.backend}]": r.seconds for r in results},
         }
@@ -845,6 +779,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_sweep(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
     parser.error(f"unknown command {args.command!r}")

@@ -55,15 +55,18 @@ __all__ = [
     "ScalingWorkload",
     "SweepWorkload",
     "StreamResumeWorkload",
+    "ServiceLoadtestWorkload",
     "BenchResult",
     "weight_update_workload",
     "scaling_workload",
     "sweep_workload",
     "stream_resume_workload",
+    "service_loadtest_workload",
     "run_weight_update_bench",
     "run_scaling_bench",
     "run_sweep_bench",
     "run_stream_resume_bench",
+    "run_service_loadtest_bench",
     "run_shard_scaling_bench",
     "run_shard_scaling_suite",
     "scaling_100k_workload",
@@ -174,6 +177,10 @@ class BenchResult:
     augmentations: int
     fractional_cost: float
     requests: int = 0
+    #: Per-call admission latency percentiles (ms); 0.0 for benchmarks that
+    #: measure throughput only (everything but ``service_loadtest``).
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
 
     @property
     def requests_per_sec(self) -> float:
@@ -465,6 +472,114 @@ def run_stream_resume_bench(
         augmentations=session.algorithm.num_augmentations,
         fractional_cost=session.algorithm.fractional_cost(),
         requests=workload.num_requests,
+    )
+
+
+@dataclass(frozen=True)
+class ServiceLoadtestWorkload:
+    """The network admission service's end-to-end load-test workload.
+
+    ``num_requests`` arrivals (the stream-resume shape) are driven over TCP
+    into a live :class:`~repro.service.server.AdmissionService` by
+    ``concurrency`` client connections submitting ``client_batch``-sized
+    micro-batches, so the measured number covers the whole serving stack:
+    wire codec, asyncio front door, dispatcher coalescing, the compiled
+    engine, and the decision replies — the steady-state cost of a network
+    admission, which no in-process benchmark sees.
+    """
+
+    num_edges: int = 256
+    num_hot: int = 8
+    num_requests: int = 2000
+    path_length: int = 3
+    capacity: int = 32
+    seed: int = 19
+    g: float = 64.0
+    concurrency: int = 2
+    client_batch: int = 8
+    server_batch: int = 64
+
+    def instance(self) -> AdmissionInstance:
+        """Materialise the deterministic admission instance."""
+        rng = np.random.default_rng(self.seed)
+        capacities: Dict[EdgeId, int] = {
+            j: self.capacity if j < self.num_hot else self.num_requests + 1
+            for j in range(self.num_edges)
+        }
+        cold = rng.integers(
+            self.num_hot, self.num_edges, size=(self.num_requests, self.path_length - 1)
+        )
+        costs = rng.uniform(1.0, 8.0, size=self.num_requests)
+        requests = []
+        for rid in range(self.num_requests):
+            edges = {rid % self.num_hot, *cold[rid].tolist()}
+            requests.append(Request(rid, frozenset(edges), float(costs[rid])))
+        return AdmissionInstance(capacities, RequestSequence(requests), name="service-loadtest")
+
+
+def service_loadtest_workload() -> ServiceLoadtestWorkload:
+    """The canonical network-service load-test workload."""
+    return ServiceLoadtestWorkload()
+
+
+def run_service_loadtest_bench(
+    backend: str, workload: Optional[ServiceLoadtestWorkload] = None
+) -> BenchResult:
+    """Drive a live admission service over TCP and measure req/s + latency.
+
+    The service runs on a background thread (loopback socket, ephemeral
+    port) over the workload's recorded trace; ``repro loadtest``'s driver
+    submits every arrival and times each round trip.  ``p50_ms``/``p99_ms``
+    carry the per-call admission latency percentiles, and
+    ``fractional_cost`` the service's final cost (a correctness canary: a
+    wire or dispatch bug that changed a decision would move it).
+    """
+    import tempfile
+
+    from repro.instances.serialize import dump_admission_trace
+    from repro.service.client import AdmissionClient
+    from repro.service.config import ServiceConfig
+    from repro.service.loadtest import run_loadtest
+    from repro.service.server import ServiceThread
+
+    workload = workload or service_loadtest_workload()
+    instance = workload.instance()
+    requests = list(instance.requests)
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as tmp:
+        trace = os.path.join(tmp, "loadtest.jsonl")
+        dump_admission_trace(instance, trace)
+        config = ServiceConfig(
+            trace=trace,
+            listen="127.0.0.1:0",
+            algorithm="fractional",
+            backend=backend,
+            seed=workload.seed,
+            batch=workload.server_batch,
+            batch_wait_ms=1.0,
+            name="service-loadtest-bench",
+        )
+        with ServiceThread(config) as thread:
+            host, port = thread.address
+            result = run_loadtest(
+                host,
+                port,
+                requests,
+                concurrency=workload.concurrency,
+                batch=workload.client_batch,
+            )
+            with AdmissionClient(host, port) as client:
+                summary = client.stats()["summary"]
+    if result.errors:
+        raise RuntimeError(f"service loadtest hit {result.errors} errors")
+    return BenchResult(
+        name="service_loadtest",
+        backend=backend,
+        seconds=result.seconds,
+        augmentations=0,
+        fractional_cost=float(summary.get("fractional_cost") or 0.0),
+        requests=workload.num_requests,
+        p50_ms=result.p50_ms,
+        p99_ms=result.p99_ms,
     )
 
 

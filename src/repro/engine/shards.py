@@ -931,6 +931,31 @@ class ProcessShardPool:
         """Decision entries acknowledged across all workers (see :attr:`num_processed`)."""
         return sum(w.decisions for w in self._live())
 
+    def shard_stats(self) -> Dict[int, Dict[str, Any]]:
+        """Non-blocking per-worker progress and queue-depth counters.
+
+        Reaps already-available replies first (never blocks on in-flight
+        work), so ``processed``/``decisions`` are the latest *acknowledged*
+        counters and ``pending`` is the number of commands still awaiting a
+        reply — the parent-side lag signal the service health monitor watches.
+        The same shape is exported by
+        :meth:`~repro.engine.streaming.StreamingSession.shard_stats` and
+        :meth:`~repro.engine.streaming.ShardedStreamRouter.shard_stats`, so
+        callers need not care which backend they hold.
+        """
+        self._ensure_open()
+        self._reap()
+        return {
+            worker.shard: {
+                "pid": worker.process.pid,
+                "alive": worker.process.is_alive(),
+                "pending": len(worker.pending),
+                "processed": worker.processed,
+                "decisions": worker.decisions,
+            }
+            for worker in self._live()
+        }
+
     def trace_segment_names(self) -> List[str]:
         """OS-level names of the published trace segments (empty if none).
 

@@ -356,6 +356,24 @@ class StreamingSession:
             count += len(chunk)
         return count
 
+    def shard_stats(self) -> Dict[int, Dict[str, Any]]:
+        """Single-shard progress counters in the pool's ``shard_stats`` shape.
+
+        An in-process session is always "shard 0, alive, nothing pending";
+        exporting the same shape as
+        :meth:`~repro.engine.shards.ProcessShardPool.shard_stats` lets the
+        service health monitor treat every backend uniformly.
+        """
+        return {
+            0: {
+                "pid": None,
+                "alive": True,
+                "pending": 0,
+                "processed": self.num_processed,
+                "decisions": self.num_decisions,
+            }
+        }
+
     # -- results ------------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:
         """One JSON-able line of session telemetry."""
@@ -638,6 +656,24 @@ class ShardedStreamRouter:
     def decision_logs(self) -> Dict[int, List[Dict[str, Any]]]:
         """Per-shard normalized decision logs."""
         return {k: s.decision_log() for k, s in self.sessions()}
+
+    def shard_stats(self) -> Dict[int, Dict[str, Any]]:
+        """Per-shard progress counters in the pool's ``shard_stats`` shape.
+
+        In-process shards are always alive with nothing pending; the uniform
+        shape (see :meth:`~repro.engine.shards.ProcessShardPool.shard_stats`)
+        is what lets the service health monitor watch any backend.
+        """
+        return {
+            k: {
+                "pid": None,
+                "alive": True,
+                "pending": 0,
+                "processed": s.num_processed,
+                "decisions": s.num_decisions,
+            }
+            for k, s in self.sessions()
+        }
 
     def summary(self) -> Dict[str, Any]:
         """Router-level telemetry plus one line per shard."""

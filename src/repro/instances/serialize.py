@@ -197,7 +197,19 @@ def request_to_state(req: Request) -> Dict[str, Any]:
 
 
 def request_from_state(item: Dict[str, Any]) -> Request:
-    """Inverse of :func:`request_to_state`."""
+    """Inverse of :func:`request_to_state`.
+
+    Validates the payload shape itself — a non-object or a request missing
+    ``id``/``edges``/``cost`` raises :class:`ValueError` naming what is
+    missing — so every consumer of the codec (trace lines, checkpoints, wire
+    frames) reports the same diagnosis; the trace reader additionally wraps
+    it with the offending line number.
+    """
+    if not isinstance(item, dict):
+        raise ValueError(f"request must be a JSON object, got {type(item).__name__}")
+    missing = [key for key in ("id", "edges", "cost") if key not in item]
+    if missing:
+        raise ValueError(f"request is missing fields {missing}")
     return Request(
         int(item["id"]),
         frozenset(_decode_id(e) for e in item["edges"]),
@@ -219,9 +231,6 @@ def _request_from_trace_line(item: Dict[str, Any], lineno: int) -> Request:
             f"trace line {lineno}: duplicate header (kind={item['kind']!r}); "
             "a trace has exactly one header line"
         )
-    missing = [key for key in ("id", "edges", "cost") if key not in item]
-    if missing:
-        raise TraceFormatError(f"trace line {lineno}: request is missing fields {missing}")
     try:
         return request_from_state(item)
     except (TypeError, ValueError) as err:

@@ -1,0 +1,157 @@
+"""The ``repro loadtest`` driver: sustained req/s and admission latency.
+
+``run_loadtest`` drives a running admission service with ``concurrency``
+threads, each over its own :class:`~repro.service.client.AdmissionClient`
+connection, timing every call (one ``submit`` — or one ``submit_batch`` of
+``batch`` arrivals — per round trip).  The result carries sustained
+requests/second over the whole run plus p50/p99 per-call admission latency —
+the numbers the bench gate records as ``service_loadtest`` entries in
+``BENCH_engine.json``.
+
+Arrivals are striped across workers (worker ``i`` takes requests ``i``,
+``i+C``, ``i+2C`` ...), which preserves per-connection arrival order; with
+``concurrency=1`` the service observes exactly the trace order, which is the
+mode the byte-identity smoke uses.  At higher concurrency the interleaving
+at the service is scheduler-dependent — throughput numbers, not reproducible
+decision streams.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.instances.request import Request
+from repro.service.client import AdmissionClient, ServiceError
+
+__all__ = ["LoadTestResult", "run_loadtest", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) of an ascending sequence (interpolated)."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return float(sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac)
+
+
+@dataclass
+class LoadTestResult:
+    """One load-test run's measurements (JSON-able via :meth:`record`)."""
+
+    requests: int
+    seconds: float
+    concurrency: int
+    batch: int
+    errors: int
+    latencies_ms: List[float] = field(default_factory=list, repr=False)
+
+    @property
+    def requests_per_sec(self) -> float:
+        """Sustained arrival throughput over the whole timed window."""
+        if self.requests <= 0 or self.seconds <= 0:
+            return 0.0
+        return self.requests / self.seconds
+
+    @property
+    def p50_ms(self) -> float:
+        """Median per-call admission latency (ms)."""
+        return percentile(sorted(self.latencies_ms), 50.0)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile per-call admission latency (ms)."""
+        return percentile(sorted(self.latencies_ms), 99.0)
+
+    def record(self) -> Dict[str, Any]:
+        """The flat dict the bench reports serialize (no raw latency list)."""
+        return {
+            "requests": self.requests,
+            "seconds": round(self.seconds, 6),
+            "concurrency": self.concurrency,
+            "batch": self.batch,
+            "errors": self.errors,
+            "requests_per_sec": round(self.requests_per_sec, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+        }
+
+
+def run_loadtest(
+    host: str,
+    port: int,
+    requests: Sequence[Request],
+    *,
+    concurrency: int = 1,
+    batch: int = 1,
+    timeout: float = 60.0,
+) -> LoadTestResult:
+    """Drive a running service with ``concurrency`` connections and time it.
+
+    Connections are established *before* the timed window (a barrier releases
+    all workers at once), so the measurement is steady-state serving cost,
+    not TCP setup.  Each worker times every call; errors are counted, not
+    raised — a load test should report a sick service, not crash on it.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    stripes = [list(requests[i::concurrency]) for i in range(concurrency)]
+    latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    errors = [0] * concurrency
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(index: int) -> None:
+        own = stripes[index]
+        lats = latencies[index]
+        try:
+            with AdmissionClient(host, port, timeout=timeout) as client:
+                barrier.wait()
+                for lo in range(0, len(own), batch):
+                    chunk = own[lo : lo + batch]
+                    start = time.perf_counter()
+                    try:
+                        if batch == 1:
+                            client.submit(chunk[0])
+                        else:
+                            client.submit_batch(chunk)
+                    except ServiceError:
+                        errors[index] += 1
+                        continue
+                    lats.append((time.perf_counter() - start) * 1000.0)
+        except (ServiceError, OSError):
+            # Connection-level failure: every unsent call counts as an error.
+            errors[index] += max(1, (len(own) + batch - 1) // batch - len(lats))
+            try:
+                barrier.wait(timeout=1.0)  # release the clock if we died early
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"loadtest-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - start
+    all_latencies = [ms for lats in latencies for ms in lats]
+    return LoadTestResult(
+        requests=len(requests),
+        seconds=seconds,
+        concurrency=concurrency,
+        batch=batch,
+        errors=sum(errors),
+        latencies_ms=all_latencies,
+    )

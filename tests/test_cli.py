@@ -40,16 +40,23 @@ class TestListCommand:
         code, output = run_cli(["list"])
         assert code == 0
         for heading in ("[experiments]", "[admission algorithms]", "[set-cover algorithms]",
-                        "[streaming algorithms]", "[scenarios]", "[weight backends]"):
+                        "[streaming algorithms]", "[scenarios]", "[weight backends]",
+                        "[routing strategies]"):
             assert heading in output
         assert "fractional" in output
         assert "bursty" in output
         assert "numpy" in output
+        assert "least_loaded" in output
 
     def test_list_single_section(self):
         code, output = run_cli(["list", "backends"])
         assert code == 0
         assert output.split() == ["numpy", "python"]
+
+    def test_list_strategies_section(self):
+        code, output = run_cli(["list", "strategies"])
+        assert code == 0
+        assert output.split() == ["cost_aware", "least_loaded", "namespace", "round_robin"]
 
     def test_list_algorithms_keeps_registry_headings(self):
         # Keys like "doubling" appear in several registries; the headings are
@@ -357,7 +364,7 @@ class TestBenchCommand:
     def test_bench_without_baseline_passes(self, tmp_path):
         code, output = run_cli(
             ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
-             "--stream-requests", "400",
+             "--stream-requests", "400", "--service-requests", "100",
              "--baseline", str(tmp_path / "missing.json")]
         )
         assert code == 0
@@ -367,6 +374,7 @@ class TestBenchCommand:
         assert "scaling_10k[numpy]" in output
         assert "sweep_small[python]" in output
         assert "sweep_small[numpy]" in output
+        assert "service_loadtest[numpy]" in output
         assert "benchmark gate passed" in output
 
     def test_bench_write_then_gate_roundtrip(self, tmp_path):
@@ -375,7 +383,7 @@ class TestBenchCommand:
         baseline = tmp_path / "baseline.json"
         code, output = run_cli(
             ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
-             "--stream-requests", "400",
+             "--stream-requests", "400", "--service-requests", "100",
              "--baseline", str(baseline), "--write-baseline"]
         )
         assert code == 0
@@ -387,6 +395,7 @@ class TestBenchCommand:
             "scaling_10k_scalar[python]", "scaling_10k_scalar[numpy]",
             "sweep_small[python]", "sweep_small[numpy]",
             "stream_resume[python]", "stream_resume[numpy]",
+            "service_loadtest[numpy]",
         }
         # Inflate the stored seconds so scheduler noise on a loaded machine
         # cannot trip the 2x gate; this test checks the roundtrip wiring, the
@@ -395,7 +404,7 @@ class TestBenchCommand:
         baseline.write_text(json.dumps(payload))
         code, output = run_cli(
             ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
-             "--stream-requests", "400",
+             "--stream-requests", "400", "--service-requests", "100",
              "--baseline", str(baseline)]
         )
         assert code == 0
@@ -416,7 +425,7 @@ class TestBenchCommand:
         }))
         code, output = run_cli(
             ["bench", "--quick", "--requests", "200", "--scaling-requests", "400",
-             "--stream-requests", "400",
+             "--stream-requests", "400", "--service-requests", "100",
              "--baseline", str(baseline)]
         )
         assert code == 1
