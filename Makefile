@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint typecheck examples-smoke serve-smoke shard-smoke service-smoke bench-smoke bench-baseline bench-suite profile profile-scaling ci
+.PHONY: test lint lint-invariants typecheck examples-smoke serve-smoke shard-smoke service-smoke bench-smoke bench-baseline bench-suite profile profile-scaling ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,12 +15,21 @@ lint:
 		echo "ruff not installed; skipping lint (pip install ruff)"; \
 	fi
 
-# Mypy over the typed surface: the run-spec facade and the core protocols
-# (configured in pyproject.toml).  Skips with a notice when mypy is not
-# installed locally; CI always installs and runs it.
+# The repo's own AST invariant checker (rules RPR001..RPR006): frozenset
+# iteration order, seeded randomness, registry mediation, export/restore
+# symmetry, schema-version discipline, one-reply-per-command.  Pure stdlib,
+# so it always runs; fails on any violation or unused suppression.
+lint-invariants:
+	$(PYTHON) -m repro lint
+
+# Mypy over the typed surface: the run-spec facade, the core protocols, the
+# instance layer and the engine's registry/config modules (configured in
+# pyproject.toml).  Skips with a notice when mypy is not installed locally;
+# CI always installs and runs it.
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/api src/repro/core/protocols.py; \
+		mypy src/repro/api src/repro/core/protocols.py src/repro/instances \
+			src/repro/engine/registry.py src/repro/engine/config.py; \
 	else \
 		echo "mypy not installed; skipping typecheck (pip install mypy)"; \
 	fi
@@ -78,9 +87,9 @@ shard-smoke:
 service-smoke:
 	$(PYTHON) -m repro.service.smoke
 
-# Reproduce the CI pipeline locally: lint, typecheck, tests, examples smoke,
-# serve smoke, shard smoke, service smoke, bench gate.
-ci: lint typecheck test examples-smoke serve-smoke shard-smoke service-smoke bench-smoke
+# Reproduce the CI pipeline locally: lint, invariant lint, typecheck, tests,
+# examples smoke, serve smoke, shard smoke, service smoke, bench gate.
+ci: lint lint-invariants typecheck test examples-smoke serve-smoke shard-smoke service-smoke bench-smoke
 
 # Weight-update + 10k-request scaling benchmarks per backend; fails on a >2x
 # regression against benchmarks/baseline_bench.json.

@@ -16,6 +16,7 @@ experiment harness share one execution path.
     python -m repro demo admission            # small end-to-end admission demo
     python -m repro demo setcover             # small end-to-end set-cover demo
     python -m repro bench --quick             # micro-benchmark per backend + gate
+    python -m repro lint                      # AST invariant checker (RPR001..RPR006)
 
 ``repro list`` enumerates every registry in one place — experiments,
 admission / set-cover / streaming algorithms, scenarios, and weight backends
@@ -145,7 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
         "what",
         nargs="?",
         default="all",
-        choices=["all", "experiments", "algorithms", "scenarios", "backends", "strategies"],
+        choices=["all", "experiments", "algorithms", "scenarios", "backends", "strategies", "lint"],
         help="which registry section to print (default: all)",
     )
 
@@ -323,6 +324,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the measurements as JSON",
     )
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the repo's AST invariant checker (rules RPR001..RPR006)",
+    )
+    lint_parser.add_argument(
+        "path",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="file or directory to lint (default: the installed repro package)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the findings as a versioned JSON report instead of text",
+    )
+    lint_parser.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run, e.g. RPR001,RPR005 (default: all)",
+    )
+    lint_parser.add_argument(
+        "--update-fingerprints", action="store_true",
+        help="rewrite lint/fingerprints.json after a schema version bump "
+        "(refused when fields changed without one)",
+    )
+
     bench_parser = subparsers.add_parser(
         "bench", help="run the weight-update micro-benchmark per backend and gate regressions"
     )
@@ -402,6 +428,12 @@ def _cmd_list(args, out) -> int:
         from repro.engine.shards import ROUTING_STRATEGIES
 
         sections.append(("routing strategies", ROUTING_STRATEGIES.keys()))
+    if what in ("all", "lint"):
+        from repro.lint import describe_rules
+
+        sections.append(
+            ("lint rules", [f"{rid:<8} {desc}" for rid, desc in describe_rules().items()])
+        )
     # Headings disambiguate whenever more than one registry prints (keys like
     # "doubling" legitimately appear in several registries).
     for index, (heading, lines) in enumerate(sections):
@@ -609,6 +641,34 @@ def _cmd_loadtest(args, out) -> int:
     return 1 if record["errors"] else 0
 
 
+def _cmd_lint(args, out) -> int:
+    """Run the AST invariant checker (``repro lint``).
+
+    Exit codes follow the usual linter convention: 0 clean, 1 findings (or
+    unreadable files / stale suppressions), 2 usage errors such as an unknown
+    rule id or a missing path.
+    """
+    import repro
+    from repro.lint import LintConfig, report_json, report_text, run_lint
+
+    root = args.path if args.path is not None else Path(repro.__file__).parent
+    if not root.exists():
+        print(f"error: no such file or directory: {root}", file=out)
+        return 2
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r for r in (p.strip() for p in args.rules.split(",")) if r]
+    config = LintConfig(root=root, update_fingerprints=args.update_fingerprints)
+    result = run_lint(config, rule_ids)
+    if args.as_json:
+        report_json(result, out)
+    else:
+        report_text(result, out)
+    if result.ok:
+        return 0
+    return 2 if not result.rules_run else 1
+
+
 def _cmd_bench(args, out) -> int:
     workload = weight_update_workload(quick=args.quick)
     if args.requests is not None:
@@ -781,6 +841,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "loadtest":
         return _cmd_loadtest(args, out)
+    if args.command == "lint":
+        return _cmd_lint(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
     parser.error(f"unknown command {args.command!r}")

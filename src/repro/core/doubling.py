@@ -153,6 +153,10 @@ class DoublingFractionalAdmissionControl:
     the guess internally.
     """
 
+    #: Read-only constructor copy used for the schedule's m/c parameters;
+    #: restore rebuilds the wrapper from the same capacities (RPR004 allowlist).
+    _LINT_STATE_EXEMPT = frozenset({"_capacities"})
+
     def __init__(
         self,
         capacities: Mapping[EdgeId, int],
@@ -288,6 +292,10 @@ class DoublingAdmissionControl:
     algorithm can (in particular with
     :func:`~repro.core.protocols.run_admission`).
     """
+
+    #: Read-only constructor copy used for the schedule's m/c parameters;
+    #: restore rebuilds the wrapper from the same capacities (RPR004 allowlist).
+    _LINT_STATE_EXEMPT = frozenset({"_capacities"})
 
     def __init__(
         self,

@@ -122,6 +122,12 @@ class FractionalAdmissionControl:
         and the decision log are unchanged.
     """
 
+    #: Construction-time configuration, deliberately outside the checkpoint
+    #: payload: restore_state() requires a wrapper rebuilt over the *same*
+    #: capacities, so exporting them would only duplicate the constructor
+    #: arguments (RPR004 allowlist).
+    _LINT_STATE_EXEMPT = frozenset({"_original_capacities"})
+
     def __init__(
         self,
         capacities: Mapping[EdgeId, int],
@@ -215,7 +221,7 @@ class FractionalAdmissionControl:
         rid = request.request_id
         if rid in self._class_of:
             raise ValueError(f"request id {rid} was already processed")
-        unknown = [e for e in request.edges if e not in self._original_capacities]
+        unknown = [e for e in request.ordered_edges if e not in self._original_capacities]
         if unknown:
             raise ValueError(f"request {rid} uses unknown edges {unknown[:3]!r}")
         forced = request.tag is not None and request.tag in self.force_accept_tags

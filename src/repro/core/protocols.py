@@ -132,7 +132,7 @@ class OnlineAdmissionAlgorithm(ABC):
         """Record that ``request`` arrived; rejects duplicates and unknown edges."""
         if request.request_id in self._seen:
             raise ValueError(f"request id {request.request_id} was already processed")
-        unknown = [e for e in request.edges if e not in self._capacities]
+        unknown = [e for e in request.ordered_edges if e not in self._capacities]
         if unknown:
             raise ValueError(f"request {request.request_id} uses unknown edges {unknown[:3]!r}")
         self._seen.add(request.request_id)
@@ -140,7 +140,7 @@ class OnlineAdmissionAlgorithm(ABC):
     def _accept(self, request: Request) -> Decision:
         """Accept ``request`` and add its load to every edge on its path."""
         self._accepted[request.request_id] = request
-        for e in request.edges:
+        for e in request.ordered_edges:
             self._load[e] += 1
         decision = Decision(request.request_id, DecisionKind.ACCEPT)
         self._decisions.append(decision)
@@ -156,7 +156,7 @@ class OnlineAdmissionAlgorithm(ABC):
     def _preempt(self, request_id: int, at_request: Optional[int] = None) -> Decision:
         """Evict a previously accepted request (reject after acceptance)."""
         request = self._accepted.pop(request_id)
-        for e in request.edges:
+        for e in request.ordered_edges:
             self._load[e] -= 1
         self._preempted[request_id] = request
         decision = Decision(request_id, DecisionKind.PREEMPT, at_request=at_request)
@@ -178,7 +178,7 @@ class OnlineAdmissionAlgorithm(ABC):
 
     def can_accept(self, request: Request) -> bool:
         """True if accepting ``request`` now keeps every edge within capacity."""
-        return all(self._load[e] < self._capacities[e] for e in request.edges)
+        return all(self._load[e] < self._capacities[e] for e in request.ordered_edges)
 
     def accepted_ids(self) -> FrozenSet[int]:
         """Ids of requests currently accepted (never rejected or preempted)."""

@@ -264,9 +264,9 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
             for rid in sorted(set(frac.outcome.deltas)):
                 if self._shadow.cost_class(rid) != CostClass.NORMAL:
                     continue
-                if self._shadow.weight_state.weight(rid) >= self.weight_threshold:
-                    if self._evict(rid, arriving_id):
-                        self.num_threshold_rejections += 1
+                heavy = self._shadow.weight_state.weight(rid) >= self.weight_threshold
+                if heavy and self._evict(rid, arriving_id):
+                    self.num_threshold_rejections += 1
             for rid, hit in self._step3_coins(frac.outcome.deltas):
                 if hit and self._evict(rid, arriving_id):
                     self.num_coin_rejections += 1
@@ -420,7 +420,7 @@ class RandomizedAdmissionControl(OnlineAdmissionAlgorithm):
         self._preempted = {int(r): by_id[int(r)] for r in state["preempted"]}
         self._load = {e: 0 for e in self._capacities}
         for req in self._accepted.values():
-            for e in req.edges:
+            for e in req.ordered_edges:
                 self._load[e] += 1
         self._decisions = [
             Decision(int(r), str(kind), None if at is None else int(at))

@@ -180,6 +180,12 @@ class WeightBackend:
     #: Registry key of the backend; subclasses override.
     name = "abstract"
 
+    #: RPR004 allowlist.  ``_edge_index`` is the interning table, rebuilt by
+    #: the constructor from the same capacity map restore_state() requires;
+    #: ``_history`` is per-arrival diagnostics, documented as *not* part of
+    #: the durable state (see export_state's docstring).
+    _LINT_STATE_EXEMPT = frozenset({"_edge_index", "_history"})
+
     def __init__(
         self,
         capacities: Mapping[EdgeId, int],

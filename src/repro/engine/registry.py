@@ -25,7 +25,7 @@ the library and can be imported from anywhere without cycles.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generic, Iterator, List, Tuple, TypeVar
+from typing import Any, Callable, Dict, Generic, Iterator, List, Tuple, TypeVar, overload
 
 __all__ = [
     "Registry",
@@ -72,7 +72,7 @@ class Registry(Generic[T]):
         canonical ids stay ``"E1"`` ... ``"E10"``.
     """
 
-    def __init__(self, kind: str, *, normalize: Callable[[str], str] = str.lower):
+    def __init__(self, kind: str, *, normalize: Callable[[str], str] = str.lower) -> None:
         self.kind = kind
         self._normalize = normalize
         self._entries: Dict[str, T] = {}
@@ -82,7 +82,13 @@ class Registry(Generic[T]):
             raise RegistryError(f"{self.kind} keys must be non-empty strings, got {key!r}")
         return self._normalize(key.strip())
 
-    def register(self, key: str, value: T = _MISSING, *, overwrite: bool = False):
+    @overload
+    def register(self, key: str) -> Callable[[T], T]: ...
+
+    @overload
+    def register(self, key: str, value: T, *, overwrite: bool = False) -> T: ...
+
+    def register(self, key: str, value: Any = _MISSING, *, overwrite: bool = False) -> Any:
         """Register ``value`` under ``key``; usable directly or as a decorator.
 
         ``@REGISTRY.register("name")`` registers the decorated object and

@@ -211,6 +211,11 @@ class CostAwareStrategy(RoutingStrategy):
     feedback.  The accumulators are checkpoint state.
     """
 
+    #: RPR004 allowlist: the unit-work table is derived in the constructor
+    #: from bucket_edges/shard_speeds and never mutated; only ``_assigned``
+    #: (the accumulators) is durable routing state.
+    _LINT_STATE_EXEMPT = frozenset({"_table"})
+
     def __init__(
         self,
         num_shards: int,
@@ -794,7 +799,7 @@ class ProcessShardPool:
                 "per-request shards exist only under partitioned strategies"
             )
         shards = {
-            self._strategy.shard_of_namespace(self._namespace_of(e)) for e in request.edges
+            self._strategy.shard_of_namespace(self._namespace_of(e)) for e in request.ordered_edges
         }
         if len(shards) != 1:
             raise ValueError(

@@ -593,7 +593,7 @@ class ShardedStreamRouter:
     # -- routing -------------------------------------------------------------------
     def shard_of(self, request: Request) -> int:
         """The shard index a request routes to (ValueError if it spans shards)."""
-        shards = {self._shard_of_namespace(self._namespace_of(e)) for e in request.edges}
+        shards = {self._shard_of_namespace(self._namespace_of(e)) for e in request.ordered_edges}
         if len(shards) != 1:
             raise ValueError(
                 f"request {request.request_id} spans shards {sorted(shards)}; "

@@ -116,7 +116,7 @@ class AdmissionInstance:
         load: Dict[EdgeId, int] = {e: 0 for e in self._capacities}
         for req in self._requests:
             if req.request_id in accepted:
-                for e in req.edges:
+                for e in req.ordered_edges:
                     load[e] += 1
         violations = tuple(
             (e, load[e], self._capacities[e])
@@ -128,7 +128,7 @@ class AdmissionInstance:
     def rejection_cost(self, rejected_ids: Iterable[int]) -> float:
         """Total cost of the given rejected requests."""
         costs = self._requests.cost_by_id()
-        return sum(costs[i] for i in set(rejected_ids))
+        return sum(costs[i] for i in sorted(set(rejected_ids)))
 
     def total_excess(self) -> int:
         """``Q = max_e (|REQ_e| - c_e)`` restricted to non-negative values, summed.

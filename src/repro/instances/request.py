@@ -11,7 +11,21 @@ occupies, and a positive cost (the penalty paid if it is rejected).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+    overload,
+)
 
 __all__ = ["Request", "RequestSequence", "Decision", "DecisionKind"]
 
@@ -55,6 +69,7 @@ class Request:
         # session resumed in a fresh process (and a trace replayed on another
         # machine) would diverge.  Order-sensitive consumers therefore iterate
         # `ordered_edges`, never the frozenset.
+        # repro: allow[RPR001] -- this is the definition site of the canonical order
         ordered = tuple(sorted(self.edges, key=repr))
         object.__setattr__(self, "edges", frozenset(ordered))
         object.__setattr__(self, "_ordered_edges", ordered)
@@ -121,7 +136,7 @@ class RequestSequence:
     solvers and analysis code (edge index, total cost, cost vector, ...).
     """
 
-    def __init__(self, requests: Iterable[Request]):
+    def __init__(self, requests: Iterable[Request]) -> None:
         self._requests: List[Request] = list(requests)
         seen: Dict[int, Request] = {}
         for req in self._requests:
@@ -137,7 +152,13 @@ class RequestSequence:
     def __iter__(self) -> Iterator[Request]:
         return iter(self._requests)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> Request: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "RequestSequence": ...
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Request, "RequestSequence"]:
         if isinstance(index, slice):
             return RequestSequence(self._requests[index])
         return self._requests[index]
@@ -164,7 +185,7 @@ class RequestSequence:
 
     def edges(self) -> FrozenSet[EdgeId]:
         """Union of all edges appearing in any request."""
-        out: set = set()
+        out: Set[EdgeId] = set()
         for r in self._requests:
             out |= r.edges
         return frozenset(out)
@@ -177,7 +198,7 @@ class RequestSequence:
         """Number of requests touching each edge."""
         load: Dict[EdgeId, int] = {}
         for r in self._requests:
-            for e in r.edges:
+            for e in r.ordered_edges:
                 load[e] = load.get(e, 0) + 1
         return load
 
@@ -193,7 +214,7 @@ class RequestSequence:
         """True if every request has cost 1 (the paper's unweighted case)."""
         return all(abs(r.cost - 1.0) <= tol for r in self._requests)
 
-    def filter(self, predicate) -> "RequestSequence":
+    def filter(self, predicate: Callable[[Request], bool]) -> "RequestSequence":
         """Return the subsequence of requests satisfying ``predicate``."""
         return RequestSequence(r for r in self._requests if predicate(r))
 

@@ -120,7 +120,7 @@ def admission_to_dict(instance: AdmissionInstance) -> Dict[str, Any]:
         "requests": [
             {
                 "id": req.request_id,
-                "edges": [_encode_id(e) for e in sorted(req.edges, key=repr)],
+                "edges": [_encode_id(e) for e in req.ordered_edges],
                 "cost": req.cost,
                 "tag": req.tag,
             }
@@ -188,7 +188,7 @@ def request_to_state(req: Request) -> Dict[str, Any]:
     """
     line: Dict[str, Any] = {
         "id": req.request_id,
-        "edges": [_encode_id(e) for e in sorted(req.edges, key=repr)],
+        "edges": [_encode_id(e) for e in req.ordered_edges],
         "cost": req.cost,
     }
     if req.tag is not None:
@@ -282,10 +282,12 @@ class AdmissionTraceStream:
     offending line number.
     """
 
-    def __init__(self, source: Union[str, Path, TextIO, Iterable[str]]):
+    def __init__(self, source: Union[str, Path, TextIO, Iterable[str]]) -> None:
         self._fh: Optional[TextIO] = None
         if isinstance(source, (str, Path)):
-            self._fh = open(source, "r", encoding="utf-8")
+            # Deliberately not a `with`: the stream owns the handle across lazy
+            # iteration and closes it on exhaustion / close() / __exit__.
+            self._fh = open(source, "r", encoding="utf-8")  # noqa: SIM115
             lines: Iterable[str] = self._fh
         else:
             lines = source

@@ -1,0 +1,37 @@
+"""repro lint — AST rules that machine-enforce the determinism contract.
+
+See :mod:`repro.lint.framework` for the rule model and
+``ARCHITECTURE.md`` ("Static analysis") for the invariant → rule map.
+"""
+
+from .framework import (
+    FileContext,
+    LintConfig,
+    LintRule,
+    LINT_RULES,
+    UNUSED_SUPPRESSION_ID,
+    Violation,
+)
+from .reporting import LINT_REPORT_SCHEMA, describe_rules, report_json, report_text
+from .runner import LintResult, collect_files, run_lint
+from .suppressions import SuppressionError, parse_suppressions
+
+from . import rules  # noqa: F401  (registers RPR001..RPR006 in LINT_RULES)
+
+__all__ = [
+    "FileContext",
+    "LintConfig",
+    "LintRule",
+    "LINT_RULES",
+    "LINT_REPORT_SCHEMA",
+    "LintResult",
+    "SuppressionError",
+    "UNUSED_SUPPRESSION_ID",
+    "Violation",
+    "collect_files",
+    "describe_rules",
+    "parse_suppressions",
+    "report_json",
+    "report_text",
+    "run_lint",
+]

@@ -1,0 +1,154 @@
+"""Core types for the repro-specific AST lint pass.
+
+The linter enforces, at parse time, the determinism invariants that
+ARCHITECTURE.md states in prose and that the equivalence test suites can only
+catch after the fact: frozenset iteration order, seeded randomness, registry
+mediation, export/restore symmetry, schema versioning discipline and the
+one-reply-per-command pipe protocol.
+
+Every rule is a :class:`LintRule` subclass registered under an ``RPRxxx`` id
+in :data:`LINT_RULES` — the same strict :class:`~repro.engine.registry.Registry`
+the engine uses for backends and algorithms, so duplicate ids and typo'd
+``--rules`` arguments fail loudly with the known-keys list.
+
+A rule sees one file at a time through :class:`FileContext` (source, AST,
+path) and reports :class:`Violation` records; rules that need whole-project
+state (RPR005's fingerprints) additionally override
+:meth:`LintRule.check_project`, which runs once per invocation after the
+per-file walks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.engine.registry import Registry
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "LintConfig",
+    "LintRule",
+    "LINT_RULES",
+    "UNUSED_SUPPRESSION_ID",
+]
+
+#: Pseudo rule-id under which unused allow-comments are reported.  Not in
+#: the registry (it is produced by the runner, not a rule) and deliberately
+#: not suppressible — an allow-comment for it would itself always be unused.
+UNUSED_SUPPRESSION_ID = "RPR000"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: rule id, location and a human-readable message."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about a single source file.
+
+    ``rel_path`` is the path as reported in findings (relative to the lint
+    root when possible, so output is stable across machines); ``posix_path``
+    is the same with ``/`` separators, which rules use for location-scoped
+    checks ("only in repro/experiments/").
+    """
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def posix_path(self) -> str:
+        return self.rel_path.replace("\\", "/")
+
+
+@dataclass
+class LintConfig:
+    """Run-wide configuration shared by the runner and project-level rules.
+
+    ``fingerprints_path`` / ``schema_specs`` exist so tests can point RPR005
+    at a temp tree instead of the installed package; ``extra`` is a free-form
+    bag for future rule knobs.
+    """
+
+    root: Path
+    fingerprints_path: Optional[Path] = None
+    schema_specs: Optional[Sequence[Any]] = None
+    update_fingerprints: bool = False
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` / ``summary`` and override :meth:`check_file`
+    (per file) and/or :meth:`check_project` (once per run, after all files).
+    Both are generators of :class:`Violation`.
+    """
+
+    #: ``RPRxxx`` identifier; must match the registry key.
+    rule_id: str = ""
+    #: One-line description shown by ``repro list lint``.
+    summary: str = ""
+    #: ARCHITECTURE.md invariant numbers this rule enforces.
+    invariants: Sequence[int] = ()
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(
+        self, files: Sequence[FileContext], config: LintConfig
+    ) -> Iterator[Violation]:
+        return iter(())
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule_id=self.rule_id,
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            message=message,
+        )
+
+
+#: All lint rules, keyed by ``RPRxxx`` id (case-insensitive lookup normalises
+#: to upper case so ``--rules rpr001`` works).  Strict like every other
+#: registry: double registration raises, unknown ids list the known ones.
+LINT_RULES: Registry[LintRule] = Registry("lint rule", normalize=str.upper)
+
+
+def iter_call_name(node: ast.AST) -> Optional[str]:
+    """Dotted name of a call target (``np.random.default_rng`` -> that string).
+
+    Returns ``None`` for targets that are not plain name/attribute chains
+    (subscripts, calls-of-calls, lambdas).  Shared by several rules.
+    """
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,61 @@
+"""Text and JSON reporters for lint results.
+
+Text output is one ``path:line: RPRxxx message`` per finding — the format
+editors and CI log scrapers already understand.  JSON output carries a
+``schema`` version like every other machine-readable payload in the repo
+(checkpoints, wire frames, result rows), so downstream tooling can reject
+shapes it does not know.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict
+
+from .framework import LINT_RULES
+from .runner import LintResult
+
+__all__ = ["LINT_REPORT_SCHEMA", "report_text", "report_json", "result_to_dict"]
+
+#: Version of the ``repro lint --json`` payload shape.
+LINT_REPORT_SCHEMA = 1
+
+
+def report_text(result: LintResult, out: IO[str]) -> None:
+    for err in result.errors:
+        print(f"error: {err}", file=out)
+    for violation in result.violations:
+        print(violation.format(), file=out)
+    n = len(result.violations)
+    noun = "violation" if n == 1 else "violations"
+    print(
+        f"repro lint: {n} {noun} in {result.files_checked} files "
+        f"(rules: {', '.join(result.rules_run) or '<none>'})",
+        file=out,
+    )
+
+
+def result_to_dict(result: LintResult) -> Dict[str, Any]:
+    return {
+        "schema": LINT_REPORT_SCHEMA,
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "errors": list(result.errors),
+        "violations": [v.to_dict() for v in result.violations],
+    }
+
+
+def report_json(result: LintResult, out: IO[str]) -> None:
+    json.dump(result_to_dict(result), out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def describe_rules() -> Dict[str, str]:
+    """Rule id -> one-line summary, for ``repro list``'s ``[lint rules]``."""
+    out: Dict[str, str] = {}
+    for rule_id, cls in LINT_RULES.items():
+        inv = ",".join(str(i) for i in cls.invariants)
+        suffix = f" (invariant {inv})" if inv else ""
+        out[rule_id] = f"{cls.summary}{suffix}"
+    return out

@@ -1,0 +1,10 @@
+"""Rule modules; importing this package registers every rule in LINT_RULES."""
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    ordering,
+    randomness,
+    registry_bypass,
+    reply_protocol,
+    schema_drift,
+    state_drift,
+)

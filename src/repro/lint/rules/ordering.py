@@ -1,0 +1,109 @@
+"""RPR001: order-sensitive iteration over frozensets.
+
+A frozenset's iteration order depends on element hashes, which for strings
+vary with PYTHONHASHSEED — so a loop over ``request.edges`` processes edges
+in a different order in every process, and any order-sensitive consumer
+(weight updates, trace serialisation, LP row construction) silently diverges
+between a live run and a checkpoint-resumed or replayed one.  The repo's
+contract (ARCHITECTURE.md invariants 6/7) is: order-sensitive code iterates
+``request.ordered_edges``; the frozenset is for membership tests and set
+algebra only.
+
+The rule flags
+
+* ``for e in <x>.edges`` and ``.edges`` as a comprehension iterable,
+* ``.edges`` passed as the first argument to order-exposing callables
+  (``sorted``, ``list``, ``tuple``, ``enumerate``, ``iter``, ``reversed``,
+  ``min``/``max`` with ties broken by order is fine, so those are excluded),
+* direct ``for``/comprehension iteration over a literal ``set(...)`` /
+  ``frozenset(...)`` call (``sorted(set(xs))`` is fine — sorting restores a
+  canonical order for comparable elements).
+
+It deliberately does **not** flag membership (``e in r.edges``), ``len``,
+set union/intersection, or ``RequestSequence.edges()`` — the method call is
+an ``ast.Call``, not an attribute access, and returns a set used for set
+algebra.  ``sorted(x.edges)`` is still flagged: with mixed or non-comparable
+edge ids it is not total, and the canonical repr-sort already exists as
+``ordered_edges``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import FileContext, LintConfig, LintRule, LINT_RULES, Violation
+
+__all__ = ["FrozensetIterationRule"]
+
+#: Callables whose first positional argument's iteration order leaks into the
+#: result order.
+_ORDER_EXPOSING_CALLS = frozenset(
+    {"sorted", "list", "tuple", "enumerate", "iter", "reversed"}
+)
+#: Attribute names treated as "a frozenset the determinism contract covers".
+_FROZENSET_ATTRS = frozenset({"edges"})
+#: Constructor calls producing unordered sets.
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+
+def _is_flagged_set_expr(node: ast.AST) -> str:
+    """Return a short description if ``node`` evaluates to an unordered set."""
+    if isinstance(node, ast.Attribute) and node.attr in _FROZENSET_ATTRS:
+        return f".{node.attr}"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _SET_CONSTRUCTORS
+    ):
+        return f"{node.func.id}(...)"
+    return ""
+
+
+@LINT_RULES.register("RPR001")
+class FrozensetIterationRule(LintRule):
+    rule_id = "RPR001"
+    summary = "order-sensitive iteration over frozensets; use Request.ordered_edges"
+    invariants = (6, 7)
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                desc = _is_flagged_set_expr(node.iter)
+                if desc:
+                    yield self.violation(
+                        ctx,
+                        node.iter,
+                        f"iterating {desc} directly; frozenset order varies with "
+                        f"PYTHONHASHSEED — use ordered_edges (or sort explicitly)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    desc = _is_flagged_set_expr(gen.iter)
+                    if desc:
+                        yield self.violation(
+                            ctx,
+                            gen.iter,
+                            f"comprehension over {desc}; frozenset order varies with "
+                            f"PYTHONHASHSEED — use ordered_edges (or sort explicitly)",
+                        )
+            elif isinstance(node, ast.Call):
+                func_name = node.func.id if isinstance(node.func, ast.Name) else None
+                if func_name in _ORDER_EXPOSING_CALLS and node.args:
+                    # Only attribute-backed frozensets here: sorted(set(xs)) is
+                    # deterministic for comparable elements, but .edges holds
+                    # arbitrary hashables whose only canonical order is the
+                    # repr-sort ordered_edges already provides.
+                    arg = node.args[0]
+                    desc = (
+                        _is_flagged_set_expr(arg)
+                        if isinstance(arg, ast.Attribute)
+                        else ""
+                    )
+                    if desc:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"{func_name}() over {desc} exposes hash-dependent order; "
+                            f"use ordered_edges (already canonically sorted)",
+                        )

@@ -1,0 +1,176 @@
+"""RPR002: unseeded randomness inside the library.
+
+Every random draw in ``src/repro`` must flow through an explicitly seeded
+generator (ARCHITECTURE.md invariant 3; ``repro.utils.rng.as_generator`` is
+the funnel).  Global-state randomness — ``random.random()``,
+``np.random.shuffle(...)``, an argument-less ``default_rng()`` — produces
+different streams per process and per import order, which breaks checkpoint
+resume, shard equivalence and trace replay, and is a hard blocker for the
+local-computation query mode whose pseudo-random orderings must be replayable
+with zero hidden entropy.
+
+Flagged:
+
+* any call through the ``random`` module's global instance
+  (``random.random()``, ``random.shuffle(...)`` — alias-aware:
+  ``import random as rnd`` is tracked, as is ``from random import shuffle``),
+* ``random.Random()`` / ``random.SystemRandom()`` with no seed argument,
+* calls through NumPy's legacy global state (``np.random.rand`` etc.),
+* ``default_rng()`` / ``RandomState()`` / ``PCG64()`` / ``SeedSequence()``
+  with no argument or an explicit ``None`` seed.
+
+Not flagged: any of the constructors above with a non-``None`` argument
+(seeded or deliberately forwarding a caller-supplied ``random_state``
+variable), and ``random.Random(x)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from ..framework import FileContext, LintConfig, LintRule, LINT_RULES, Violation, iter_call_name
+
+__all__ = ["UnseededRandomnessRule"]
+
+#: Constructors that are fine when seeded, flagged when their first argument
+#: is missing or the literal ``None``.
+_SEEDABLE_CONSTRUCTORS = frozenset(
+    {
+        "default_rng", "RandomState", "PCG64", "SeedSequence", "Random",
+        "Generator", "Philox", "MT19937", "SFC64",
+    }
+)
+#: ``random``-module functions that mutate/read the hidden global instance.
+_RANDOM_GLOBAL_FNS = frozenset(
+    {
+        "random", "uniform", "randint", "randrange", "choice", "choices",
+        "shuffle", "sample", "gauss", "normalvariate", "expovariate",
+        "betavariate", "gammavariate", "lognormvariate", "vonmisesvariate",
+        "paretovariate", "weibullvariate", "triangular", "seed", "getrandbits",
+        "binomialvariate", "setstate", "getstate",
+    }
+)
+
+
+def _first_seed_arg_missing_or_none(node: ast.Call) -> bool:
+    if node.args:
+        return isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+    for kw in node.keywords:
+        if kw.arg in ("seed", "x"):  # default_rng(seed=...), Random(x=...)
+            return isinstance(kw.value, ast.Constant) and kw.value.value is None
+        if kw.arg is None:  # **kwargs — assume the caller knows what they do
+            return False
+    return True
+
+
+@LINT_RULES.register("RPR002")
+class UnseededRandomnessRule(LintRule):
+    rule_id = "RPR002"
+    summary = "unseeded randomness; route draws through a seeded Generator"
+    invariants = (3,)
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> Iterator[Violation]:
+        random_aliases: Set[str] = set()  # names bound to the random module
+        np_random_aliases: Set[str] = set()  # names bound to numpy.random
+        from_random_fns: Dict[str, str] = {}  # local name -> random.<fn>
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+                    elif alias.name == "numpy":
+                        np_random_aliases.add(f"{alias.asname or 'numpy'}.random")
+                    elif alias.name == "numpy.random":
+                        np_random_aliases.add(alias.asname or "numpy.random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        from_random_fns[alias.asname or alias.name] = alias.name
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random_aliases.add(alias.asname or "random")
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = iter_call_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            head, tail = ".".join(parts[:-1]), parts[-1]
+
+            # random.<fn>() through the module's hidden global instance.
+            if head in random_aliases:
+                if tail in ("Random", "SystemRandom"):
+                    if tail == "SystemRandom" or _first_seed_arg_missing_or_none(node):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"{name}() without a seed draws hidden entropy; "
+                            f"pass an explicit seed or a derived SeedSequence",
+                        )
+                elif tail in _RANDOM_GLOBAL_FNS:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{name}() uses the random module's global state; "
+                        f"use a seeded random.Random or numpy Generator",
+                    )
+                continue
+
+            # from random import shuffle; shuffle(...) — same global state.
+            if head == "" and tail in from_random_fns:
+                origin = from_random_fns[tail]
+                if origin in _RANDOM_GLOBAL_FNS:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{tail}() (= random.{origin}) uses the random module's "
+                        f"global state; use a seeded generator",
+                    )
+                elif origin in ("Random", "SystemRandom") and (
+                    origin == "SystemRandom" or _first_seed_arg_missing_or_none(node)
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{tail}() (= random.{origin}) without a seed draws "
+                        f"hidden entropy; pass an explicit seed",
+                    )
+                continue
+
+            # numpy.random global-state functions and unseeded constructors.
+            if head in np_random_aliases:
+                if tail in _SEEDABLE_CONSTRUCTORS:
+                    if _first_seed_arg_missing_or_none(node):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"{name}() without a seed is fresh OS entropy per "
+                            f"process; pass a seed (see repro.utils.rng.as_generator)",
+                        )
+                else:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{name}() uses numpy's legacy global RandomState; "
+                        f"use a seeded Generator instead",
+                    )
+                continue
+
+            # from numpy.random import default_rng; default_rng() bare.
+            if (
+                head == ""
+                and tail in _SEEDABLE_CONSTRUCTORS
+                and tail != "Random"
+                and _first_seed_arg_missing_or_none(node)
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{tail}() without a seed is fresh OS entropy per process; "
+                    f"pass a seed (see repro.utils.rng.as_generator)",
+                )

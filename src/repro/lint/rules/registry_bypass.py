@@ -1,0 +1,83 @@
+"""RPR003: experiments/CLI must resolve components through the registries.
+
+The registries (ARCHITECTURE.md invariant 2) are what make ``--backend
+numpy`` / ``--algorithm doubling`` swap whole substrates without code edits,
+and what keep checkpoint/service payloads referencing components by *name*.
+An experiment or CLI path that instantiates ``FractionalAdmissionControl``
+directly bypasses key normalisation, the uniform builder signature and the
+duplicate/unknown-key errors — and silently stops honouring the user's
+``--algorithm`` choice.
+
+The rule fires only in registry-client locations (``repro/experiments/``,
+``repro/cli.py``, ``examples/``); the defining modules and tests construct
+the classes directly by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import FileContext, LintConfig, LintRule, LINT_RULES, Violation, iter_call_name
+
+__all__ = ["RegistryBypassRule"]
+
+#: Registered component classes that clients must obtain via registry lookup.
+PROTECTED_CLASSES = frozenset(
+    {
+        "FractionalAdmissionControl",
+        "RandomizedAdmissionControl",
+        "DoublingAdmissionControl",
+        "DoublingFractionalAdmissionControl",
+        "OnlineSetCoverViaAdmissionControl",
+        "BicriteriaOnlineSetCover",
+        "ExponentialBenefitAdmission",
+        "KeepExpensive",
+        "GreedySwap",
+        "RejectWhenFull",
+        "CheapestSetOnline",
+        "GreedyDensityOnline",
+        "RandomSetOnline",
+        "ThresholdPreemption",
+        "PythonWeightBackend",
+        "NumpyWeightBackend",
+        "NumbaWeightBackend",
+    }
+)
+
+#: Path fragments (posix) identifying registry-*client* code.
+_CLIENT_PATH_MARKERS = ("experiments/", "examples/")
+_CLIENT_FILENAMES = ("cli.py",)
+
+
+def _is_client_path(posix_path: str) -> bool:
+    if any(marker in posix_path for marker in _CLIENT_PATH_MARKERS):
+        return True
+    return posix_path.split("/")[-1] in _CLIENT_FILENAMES
+
+
+@LINT_RULES.register("RPR003")
+class RegistryBypassRule(LintRule):
+    rule_id = "RPR003"
+    summary = "experiments/CLI constructing components directly; use the registries"
+    invariants = (2,)
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> Iterator[Violation]:
+        if not _is_client_path(ctx.posix_path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = iter_call_name(node.func)
+            if name is None:
+                continue
+            leaf = name.split(".")[-1]
+            if leaf in PROTECTED_CLASSES:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"direct construction of {leaf}; resolve it through the "
+                    f"component registries (ADMISSION_ALGORITHMS / "
+                    f"SETCOVER_ALGORITHMS / WEIGHT_BACKENDS) so --algorithm/"
+                    f"--backend selection keeps working",
+                )

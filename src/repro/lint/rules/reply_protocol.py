@@ -1,0 +1,227 @@
+"""RPR006: one reply per command, on every control-flow branch.
+
+The shard pipe protocol and the network service both rely on strict
+request/reply pairing (ARCHITECTURE.md invariant 9): the parent pipelines
+submissions and drains with a barrier, so a worker path that sends zero
+replies deadlocks the coordinator and a path that sends two desynchronises
+every reply after it — both far from the line that caused them.
+
+The rule analyses reply-protocol functions (name ``_handle_*`` or
+``*_worker``) that send at least one reply somewhere (functions that never
+reply are bookkeeping, not protocol handlers).  A *reply* is a call through
+an attribute named ``send``, ``_send`` or ``put_nowait`` (queueing a work
+item defers the reply to the dispatcher, which owns it from then on).
+
+The analysis unit is the body of the first ``while True:`` command loop if
+the function has one (the pre-loop handshake is its own exchange), else the
+whole function body.  Each unit is abstractly interpreted into the set of
+possible reply counts per path — saturating at 2, tracking fallthrough /
+return / break / continue / raise outcomes — and every completed path must
+count exactly 1.  Approximations, chosen to match how these handlers fail
+in practice:
+
+* an exception is assumed to occur *before* any reply in a ``try`` body, so
+  an ``except`` handler's count starts from the try entry;
+* a path that escapes the unit by an uncaught ``raise`` is exempt (the
+  caller or process boundary owns it);
+* an ``except`` clause catching only peer-gone errors (``BrokenPipeError``,
+  ``ConnectionResetError``, ``EOFError``, ``OSError``, ...) is exempt — the
+  pipe is dead, there is no one to reply to.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from ..framework import FileContext, LintConfig, LintRule, LINT_RULES, Violation
+
+__all__ = ["ReplyProtocolRule"]
+
+_REPLY_ATTRS = frozenset({"send", "_send", "put_nowait"})
+_PEER_GONE = frozenset(
+    {
+        "BrokenPipeError",
+        "ConnectionResetError",
+        "ConnectionAbortedError",
+        "ConnectionError",
+        "EOFError",
+        "OSError",
+    }
+)
+
+# Abstract path state: (reply count saturated at 2, outcome).
+_FALL = "fall"
+_RETURN = "return"
+_BREAK = "break"
+_CONTINUE = "continue"
+_RAISE = "raise"
+_EXEMPT = "exempt"
+State = Tuple[int, str]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _sat(n: int) -> int:
+    return min(n, 2)
+
+
+def _replies_in(node: ast.AST) -> int:
+    """Reply calls syntactically inside ``node`` (nested defs excluded)."""
+    count = 0
+    stack: List[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        if cur is not node and isinstance(cur, _FUNC_NODES + (ast.Lambda,)):
+            continue
+        if (
+            isinstance(cur, ast.Call)
+            and isinstance(cur.func, ast.Attribute)
+            and cur.func.attr in _REPLY_ATTRS
+        ):
+            count += 1
+        stack.extend(ast.iter_child_nodes(cur))
+    return _sat(count)
+
+
+def _handler_is_peer_gone(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return False
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    names = []
+    for t in types:
+        if isinstance(t, ast.Name):
+            names.append(t.id)
+        elif isinstance(t, ast.Attribute):
+            names.append(t.attr)
+        else:
+            return False
+    return bool(names) and all(n in _PEER_GONE for n in names)
+
+
+def _eval_stmts(stmts: Sequence[ast.stmt]) -> Set[State]:
+    states: Set[State] = {(0, _FALL)}
+    for stmt in stmts:
+        nxt: Set[State] = set()
+        for count, outcome in states:
+            if outcome != _FALL:
+                nxt.add((count, outcome))
+                continue
+            for delta, new_outcome in _eval_stmt(stmt):
+                nxt.add((_sat(count + delta), new_outcome))
+        states = nxt
+    return states
+
+
+def _eval_stmt(stmt: ast.stmt) -> Set[State]:
+    if isinstance(stmt, ast.Return):
+        delta = _replies_in(stmt.value) if stmt.value is not None else 0
+        return {(delta, _RETURN)}
+    if isinstance(stmt, ast.Raise):
+        return {(0, _RAISE)}
+    if isinstance(stmt, ast.Break):
+        return {(0, _BREAK)}
+    if isinstance(stmt, ast.Continue):
+        return {(0, _CONTINUE)}
+    if isinstance(stmt, ast.If):
+        base = _replies_in(stmt.test)
+        out: Set[State] = set()
+        for branch in (stmt.body, stmt.orelse):
+            for count, outcome in _eval_stmts(branch):
+                out.add((_sat(base + count), outcome))
+        return out
+    if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+        header = _replies_in(
+            stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        )
+        out = {(header, _FALL)}  # zero-iteration path
+        for count, outcome in _eval_stmts(stmt.body + stmt.orelse):
+            if outcome in (_FALL, _BREAK, _CONTINUE):
+                out.add((_sat(header + count), _FALL))
+                if count > 0:
+                    out.add((2, _FALL))  # loops may repeat a replying body
+            else:
+                out.add((_sat(header + count), outcome))
+        return out
+    if isinstance(stmt, (ast.Try, *((ast.TryStar,) if hasattr(ast, "TryStar") else ()))):
+        out = set()
+        body_states = _eval_stmts(list(stmt.body) + list(stmt.orelse))
+        for count, outcome in body_states:
+            if outcome == _RAISE and stmt.handlers:
+                continue  # represented by the handler paths below
+            out.add((count, outcome))
+        for handler in stmt.handlers:
+            if _handler_is_peer_gone(handler):
+                out.add((0, _EXEMPT))
+                continue
+            # Approximation: the exception fired before any reply in the
+            # body, so the handler's own replies are the whole delta.
+            out |= _eval_stmts(handler.body)
+        if stmt.finalbody:
+            fin = _eval_stmts(stmt.finalbody)
+            combined: Set[State] = set()
+            for count, outcome in out:
+                for fcount, foutcome in fin:
+                    final_outcome = outcome if foutcome == _FALL else foutcome
+                    combined.add((_sat(count + fcount), final_outcome))
+            out = combined
+        return out
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        base = _sat(sum(_replies_in(item.context_expr) for item in stmt.items))
+        return {(_sat(base + c), o) for c, o in _eval_stmts(stmt.body)}
+    if isinstance(stmt, _FUNC_NODES + (ast.ClassDef,)):
+        return {(0, _FALL)}
+    return {(_replies_in(stmt), _FALL)}
+
+
+def _find_command_loop(func: ast.AST) -> Sequence[ast.stmt]:
+    """Body of the first ``while True`` loop, else the function body."""
+    stack: List[ast.AST] = [func]
+    while stack:
+        node = stack.pop(0)
+        if node is not func and isinstance(node, _FUNC_NODES + (ast.Lambda,)):
+            continue
+        if (
+            isinstance(node, ast.While)
+            and isinstance(node.test, ast.Constant)
+            and node.test.value is True
+        ):
+            return node.body
+        stack.extend(ast.iter_child_nodes(node))
+    return func.body  # type: ignore[attr-defined]
+
+
+def _is_protocol_function(name: str) -> bool:
+    return name.startswith("_handle") or name.endswith("_worker")
+
+
+@LINT_RULES.register("RPR006")
+class ReplyProtocolRule(LintRule):
+    rule_id = "RPR006"
+    summary = "command-handler path sending zero or multiple replies"
+    invariants = (9,)
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, _FUNC_NODES):
+                continue
+            if not _is_protocol_function(node.name):
+                continue
+            if _replies_in(node) == 0:
+                continue  # bookkeeping helper, not a protocol handler
+            unit = _find_command_loop(node)
+            seen_messages: Set[str] = set()
+            for count, outcome in _eval_stmts(list(unit)):
+                if outcome in (_RAISE, _EXEMPT):
+                    continue
+                if count == 1:
+                    continue
+                problem = (
+                    "sends no reply (coordinator would deadlock)"
+                    if count == 0
+                    else "can send more than one reply (desynchronises every later reply)"
+                )
+                message = f"a control-flow path through {node.name} {problem}"
+                if message not in seen_messages:
+                    seen_messages.add(message)
+                    yield self.violation(ctx, node, message)

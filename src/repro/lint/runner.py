@@ -1,0 +1,120 @@
+"""Lint driver: collect files, run rules, apply suppressions, report.
+
+The runner is deliberately dumb — discovery, rule dispatch and suppression
+bookkeeping only.  All judgement lives in the rules.  Findings come back
+sorted by (path, line, rule id) so output is byte-stable across runs and
+machines, matching the repo-wide determinism discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.registry import UnknownKeyError
+
+from .framework import FileContext, LintConfig, LintRule, LINT_RULES, Violation
+from .suppressions import FileSuppressions, SuppressionError, parse_suppressions
+
+__all__ = ["LintResult", "collect_files", "run_lint"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint invocation."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+
+def collect_files(root: Path) -> List[Path]:
+    """All ``.py`` files under ``root`` (or just ``root`` if it is a file).
+
+    Sorted for stable output; ``__pycache__`` is skipped.
+    """
+    if root.is_file():
+        return [root]
+    return sorted(
+        p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+    )
+
+
+def _make_context(path: Path, root: Path) -> FileContext:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    try:
+        rel = str(path.relative_to(root))
+    except ValueError:
+        rel = str(path)
+    return FileContext(path=path, rel_path=rel, source=source, tree=tree)
+
+
+def resolve_rules(rule_ids: Optional[Sequence[str]] = None) -> List[LintRule]:
+    """Instantiate the requested rules (all registered rules by default).
+
+    Unknown ids raise :class:`~repro.engine.registry.UnknownKeyError` with
+    the known-keys list, same UX as every other registry in the repo.
+    """
+    if rule_ids:
+        classes = [LINT_RULES.get(rid) for rid in rule_ids]
+    else:
+        classes = [cls for _, cls in LINT_RULES.items()]
+    return [cls() for cls in classes]
+
+
+def run_lint(config: LintConfig, rule_ids: Optional[Sequence[str]] = None) -> LintResult:
+    """Run the selected rules over every file under ``config.root``."""
+    result = LintResult()
+    try:
+        rules = resolve_rules(rule_ids)
+    except UnknownKeyError as exc:
+        result.errors.append(str(exc))
+        return result
+    result.rules_run = [rule.rule_id for rule in rules]
+    ran_ids = set(result.rules_run)
+
+    contexts: List[FileContext] = []
+    suppressions: Dict[str, FileSuppressions] = {}
+    for path in collect_files(config.root):
+        try:
+            ctx = _make_context(path, config.root)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            result.errors.append(f"{path}: failed to parse: {exc}")
+            continue
+        try:
+            sups = parse_suppressions(ctx)
+        except SuppressionError as exc:
+            result.errors.append(str(exc))
+            continue
+        contexts.append(ctx)
+        suppressions[ctx.rel_path] = sups
+    result.files_checked = len(contexts)
+
+    raw: List[Violation] = []
+    for ctx in contexts:
+        for rule in rules:
+            raw.extend(rule.check_file(ctx, config))
+    for rule in rules:
+        raw.extend(rule.check_project(contexts, config))
+
+    for violation in raw:
+        sups = suppressions.get(violation.path)
+        if sups is not None and sups.is_suppressed(violation.rule_id, violation.line):
+            continue
+        result.violations.append(violation)
+
+    for ctx in contexts:
+        result.violations.extend(
+            suppressions[ctx.rel_path].unused(ran_ids, ctx.rel_path)
+        )
+
+    result.violations.sort(key=lambda v: (v.path, v.line, v.rule_id, v.message))
+    return result

@@ -1,0 +1,146 @@
+"""Inline suppression comments: ``# repro: allow[RPR001] reason...``.
+
+A suppression silences findings of the named rule(s) on its own line.  It may
+share the line with code (trailing comment) or sit alone, in which case it
+applies to the next non-blank source line — handy when the flagged expression
+is too long to fit a trailing comment.
+
+Unused suppressions are themselves findings (reported as
+:data:`~repro.lint.framework.UNUSED_SUPPRESSION_ID`): a stale ``allow``
+comment claims an invariant exception that no longer exists, which is exactly
+the drift the linter is for.  Only rules that actually ran count — running
+``repro lint --rules RPR002`` must not flag every RPR001 suppression in the
+tree as unused.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .framework import UNUSED_SUPPRESSION_ID, FileContext, Violation
+
+__all__ = ["Suppression", "FileSuppressions", "parse_suppressions", "SuppressionError"]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+_RULE_ID_RE = re.compile(r"^RPR\d{3}$")
+
+
+class SuppressionError(ValueError):
+    """Raised for malformed ``repro: allow`` comments (bad or empty rule ids)."""
+
+
+@dataclass
+class Suppression:
+    """One ``allow`` comment: where it is and which rules it silences."""
+
+    comment_line: int
+    effective_line: int
+    rule_ids: Tuple[str, ...]
+    used: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class FileSuppressions:
+    """All suppressions in one file, indexed by the line they apply to."""
+
+    suppressions: List[Suppression]
+    _by_line: Dict[int, List[Suppression]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for sup in self.suppressions:
+            self._by_line.setdefault(sup.effective_line, []).append(sup)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True if ``rule_id`` is allowed on ``line`` (and mark the use)."""
+        hit = False
+        for sup in self._by_line.get(line, ()):
+            if rule_id in sup.rule_ids:
+                sup.used.add(rule_id)
+                hit = True
+        return hit
+
+    def unused(self, ran_rule_ids: Iterable[str], rel_path: str) -> List[Violation]:
+        """Suppressions naming a rule that ran but never fired on their line."""
+        ran = set(ran_rule_ids)
+        out: List[Violation] = []
+        for sup in self.suppressions:
+            stale = [rid for rid in sup.rule_ids if rid in ran and rid not in sup.used]
+            for rid in stale:
+                out.append(
+                    Violation(
+                        rule_id=UNUSED_SUPPRESSION_ID,
+                        path=rel_path,
+                        line=sup.comment_line,
+                        message=f"unused suppression: allow[{rid}] never matched a finding",
+                    )
+                )
+        return out
+
+
+def parse_suppressions(ctx: FileContext) -> FileSuppressions:
+    """Extract ``repro: allow`` comments from a file via the tokenizer.
+
+    Tokenizing (rather than regexing raw lines) keeps us honest about what is
+    actually a comment: an ``allow`` inside a string literal is not a
+    suppression.
+    """
+    comments: List[Tuple[int, str, bool]] = []  # (line, text, line_has_code)
+    code_lines: Set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(ctx.source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        tokens = []
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comments.append((tok.start[0], tok.string, False))
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            for ln in range(tok.start[0], tok.end[0] + 1):
+                code_lines.add(ln)
+
+    suppressions: List[Suppression] = []
+    total_lines = ctx.source.count("\n") + 1
+    for line_no, text, _ in comments:
+        m = _ALLOW_RE.search(text)
+        if m is None:
+            continue
+        raw_ids = [part.strip().upper() for part in m.group(1).split(",")]
+        rule_ids = tuple(rid for rid in raw_ids if rid)
+        if not rule_ids:
+            raise SuppressionError(
+                f"{ctx.rel_path}:{line_no}: empty repro: allow[] suppression"
+            )
+        for rid in rule_ids:
+            if not _RULE_ID_RE.match(rid):
+                raise SuppressionError(
+                    f"{ctx.rel_path}:{line_no}: malformed rule id {rid!r} in "
+                    f"repro: allow[...] (expected RPRxxx)"
+                )
+            if rid == UNUSED_SUPPRESSION_ID:
+                raise SuppressionError(
+                    f"{ctx.rel_path}:{line_no}: {UNUSED_SUPPRESSION_ID} "
+                    f"(unused-suppression) cannot itself be suppressed"
+                )
+        if line_no in code_lines:
+            effective = line_no
+        else:
+            # Standalone comment: applies to the next line that holds code.
+            effective = line_no
+            for ln in range(line_no + 1, total_lines + 1):
+                if ln in code_lines:
+                    effective = ln
+                    break
+        suppressions.append(
+            Suppression(comment_line=line_no, effective_line=effective, rule_ids=rule_ids)
+        )
+    return FileSuppressions(suppressions)

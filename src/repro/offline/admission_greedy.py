@@ -25,8 +25,8 @@ def _greedy(instance: AdmissionInstance, order: List[Request], name: str) -> Int
     accepted: List[int] = []
     rejected: List[int] = []
     for request in order:
-        if all(residual[e] >= 1 for e in request.edges):
-            for e in request.edges:
+        if all(residual[e] >= 1 for e in request.ordered_edges):
+            for e in request.ordered_edges:
                 residual[e] -= 1
             accepted.append(request.request_id)
         else:

@@ -73,7 +73,7 @@ def solve_admission_ilp(
     rows: List[int] = []
     cols: List[int] = []
     for col, request in enumerate(requests):
-        for e in request.edges:
+        for e in request.ordered_edges:
             rows.append(edge_index[e])
             cols.append(col)
     data = np.ones(len(rows), dtype=float)

@@ -80,7 +80,7 @@ def solve_admission_lp(instance: AdmissionInstance) -> FractionalSolution:
     rows: List[int] = []
     cols: List[int] = []
     for col, request in enumerate(requests):
-        for e in request.edges:
+        for e in request.ordered_edges:
             rows.append(edge_index[e])
             cols.append(col)
     data = -np.ones(len(rows), dtype=float)
@@ -88,7 +88,7 @@ def solve_admission_lp(instance: AdmissionInstance) -> FractionalSolution:
 
     edge_loads = np.zeros(len(edges), dtype=float)
     for request in requests:
-        for e in request.edges:
+        for e in request.ordered_edges:
             edge_loads[edge_index[e]] += 1.0
     capacities = np.array([instance.capacity(e) for e in edges], dtype=float)
     b_ub = capacities - edge_loads

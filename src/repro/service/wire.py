@@ -47,6 +47,7 @@ __all__ = [
     "SERVICE_KIND",
     "CLIENT_OPS",
     "SERVER_OPS",
+    "FRAME_FIELDS",
     "MAX_FRAME_BYTES",
     "WireFormatError",
     "encode_frame",
@@ -65,6 +66,27 @@ CLIENT_OPS = ("submit", "submit_batch", "stats", "drain")
 
 #: Frame ops a server may send.
 SERVER_OPS = ("welcome", "result", "stats", "drained", "error")
+
+#: Machine-readable frame schema: op -> every field that may accompany it
+#: (beyond the universal ``v``/``op``).  This is the table the docstring
+#: above renders for humans; ``repro lint`` (RPR005) fingerprints it and
+#: checks every frame literal in ``repro/service/`` against it, so adding a
+#: field here — and bumping :data:`SERVICE_SCHEMA` when the change is not
+#: purely additive — is the one move that unlocks a wire-shape change.
+#: Keep it a literal dict of string tuples; the linter reads it from the AST.
+FRAME_FIELDS = {
+    "welcome": ("service", "name", "processed", "decisions"),
+    "submit": ("seq", "request"),
+    "submit_batch": ("seq", "requests"),
+    "stats": ("seq", "summary", "health", "processed", "decisions"),
+    "drain": ("seq",),
+    "result": ("seq", "entry", "entries", "processed"),
+    "drained": ("seq", "processed", "decisions", "checkpointed"),
+    "error": ("seq", "error"),
+}
+
+# The direction tuples and the field table must agree on the op vocabulary.
+assert set(CLIENT_OPS) | set(SERVER_OPS) == set(FRAME_FIELDS)
 
 #: Upper bound on one frame's encoded size (also the asyncio stream-reader
 #: limit).  Generous enough for multi-thousand-request batches, small enough

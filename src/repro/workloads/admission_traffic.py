@@ -294,7 +294,7 @@ def adversarial_mix_workload(
             capacities[prefix + str(edge)] = cap
         streams.append(
             [
-                Request(0, frozenset(prefix + str(e) for e in req.edges), req.cost, tag=f"block{k}")
+                Request(0, frozenset(prefix + str(e) for e in req.ordered_edges), req.cost, tag=f"block{k}")
                 for req in sub.requests
             ]
         )

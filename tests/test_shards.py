@@ -290,9 +290,11 @@ class TestSharedTrace:
     def test_publish_trace_rejected_for_partitioned_strategy(self):
         mix = mix_instance()
         compiled = compile_instance(mix)
-        with ProcessShardPool(mix.capacities, 2, "fractional", retain_log=False) as pool:
-            with pytest.raises(TypeError):
-                pool.publish_trace(compiled)
+        with (
+            ProcessShardPool(mix.capacities, 2, "fractional", retain_log=False) as pool,
+            pytest.raises(TypeError),
+        ):
+            pool.publish_trace(compiled)
 
 
 class TestRouterPartitionValidation:

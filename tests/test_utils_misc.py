@@ -37,9 +37,8 @@ class TestTimer:
 
     def test_exception_still_records(self):
         timer = Timer()
-        with pytest.raises(RuntimeError):
-            with timer.section("boom"):
-                raise RuntimeError("x")
+        with pytest.raises(RuntimeError), timer.section("boom"):
+            raise RuntimeError("x")
         assert timer.counts["boom"] == 1
 
 
